@@ -1,0 +1,39 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each ``test_figXX_*.py`` regenerates one table/figure of the paper: it
+prints the same rows/series the paper reports (captured with ``pytest -s``)
+and asserts the *qualitative* claim the figure makes.  Workload sizes are
+scaled to what a Python host simulates comfortably; the DESIGN.md
+experiment index records the mapping.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.workloads import build_workload
+
+_CACHE = {}
+
+
+def workload(n: int, tag: str = "bench"):
+    """A fresh copy of a deterministic workload (module objects are mutated
+    by merging, so each caller gets its own build)."""
+    return build_workload(n, f"{tag}{n}")
+
+
+def header(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}", file=sys.stderr)
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+@pytest.fixture
+def show():
+    """Print helper that also lands in captured output."""
+
+    def _show(text: str) -> None:
+        print(text)
+
+    return _show

@@ -1,0 +1,66 @@
+"""Extension experiment: ThinLTO-style partitioned merging (paper §VI).
+
+The paper's future work proposes integrating function merging with
+summary-based LTO.  This experiment quantifies the two halves of that
+argument on one workload:
+
+1. splitting the program into partitions loses cross-partition merge
+   pairs, so size reduction degrades monotonically with partition count;
+2. a global MinHash summary index identifies exactly which functions' best
+   partners live elsewhere — the import list a ThinLTO integration would
+   need — showing the F3M fingerprint is the right summary format.
+"""
+
+from repro.harness import format_table
+from repro.merge import partitioned_merging
+
+from conftest import header, workload
+
+N = 600
+PARTITIONS = [1, 2, 4, 8]
+
+_cache = {}
+
+
+def _sweep():
+    if "data" not in _cache:
+        data = {}
+        for k in PARTITIONS:
+            module = workload(N, "thinlto")
+            data[k] = partitioned_merging(module, k)
+        _cache["data"] = data
+    return _cache["data"]
+
+
+def test_ext_thinlto_partition_sweep(benchmark):
+    data = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    header("Extension — ThinLTO-style partitioned merging (paper §VI)")
+    rows = []
+    for k in PARTITIONS:
+        report = data[k]
+        rows.append(
+            (
+                k,
+                report.merges,
+                f"{report.size_reduction:.2%}",
+                report.cross_partition_candidates,
+            )
+        )
+    print(
+        format_table(
+            ["partitions", "merges", "size reduction", "cross-partition partners"],
+            rows,
+        )
+    )
+    print(
+        "cross-partition partners = functions whose best global match (per "
+        "the MinHash summary index) lives in another partition; a ThinLTO "
+        "integration would import those."
+    )
+    # Monotone degradation with partition count.
+    reductions = [data[k].size_reduction for k in PARTITIONS]
+    assert all(b <= a + 0.005 for a, b in zip(reductions, reductions[1:]))
+    assert reductions[0] > reductions[-1]
+    # The summary index sees the loss coming.
+    assert data[8].cross_partition_candidates > data[2].cross_partition_candidates
+    assert data[1].cross_partition_candidates == 0

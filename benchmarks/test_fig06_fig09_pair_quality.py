@@ -1,0 +1,79 @@
+"""Figures 6 and 9: quality of the pairs each ranking strategy selects.
+
+Figure 6 (HyFM): selected nearest-neighbour pairs are spread across the
+whole similarity range; a noticeable share of *profitable* pairs have low
+fingerprint similarity — which is why HyFM cannot simply prune by
+similarity and why approximate search under that metric loses size.
+
+Figure 9 (F3M): with MinHash similarity, code-size reduction concentrates
+in the high-similarity bins while low-similarity pairs contribute mostly
+wasted merging time.
+"""
+
+from repro.harness import binned_sums, format_table, selected_pairs_experiment
+
+from conftest import header, workload
+
+N = 500
+
+_cache = {}
+
+
+def _pairs(strategy):
+    if strategy not in _cache:
+        _cache[strategy] = selected_pairs_experiment(workload(N, "fig6"), strategy)
+    return _cache[strategy]
+
+
+def test_fig06_hyfm_selected_pairs_histogram(benchmark):
+    pairs = benchmark.pedantic(_pairs, args=("hyfm",), rounds=1, iterations=1)
+    header("Figure 6 — similarity histogram of HyFM-selected pairs")
+    bins = 10
+    total = [0] * bins
+    profitable = [0] * bins
+    for sim, ok, _saving, _t in pairs:
+        b = min(int(sim * bins), bins - 1)
+        total[b] += 1
+        profitable[b] += int(ok)
+    rows = [
+        (f"{i / bins:.1f}-{(i + 1) / bins:.1f}", total[i], profitable[i])
+        for i in range(bins)
+    ]
+    print(format_table(["similarity", "selected", "profitable"], rows))
+
+    profitable_pairs = [(s, ok) for s, ok, _sv, _t in pairs if ok]
+    low_sim_profitable = sum(1 for s, _ in profitable_pairs if s < 0.5)
+    share = low_sim_profitable / max(len(profitable_pairs), 1)
+    print(
+        f"profitable pairs with similarity < 0.5: {share:.1%} "
+        f"(paper: ~10% — distant pairs can still merge profitably)"
+    )
+    # Pairs get selected across a wide similarity range.
+    populated = sum(1 for t in total if t > 0)
+    assert populated >= 3
+    assert len(profitable_pairs) > 0
+
+
+def test_fig09_f3m_contributions_by_similarity(benchmark):
+    pairs = benchmark.pedantic(_pairs, args=("f3m",), rounds=1, iterations=1)
+    header("Figure 9 — F3M: saving and overhead contributions by similarity")
+    sims = [p[0] for p in pairs]
+    savings = [max(p[2], 0) for p in pairs]
+    times = [p[3] for p in pairs]
+    saving_bins = binned_sums(sims, savings, bins=10)
+    time_bins = binned_sums(sims, times, bins=10)
+    rows = [
+        (f"{edge:.1f}", f"{sv:.0f}", f"{tm * 1000:.1f}ms")
+        for (edge, sv), (_e, tm) in zip(saving_bins, time_bins)
+    ]
+    print(format_table(["similarity>=", "size saving (bytes)", "merge time"], rows))
+
+    # Claim: high-similarity pairs contribute the bulk of the size savings.
+    low = sum(sv for edge, sv in saving_bins if edge < 0.5)
+    high = sum(sv for edge, sv in saving_bins if edge >= 0.5)
+    assert high > low, (high, low)
+
+    # Claim: low-similarity pairs still cost merge time (wasted effort).
+    low_time = sum(t for edge, t in time_bins if edge < 0.5)
+    total_time = sum(t for _e, t in time_bins)
+    print(f"share of merge time below similarity 0.5: {low_time / total_time:.1%}")

@@ -1,0 +1,122 @@
+"""Figures 12 and 13: compile-time overhead and merging-stage breakdown.
+
+Figure 12 claim: for small programs the three configurations cost about the
+same; beyond ~9k functions F3M compiles consistently faster than HyFM, and
+the adaptive variant faster still.  Whole-compilation time is modelled as
+(merging pass) + (backend ∝ post-merge module size); see
+``repro.harness.CompileTimeModel``.
+
+Figure 13 claim: the HyFM pass is ranking-dominated for large programs;
+F3M trades a higher preprocess cost for a drastically cheaper ranking
+stage, and the adaptive variant cuts ranking further.
+"""
+
+from repro.harness import CompileTimeModel, format_table, run_merging
+from repro.workloads import build_workload
+
+from conftest import header, workload
+
+SIZES = [300, 1500, 12000]
+STRATEGIES = ["hyfm", "f3m", "f3m-adaptive"]
+
+_cache = {}
+
+
+def _runs():
+    if "runs" in _cache:
+        return _cache["runs"]
+    model = CompileTimeModel()
+    runs = {}
+    for n in SIZES:
+        baseline_module = workload(n, "fig12")
+        baseline_backend = model.backend_time(baseline_module)
+        runs[n] = {"baseline": baseline_backend}
+        for strategy in STRATEGIES:
+            module = workload(n, "fig12")
+            report = run_merging(module, strategy)
+            runs[n][strategy] = (report, model.total_time(report, module))
+    _cache["runs"] = runs
+    return runs
+
+
+def test_fig12_compile_time_overhead(benchmark):
+    runs = benchmark.pedantic(_runs, rounds=1, iterations=1)
+    header("Figure 12 — modelled whole-compilation time vs baseline")
+    rows = []
+    for n in SIZES:
+        base = runs[n]["baseline"]
+        row = [n, f"{base:.2f}s"]
+        for s in STRATEGIES:
+            _report, total = runs[n][s]
+            row.append(f"{total / base:.2f}x")
+        rows.append(tuple(row))
+    print(
+        format_table(
+            ["functions", "baseline", "HyFM", "F3M", "F3M-adaptive"], rows
+        )
+    )
+    largest = SIZES[-1]
+    hyfm_report, hyfm_total = runs[largest]["hyfm"]
+    f3m_report, f3m_total = runs[largest]["f3m"]
+    adapt_report, adapt_total = runs[largest]["f3m-adaptive"]
+    print(
+        f"n={largest}: HyFM {hyfm_total:.2f}s, F3M {f3m_total:.2f}s, "
+        f"adaptive {adapt_total:.2f}s"
+    )
+    # Paper: for large programs merging under F3M is faster than HyFM
+    # (ranking goes from quadratic to near-linear); with equal size
+    # reduction the backend term is equal, so the pass time decides.
+    assert f3m_report.merge_time < hyfm_report.merge_time * 1.05
+    # The machine-independent version of the same claim.
+    assert f3m_report.comparisons < hyfm_report.comparisons / 5
+    # The adaptive variant does no more search work than the static one
+    # (smaller fingerprints, fewer bands).  Compare the machine-independent
+    # comparison counts; wall times wobble under CPU contention.
+    assert adapt_report.comparisons <= f3m_report.comparisons
+
+
+def test_fig13_stage_breakdown(benchmark):
+    runs = benchmark.pedantic(_runs, rounds=1, iterations=1)
+    header("Figure 13 — merging-pass stage breakdown (normalized to HyFM)")
+    largest = SIZES[-1]
+    rows = []
+    hyfm_total = runs[largest]["hyfm"][0].total_time
+    for s in STRATEGIES:
+        report, _total = runs[largest][s]
+        b = report.stage_breakdown()
+        ranking = b["ranking_success"] + b["ranking_fail"]
+        rows.append(
+            (
+                s,
+                f"{b['preprocess'] / hyfm_total:.2f}",
+                f"{ranking / hyfm_total:.2f}",
+                f"{(b['align_success'] + b['align_fail']) / hyfm_total:.2f}",
+                f"{(b['codegen_success'] + b['codegen_fail']) / hyfm_total:.2f}",
+                report.comparisons,
+            )
+        )
+    print(
+        format_table(
+            ["strategy", "preprocess", "ranking", "align", "codegen", "comparisons"],
+            rows,
+        )
+    )
+    hyfm_rank = (
+        runs[largest]["hyfm"][0].stage_breakdown()["ranking_success"]
+        + runs[largest]["hyfm"][0].stage_breakdown()["ranking_fail"]
+    )
+    f3m_rank = (
+        runs[largest]["f3m"][0].stage_breakdown()["ranking_success"]
+        + runs[largest]["f3m"][0].stage_breakdown()["ranking_fail"]
+    )
+    f3m_pre = runs[largest]["f3m"][0].stage_breakdown()["preprocess"]
+    hyfm_pre = runs[largest]["hyfm"][0].stage_breakdown()["preprocess"]
+    # F3M: cheaper ranking, more expensive preprocessing (MinHash).
+    assert f3m_rank < hyfm_rank
+    assert f3m_pre > hyfm_pre
+    # Comparisons gap is the machine-independent signal (paper: orders of
+    # magnitude for Chrome-scale programs).
+    assert (
+        runs[largest]["f3m"][0].comparisons
+        < runs[largest]["hyfm"][0].comparisons / 3
+    )

@@ -1,0 +1,86 @@
+"""Figure 14: similarity-threshold sweep.
+
+Paper claim: raising the threshold t reduces compilation time (fewer
+wasteful merge attempts) at the cost of code size; there is no single best
+static threshold — an oracle picking t per benchmark beats any fixed t,
+which motivates the adaptive policy.
+"""
+
+from repro.harness import CompileTimeModel, format_table, run_merging
+from repro.merge import PassConfig
+
+from conftest import header, workload
+
+THRESHOLDS = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
+SUITES = ["a", "b", "c"]  # three differently-seeded 350-function programs
+N = 350
+
+_cache = {}
+
+
+def _sweep():
+    if "rows" in _cache:
+        return _cache["rows"]
+    model = CompileTimeModel()
+    rows = {}
+    for suite in SUITES:
+        rows[suite] = {}
+        for t in THRESHOLDS:
+            module = workload(N, f"fig14{suite}")
+            report = run_merging(
+                module, "f3m", pass_config=PassConfig(threshold=t, verify=False)
+            )
+            rows[suite][t] = (
+                report.size_after,
+                model.total_time(report, module),
+                report.merges,
+            )
+    _cache["rows"] = rows
+    return rows
+
+
+def test_fig14_threshold_tradeoff(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    header("Figure 14 — threshold sweep (relative to t=0.0)")
+    table = []
+    for t in THRESHOLDS:
+        size_deltas = []
+        time_deltas = []
+        for suite in SUITES:
+            size0, time0, _m = rows[suite][0.0]
+            size, time, _merges = rows[suite][t]
+            size_deltas.append((size - size0) / size0)
+            time_deltas.append((time - time0) / time0)
+        table.append(
+            (
+                f"{t:.1f}",
+                f"{sum(size_deltas) / len(size_deltas):+.2%}",
+                f"{sum(time_deltas) / len(time_deltas):+.2%}",
+            )
+        )
+    print(format_table(["threshold", "avg size delta", "avg time delta"], table))
+
+    # Oracle: best per-suite threshold subject to <= 0.1% size loss.
+    oracle_times = []
+    for suite in SUITES:
+        size0, time0, _ = rows[suite][0.0]
+        candidates = [
+            time
+            for t, (size, time, _m) in rows[suite].items()
+            if (size - size0) / size0 <= 0.001
+        ]
+        oracle_times.append(min(candidates) / time0 - 1.0)
+    print(
+        f"oracle (per-suite best threshold) avg time delta: "
+        f"{sum(oracle_times) / len(oracle_times):+.2%}"
+    )
+
+    # Monotonicity claims: size never shrinks and merges never increase as
+    # the threshold rises.
+    for suite in SUITES:
+        sizes = [rows[suite][t][0] for t in THRESHOLDS]
+        merges = [rows[suite][t][2] for t in THRESHOLDS]
+        assert all(b >= a - 1 for a, b in zip(sizes, sizes[1:])), suite
+        assert all(b <= a for a, b in zip(merges, merges[1:])), suite
+    # The oracle never does worse than any fixed threshold.
+    assert min(oracle_times) <= 0.0 + 1e-9

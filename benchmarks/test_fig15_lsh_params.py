@@ -1,0 +1,77 @@
+"""Figure 15: fingerprint-size (k) and row-count (r) sweep.
+
+Paper claim: increasing r cuts compilation time sharply but costs size
+(r = 8 loses much of the reduction); shrinking k trades size for time more
+gradually, which is why the adaptive policy fixes r = 2 and controls k/b.
+"""
+
+from repro.fingerprint import MinHashConfig
+from repro.harness import CompileTimeModel, format_table, run_merging
+
+from conftest import header, workload
+
+N = 350
+K_VALUES = [25, 50, 100, 200]
+R_VALUES = [1, 2, 4, 8]
+
+_cache = {}
+
+
+def _sweep():
+    if "data" in _cache:
+        return _cache["data"]
+    model = CompileTimeModel()
+    data = {}
+    # k sweep at r=2 (paper's left panel).
+    for k in K_VALUES:
+        module = workload(N, "fig15")
+        report = run_merging(
+            module,
+            "f3m",
+            rows=2,
+            bands=k // 2,
+            config=MinHashConfig(k=k),
+        )
+        data[("k", k)] = (report.size_after, model.total_time(report, module), report.comparisons)
+    # r sweep at k=200 (paper's right panel).
+    for r in R_VALUES:
+        module = workload(N, "fig15")
+        report = run_merging(
+            module,
+            "f3m",
+            rows=r,
+            bands=200 // r,
+            config=MinHashConfig(k=200),
+        )
+        data[("r", r)] = (report.size_after, model.total_time(report, module), report.comparisons)
+    _cache["data"] = data
+    return data
+
+
+def test_fig15_k_and_r_sweep(benchmark):
+    data = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    header("Figure 15 — fingerprint size (k) and LSH rows (r) sweep")
+    base_size, base_time, base_cmp = data[("k", 200)]
+
+    rows = []
+    for k in K_VALUES:
+        size, time, cmp_ = data[("k", k)]
+        rows.append(
+            (f"k={k}, r=2", size, f"{(size - base_size) / base_size:+.2%}", cmp_)
+        )
+    for r in R_VALUES:
+        size, time, cmp_ = data[("r", r)]
+        rows.append(
+            (f"k=200, r={r}", size, f"{(size - base_size) / base_size:+.2%}", cmp_)
+        )
+    print(format_table(["config", "size", "size vs default", "comparisons"], rows))
+
+    # Larger r => fewer bands => fewer comparisons (faster ranking).
+    assert data[("r", 8)][2] <= data[("r", 1)][2]
+    # Aggressive r costs size relative to the default r=2.
+    assert data[("r", 8)][0] >= data[("r", 2)][0]
+    # Shrinking k reduces comparisons too (fewer bands at r=2).
+    assert data[("k", 25)][2] <= data[("k", 200)][2]
+    # The default (k=200, r=2) gives the best or near-best size.
+    best_size = min(v[0] for v in data.values())
+    assert data[("k", 200)][0] <= best_size * 1.02

@@ -1,0 +1,29 @@
+"""Table I: the workload list.
+
+Prints the benchmark table (name, paper-scale function count, category,
+size class) and benchmarks workload construction itself.
+"""
+
+from repro.harness import format_table
+from repro.workloads import BENCHMARKS, build_workload, size_class
+
+from conftest import header
+
+
+def test_table1_workload_list(benchmark):
+    header("Table I — workloads (paper-scale function counts)")
+    rows = [
+        (b.name, b.functions, b.category, size_class(b.functions))
+        for b in BENCHMARKS
+    ]
+    print(format_table(["benchmark", "functions", "suite", "class"], rows))
+
+    # Benchmark: building a small workload module.
+    module = benchmark(build_workload, 100, "table1")
+    assert len(module.defined_functions()) >= 100
+
+    # Table sanity: the paper-stated counts are present.
+    by_name = {b.name: b.functions for b in BENCHMARKS}
+    assert by_name["400.perlbench"] == 1837
+    assert by_name["linux"] == 45_000
+    assert by_name["chrome"] == 1_200_000

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Large-application LTO scenario: HyFM vs F3M vs F3M-adaptive.
+
+Builds a Linux-like workload (thousands of functions with similarity
+families), links it into one module LTO-style, and runs all three merging
+configurations, printing the paper's headline comparison: code size
+reduction, fingerprint comparisons, and per-stage time breakdown.
+
+Run:  python examples/large_app_lto.py [num_functions]
+"""
+
+import sys
+import time
+
+from repro.harness import format_table, make_ranker
+from repro.merge import FunctionMergingPass, PassConfig
+from repro.workloads import build_workload, size_class
+
+
+def run_strategy(n: int, strategy: str):
+    module = build_workload(n, "bigapp")
+    ranker = make_ranker(strategy)
+    start = time.perf_counter()
+    report = FunctionMergingPass(ranker, PassConfig(verify=False)).run(module)
+    elapsed = time.perf_counter() - start
+    return report, elapsed
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    print(f"workload: {n} functions ({size_class(n)} program)\n")
+
+    rows = []
+    breakdowns = {}
+    for strategy in ("hyfm", "f3m", "f3m-adaptive"):
+        report, elapsed = run_strategy(n, strategy)
+        breakdowns[strategy] = report.stage_breakdown()
+        rows.append(
+            (
+                strategy,
+                f"{report.size_reduction:.2%}",
+                report.merges,
+                f"{report.comparisons:,}",
+                f"{elapsed:.2f}s",
+            )
+        )
+        print(f"[{strategy}] {report.summary()}")
+
+    print("\n== headline comparison ==")
+    print(
+        format_table(
+            ["strategy", "size reduction", "merges", "fp comparisons", "pass time"],
+            rows,
+        )
+    )
+
+    print("\n== stage breakdown (seconds) ==")
+    stage_rows = []
+    for strategy, b in breakdowns.items():
+        stage_rows.append(
+            (
+                strategy,
+                f"{b['preprocess']:.2f}",
+                f"{b['ranking_success'] + b['ranking_fail']:.2f}",
+                f"{b['align_success'] + b['align_fail']:.2f}",
+                f"{b['codegen_success'] + b['codegen_fail']:.2f}",
+                f"{b['update']:.2f}",
+            )
+        )
+    print(
+        format_table(
+            ["strategy", "preprocess", "ranking", "align", "codegen", "update"],
+            stage_rows,
+        )
+    )
+    print(
+        "\nNote how the exhaustive ranker's 'ranking' column grows "
+        "quadratically with the workload size, while the LSH-based rankers "
+        "stay near-linear — rerun with a larger argument to watch the gap "
+        "widen (paper Figures 3, 12 and 13)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Shim for environments without PEP 660 editable-install support."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""F3M: Fast Focused Function Merging (CGO 2022) — reproduction.
+
+The package is organised like the paper's system:
+
+* :mod:`repro.ir` — a self-contained, LLVM-shaped SSA IR (the substrate).
+* :mod:`repro.analysis` — CFG, dominators, linearization, code-size model.
+* :mod:`repro.fingerprint` — opcode-frequency (HyFM) and MinHash (F3M)
+  function fingerprints plus the 32-bit instruction encoding.
+* :mod:`repro.search` — exhaustive nearest-neighbour ranking, the banded
+  LSH index with bucket cap, and the adaptive parameter policy.
+* :mod:`repro.alignment` — block pairing and linear/Needleman–Wunsch
+  alignment of candidate pairs.
+* :mod:`repro.merge` — merged-function codegen, SSA repair (including the
+  Section III-E bug fixes), profitability and the full merging pass.
+* :mod:`repro.workloads` — deterministic synthetic benchmark suites.
+* :mod:`repro.harness` — experiment drivers for every table and figure.
+
+Quickstart::
+
+    from repro.workloads import build_workload
+    from repro.merge import FunctionMergingPass, PassConfig
+    from repro.search import MinHashLSHRanker
+
+    module = build_workload(500, "demo")
+    report = FunctionMergingPass(MinHashLSHRanker(adaptive=True)).run(module)
+    print(report.summary())
+"""
+
+from .merge import FunctionMergingPass, MergeReport, PassConfig
+from .search import ExhaustiveRanker, MinHashLSHRanker
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FunctionMergingPass",
+    "MergeReport",
+    "PassConfig",
+    "ExhaustiveRanker",
+    "MinHashLSHRanker",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Sequence/block alignment of candidate function pairs."""
+
+from .hyfm_blocks import align_blocks_linear, align_blocks_nw, align_functions
+from .model import (
+    BlockAlignment,
+    FunctionAlignment,
+    SharedSegment,
+    SplitSegment,
+    mergeable,
+)
+from .needleman_wunsch import (
+    alignment_ratio_encoded,
+    matched_count_encoded,
+    needleman_wunsch,
+)
+
+__all__ = [
+    "align_blocks_linear",
+    "align_blocks_nw",
+    "align_functions",
+    "BlockAlignment",
+    "FunctionAlignment",
+    "SharedSegment",
+    "SplitSegment",
+    "mergeable",
+    "alignment_ratio_encoded",
+    "matched_count_encoded",
+    "needleman_wunsch",
+]

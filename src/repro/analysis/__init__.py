@@ -1,0 +1,21 @@
+"""Analyses over the repro IR: CFG, dominators, linearization, size model."""
+
+from .cfg import postorder, reachable_blocks, remove_unreachable_blocks, reverse_postorder
+from .dominators import DominatorTree
+from .linearizer import block_instructions, linearize, linearize_blocks
+from .size import function_size, instruction_size, module_size, size_breakdown
+
+__all__ = [
+    "postorder",
+    "reverse_postorder",
+    "reachable_blocks",
+    "remove_unreachable_blocks",
+    "DominatorTree",
+    "linearize",
+    "linearize_blocks",
+    "block_instructions",
+    "instruction_size",
+    "function_size",
+    "module_size",
+    "size_breakdown",
+]

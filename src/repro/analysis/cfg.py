@@ -1,0 +1,74 @@
+"""CFG traversals and utilities."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+
+__all__ = [
+    "reverse_postorder",
+    "postorder",
+    "reachable_blocks",
+    "remove_unreachable_blocks",
+]
+
+
+def postorder(func: Function) -> List[BasicBlock]:
+    """Blocks of *func* in DFS postorder from the entry block."""
+    if func.is_declaration:
+        return []
+    seen: Set[int] = set()
+    order: List[BasicBlock] = []
+    # Iterative DFS (functions in large workloads can have deep CFGs).
+    stack: List[tuple] = [(func.entry, iter(func.entry.successors()))]
+    seen.add(id(func.entry))
+    while stack:
+        block, it = stack[-1]
+        advanced = False
+        for succ in it:
+            if id(succ) not in seen:
+                seen.add(id(succ))
+                stack.append((succ, iter(succ.successors())))
+                advanced = True
+                break
+        if not advanced:
+            order.append(block)
+            stack.pop()
+    return order
+
+
+def reverse_postorder(func: Function) -> List[BasicBlock]:
+    order = postorder(func)
+    order.reverse()
+    return order
+
+
+def reachable_blocks(func: Function) -> Set[int]:
+    """Ids of blocks reachable from the entry."""
+    return {id(b) for b in postorder(func)}
+
+
+def remove_unreachable_blocks(func: Function) -> int:
+    """Delete blocks not reachable from the entry; returns the number removed.
+
+    Phi nodes in surviving blocks lose incoming entries from deleted blocks.
+    """
+    if func.is_declaration:
+        return 0
+    live = reachable_blocks(func)
+    dead = [b for b in func.blocks if id(b) not in live]
+    for block in dead:
+        for succ in set(map(id, block.successors())):
+            pass  # successors updated implicitly through phi fix-up below
+    for block in dead:
+        term = block.terminator
+        if term is not None:
+            for succ in term.successors():
+                if id(succ) in live:
+                    for phi in succ.phis():
+                        while phi.incoming_for(block) is not None:
+                            phi.remove_incoming(block)
+        block.erase_from_parent()
+    return len(dead)

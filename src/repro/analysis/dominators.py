@@ -1,0 +1,116 @@
+"""Dominator tree via the Cooper–Harvey–Kennedy algorithm.
+
+Needed by the IR verifier (SSA dominance checks) and by the merged-code
+generator's SSA repair stage, which is where the two HyFM bugs documented in
+F3M Section III-E live.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Instruction
+from ..ir.values import Value
+from .cfg import reverse_postorder
+
+__all__ = ["DominatorTree"]
+
+
+class DominatorTree:
+    """Immediate-dominator map for the reachable blocks of a function."""
+
+    def __init__(self, func: Function) -> None:
+        self.function = func
+        self._rpo = reverse_postorder(func)
+        self._index: Dict[int, int] = {id(b): i for i, b in enumerate(self._rpo)}
+        self._idom: Dict[int, Optional[BasicBlock]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        if not self._rpo:
+            return
+        entry = self._rpo[0]
+        idom: Dict[int, BasicBlock] = {id(entry): entry}
+        changed = True
+        while changed:
+            changed = False
+            for block in self._rpo[1:]:
+                new_idom: Optional[BasicBlock] = None
+                for pred in block.predecessors():
+                    if id(pred) not in self._index:
+                        continue  # unreachable predecessor
+                    if id(pred) in idom:
+                        if new_idom is None:
+                            new_idom = pred
+                        else:
+                            new_idom = self._intersect(pred, new_idom, idom)
+                if new_idom is not None and idom.get(id(block)) is not new_idom:
+                    idom[id(block)] = new_idom
+                    changed = True
+        self._idom = {bid: (None if bid == id(entry) else blk) for bid, blk in idom.items()}
+        self._idom[id(entry)] = None
+
+    def _intersect(
+        self, a: BasicBlock, b: BasicBlock, idom: Dict[int, BasicBlock]
+    ) -> BasicBlock:
+        fa, fb = a, b
+        while fa is not fb:
+            while self._index[id(fa)] > self._index[id(fb)]:
+                fa = idom[id(fa)]
+            while self._index[id(fb)] > self._index[id(fa)]:
+                fb = idom[id(fb)]
+        return fa
+
+    # -- queries -----------------------------------------------------------------
+    def is_reachable(self, block: BasicBlock) -> bool:
+        return id(block) in self._index
+
+    def idom(self, block: BasicBlock) -> Optional[BasicBlock]:
+        """Immediate dominator of *block* (None for the entry block)."""
+        return self._idom.get(id(block))
+
+    def dominates_block(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True if block *a* dominates block *b* (reflexive)."""
+        if not self.is_reachable(a) or not self.is_reachable(b):
+            return False
+        runner: Optional[BasicBlock] = b
+        while runner is not None:
+            if runner is a:
+                return True
+            runner = self._idom.get(id(runner))
+        return False
+
+    def strictly_dominates_block(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates_block(a, b)
+
+    def dominates(self, def_value: Value, user: Instruction, operand_index: int) -> bool:
+        """True if *def_value* dominates the given use.
+
+        Non-instruction values (arguments, constants, functions, blocks)
+        dominate everything.  For a phi use, the def must dominate the end of
+        the corresponding incoming block, not the phi itself.
+        """
+        if not isinstance(def_value, Instruction):
+            return True
+        def_block = def_value.parent
+        if def_block is None:
+            return False
+        if user.is_phi:
+            # Incoming value at index i pairs with the block at index i+1.
+            incoming_block = user.operand(operand_index + 1)
+            if not isinstance(incoming_block, BasicBlock):
+                return False
+            return self.dominates_block(def_block, incoming_block)
+        use_block = user.parent
+        if use_block is None:
+            return False
+        if def_block is use_block:
+            insts = def_block.instructions
+            return insts.index(def_value) < insts.index(user)
+        return self.strictly_dominates_block(def_block, use_block)
+
+    def children(self, block: BasicBlock) -> List[BasicBlock]:
+        """Dominator-tree children of *block*."""
+        return [b for b in self._rpo if self._idom.get(id(b)) is block]

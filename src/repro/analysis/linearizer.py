@@ -1,0 +1,36 @@
+"""Function linearization: turn a CFG into a flat instruction sequence.
+
+Sequence-alignment-based merging (SalSSA, HyFM, F3M) treats a function as a
+linear sequence of instructions.  We linearize blocks in reverse postorder
+so that structurally similar functions produce aligned sequences, and expose
+per-block sequences for HyFM's block-level alignment.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Instruction
+from .cfg import reverse_postorder
+
+__all__ = ["linearize", "linearize_blocks", "block_instructions"]
+
+
+def linearize_blocks(func: Function) -> List[BasicBlock]:
+    """Blocks in the canonical (reverse postorder) linearization order."""
+    return reverse_postorder(func)
+
+
+def block_instructions(block: BasicBlock) -> List[Instruction]:
+    """The instructions of one block, in program order."""
+    return list(block.instructions)
+
+
+def linearize(func: Function) -> List[Instruction]:
+    """All reachable instructions of *func* as one flat sequence."""
+    out: List[Instruction] = []
+    for block in linearize_blocks(func):
+        out.extend(block.instructions)
+    return out

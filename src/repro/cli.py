@@ -1,0 +1,224 @@
+"""Command-line interface.
+
+Drives the library end to end from a shell::
+
+    python -m repro compile prog.mc -o prog.ll     # compile MiniC source
+    python -m repro generate -n 500 -o prog.ll      # synthetic workload
+    python -m repro stats prog.ll                   # module statistics
+    python -m repro merge prog.ll -s f3m -o out.ll  # run function merging
+    python -m repro run out.ll --entry driver -a 5  # interpret an entry
+    python -m repro compare -n 800                  # HyFM vs F3M shootout
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.size import module_size
+from .harness.experiments import make_ranker
+from .harness.table import format_table
+from .ir.interp import Interpreter
+from .ir.module import Module
+from .ir.parser import parse_module
+from .ir.printer import print_module
+from .ir.verifier import verify_module
+from .merge.pass_ import FunctionMergingPass, PassConfig
+from .merge.identical import merge_identical_functions
+from .transforms.pipeline import optimize_module
+from .workloads.suites import build_workload
+
+__all__ = ["main"]
+
+
+def _load(path: str) -> Module:
+    with open(path, "r", encoding="utf-8") as handle:
+        module = parse_module(handle.read(), name=path)
+    verify_module(module)
+    return module
+
+
+def _save(module: Module, path: Optional[str]) -> None:
+    text = print_module(module)
+    if path is None or path == "-":
+        sys.stdout.write(text)
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    module = build_workload(args.functions, name="generated")
+    for func in module.defined_functions():
+        func.uniquify_names()
+    _save(module, args.output)
+    print(
+        f"generated {len(module.defined_functions())} functions, "
+        f"{module.num_instructions} instructions, "
+        f"{module_size(module)} modelled bytes",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from .frontend import compile_source
+    from .transforms.mem2reg import promote_module
+
+    with open(args.source, "r", encoding="utf-8") as handle:
+        module = compile_source(handle.read(), module_name=args.source)
+    if not args.no_mem2reg:
+        promote_module(module)
+    if args.optimize:
+        optimize_module(module, drop_dead_functions=False)
+    verify_module(module)
+    _save(module, args.output)
+    print(
+        f"compiled {len(module.defined_functions())} functions, "
+        f"{module.num_instructions} instructions",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    module = _load(args.module)
+    defined = module.defined_functions()
+    rows = [
+        ("functions (defined)", len(defined)),
+        ("functions (declared)", len(module) - len(defined)),
+        ("instructions", module.num_instructions),
+        ("basic blocks", sum(len(f.blocks) for f in defined)),
+        ("modelled size (bytes)", module_size(module)),
+    ]
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    module = _load(args.module)
+    if args.strategy == "identical":
+        report = merge_identical_functions(module)
+        print(
+            f"identical merging: {report.groups} groups, "
+            f"{report.functions_removed} functions removed, "
+            f"{report.call_sites_rewritten} call sites rewritten",
+            file=sys.stderr,
+        )
+    else:
+        ranker = make_ranker(args.strategy)
+        config = PassConfig(threshold=args.threshold, verify=not args.no_verify)
+        merge_report = FunctionMergingPass(ranker, config).run(module)
+        print(merge_report.summary(), file=sys.stderr)
+    if args.optimize:
+        optimize_module(module, drop_dead_functions=False)
+    verify_module(module)
+    _save(module, args.output)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    module = _load(args.module)
+    func = module.get_function(args.entry)
+    if func is None or func.is_declaration:
+        print(f"error: no defined function @{args.entry}", file=sys.stderr)
+        return 1
+    call_args: List[object] = []
+    for raw, param in zip(args.args, func.ftype.params):
+        call_args.append(float(raw) if param.is_float else int(raw))
+    if len(call_args) != len(func.args):
+        print(
+            f"error: @{args.entry} takes {len(func.args)} arguments",
+            file=sys.stderr,
+        )
+        return 1
+    result = Interpreter(fuel=args.fuel).run(func, call_args)
+    print(f"result: {result.value}")
+    print(f"instructions executed: {result.instructions_executed}", file=sys.stderr)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    rows = []
+    for strategy in ("hyfm", "f3m", "f3m-adaptive"):
+        module = build_workload(args.functions, name="compare")
+        ranker = make_ranker(strategy)
+        report = FunctionMergingPass(ranker, PassConfig(verify=False)).run(module)
+        rows.append(
+            (
+                strategy,
+                f"{report.size_reduction:.2%}",
+                report.merges,
+                f"{report.comparisons:,}",
+                f"{report.merge_time:.2f}s",
+            )
+        )
+    print(
+        format_table(
+            ["strategy", "size reduction", "merges", "comparisons", "pass time"],
+            rows,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="F3M function merging (CGO 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="generate a synthetic workload module")
+    p_gen.add_argument("-n", "--functions", type=int, default=200)
+    p_gen.add_argument("-o", "--output", default="-")
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_compile = sub.add_parser("compile", help="compile MiniC source to IR")
+    p_compile.add_argument("source")
+    p_compile.add_argument("-o", "--output", default="-")
+    p_compile.add_argument("--no-mem2reg", action="store_true")
+    p_compile.add_argument("--optimize", action="store_true")
+    p_compile.set_defaults(func=_cmd_compile)
+
+    p_stats = sub.add_parser("stats", help="print module statistics")
+    p_stats.add_argument("module")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_merge = sub.add_parser("merge", help="run function merging on a module")
+    p_merge.add_argument("module")
+    p_merge.add_argument(
+        "-s",
+        "--strategy",
+        choices=["hyfm", "f3m", "f3m-adaptive", "identical"],
+        default="f3m",
+    )
+    p_merge.add_argument("-t", "--threshold", type=float, default=0.0)
+    p_merge.add_argument("-o", "--output", default="-")
+    p_merge.add_argument("--optimize", action="store_true", help="run clean-up passes after merging")
+    p_merge.add_argument("--no-verify", action="store_true")
+    p_merge.set_defaults(func=_cmd_merge)
+
+    p_run = sub.add_parser("run", help="interpret a function in a module")
+    p_run.add_argument("module")
+    p_run.add_argument("--entry", default="driver")
+    p_run.add_argument("-a", "--args", nargs="*", default=[])
+    p_run.add_argument("--fuel", type=int, default=10_000_000)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="HyFM vs F3M on a generated workload")
+    p_cmp.add_argument("-n", "--functions", type=int, default=500)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""Function fingerprints: the HyFM opcode-frequency baseline and F3M MinHash."""
+
+from .encoding import EncodingOptions, encode_function, encode_instruction
+from .fnv import fnv1a_32, fnv1a_32_ints, fnv1a_32_pair, salts
+from .minhash import MinHashConfig, MinHashFingerprint, exact_jaccard, minhash_function
+from .opcode_freq import OpcodeFingerprint, fingerprint_block, fingerprint_function
+from .shingles import shingle_hashes, shingle_set, shingles
+
+__all__ = [
+    "EncodingOptions",
+    "encode_function",
+    "encode_instruction",
+    "fnv1a_32",
+    "fnv1a_32_ints",
+    "fnv1a_32_pair",
+    "salts",
+    "MinHashConfig",
+    "MinHashFingerprint",
+    "exact_jaccard",
+    "minhash_function",
+    "OpcodeFingerprint",
+    "fingerprint_block",
+    "fingerprint_function",
+    "shingles",
+    "shingle_hashes",
+    "shingle_set",
+]

@@ -1,0 +1,15 @@
+"""MiniC: a small C-like frontend targeting the repro IR."""
+
+from .codegen import CodegenError, compile_program, compile_source
+from .lexer import LexError, tokenize
+from .parser import ParseError, parse_program
+
+__all__ = [
+    "CodegenError",
+    "compile_program",
+    "compile_source",
+    "LexError",
+    "tokenize",
+    "ParseError",
+    "parse_program",
+]

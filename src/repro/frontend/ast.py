@@ -1,0 +1,226 @@
+"""Abstract syntax tree for MiniC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = [
+    "Node",
+    "Program",
+    "FunctionDecl",
+    "Param",
+    "Block",
+    "VarDecl",
+    "Assign",
+    "If",
+    "While",
+    "For",
+    "Return",
+    "ExprStmt",
+    "IntLiteral",
+    "FloatLiteral",
+    "BoolLiteral",
+    "VarRef",
+    "Unary",
+    "Binary",
+    "Call",
+]
+
+
+class Node:
+    """Base class for AST nodes (line numbers aid error messages)."""
+
+    __slots__ = ("line",)
+
+    def __init__(self, line: int = 0) -> None:
+        self.line = line
+
+
+class Expr(Node):
+    __slots__ = ()
+
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+class IntLiteral(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, line: int = 0) -> None:
+        super().__init__(line)
+        self.value = value
+
+
+class FloatLiteral(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, line: int = 0) -> None:
+        super().__init__(line)
+        self.value = value
+
+
+class BoolLiteral(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool, line: int = 0) -> None:
+        super().__init__(line)
+        self.value = value
+
+
+class VarRef(Expr):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, line: int = 0) -> None:
+        super().__init__(line)
+        self.name = name
+
+
+class Unary(Expr):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, line: int = 0) -> None:
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Expr):
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr, line: int = 0) -> None:
+        super().__init__(line)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class Call(Expr):
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: List[Expr], line: int = 0) -> None:
+        super().__init__(line)
+        self.name = name
+        self.args = args
+
+
+class Block(Stmt):
+    __slots__ = ("statements",)
+
+    def __init__(self, statements: List[Stmt], line: int = 0) -> None:
+        super().__init__(line)
+        self.statements = statements
+
+
+class VarDecl(Stmt):
+    __slots__ = ("type_name", "name", "init")
+
+    def __init__(self, type_name: str, name: str, init: Optional[Expr], line: int = 0) -> None:
+        super().__init__(line)
+        self.type_name = type_name
+        self.name = name
+        self.init = init
+
+
+class Assign(Stmt):
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: Expr, line: int = 0) -> None:
+        super().__init__(line)
+        self.name = name
+        self.value = value
+
+
+class If(Stmt):
+    __slots__ = ("condition", "then_block", "else_block")
+
+    def __init__(
+        self,
+        condition: Expr,
+        then_block: Block,
+        else_block: Optional[Block],
+        line: int = 0,
+    ) -> None:
+        super().__init__(line)
+        self.condition = condition
+        self.then_block = then_block
+        self.else_block = else_block
+
+
+class While(Stmt):
+    __slots__ = ("condition", "body")
+
+    def __init__(self, condition: Expr, body: Block, line: int = 0) -> None:
+        super().__init__(line)
+        self.condition = condition
+        self.body = body
+
+
+class For(Stmt):
+    __slots__ = ("init", "condition", "step", "body")
+
+    def __init__(
+        self,
+        init: Optional[Stmt],
+        condition: Optional[Expr],
+        step: Optional[Stmt],
+        body: Block,
+        line: int = 0,
+    ) -> None:
+        super().__init__(line)
+        self.init = init
+        self.condition = condition
+        self.step = step
+        self.body = body
+
+
+class Return(Stmt):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[Expr], line: int = 0) -> None:
+        super().__init__(line)
+        self.value = value
+
+
+class ExprStmt(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, line: int = 0) -> None:
+        super().__init__(line)
+        self.expr = expr
+
+
+class Param(Node):
+    __slots__ = ("type_name", "name")
+
+    def __init__(self, type_name: str, name: str, line: int = 0) -> None:
+        super().__init__(line)
+        self.type_name = type_name
+        self.name = name
+
+
+class FunctionDecl(Node):
+    __slots__ = ("return_type", "name", "params", "body")
+
+    def __init__(
+        self,
+        return_type: str,
+        name: str,
+        params: List[Param],
+        body: Block,
+        line: int = 0,
+    ) -> None:
+        super().__init__(line)
+        self.return_type = return_type
+        self.name = name
+        self.params = params
+        self.body = body
+
+
+class Program(Node):
+    __slots__ = ("functions",)
+
+    def __init__(self, functions: List[FunctionDecl], line: int = 0) -> None:
+        super().__init__(line)
+        self.functions = functions

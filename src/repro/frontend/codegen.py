@@ -1,0 +1,410 @@
+"""MiniC → repro-IR code generation.
+
+Classic C-frontend lowering: every local variable becomes an entry-block
+``alloca``; reads load, writes store.  The resulting IR is correct but
+memory-heavy — exactly what :mod:`repro.transforms.mem2reg` then promotes
+into SSA registers, the same division of labour as clang + LLVM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.cfg import remove_unreachable_blocks
+from ..ir.basicblock import BasicBlock
+from ..ir.builder import IRBuilder
+from ..ir.function import Function
+from ..ir.instructions import FCmpPred, ICmpPred, Opcode
+from ..ir.module import Module
+from ..ir.types import DOUBLE, FunctionType, I1, I32, I64, IntType, Type, VOID
+from ..ir.values import ConstantFloat, ConstantInt, Value
+from . import ast
+
+__all__ = ["CodegenError", "compile_program", "compile_source"]
+
+
+class CodegenError(Exception):
+    def __init__(self, message: str, line: int = 0) -> None:
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+_TYPE_MAP: Dict[str, Type] = {
+    "int": I32,
+    "long": I64,
+    "double": DOUBLE,
+    "bool": I1,
+    "void": VOID,
+}
+_RANK = {I1: 0, I32: 1, I64: 2, DOUBLE: 3}
+
+_INT_OPS = {
+    "+": Opcode.ADD,
+    "-": Opcode.SUB,
+    "*": Opcode.MUL,
+    "/": Opcode.SDIV,
+    "%": Opcode.SREM,
+    "&": Opcode.AND,
+    "|": Opcode.OR,
+    "^": Opcode.XOR,
+    "<<": Opcode.SHL,
+    ">>": Opcode.ASHR,
+}
+_FLOAT_OPS = {
+    "+": Opcode.FADD,
+    "-": Opcode.FSUB,
+    "*": Opcode.FMUL,
+    "/": Opcode.FDIV,
+}
+_ICMP = {
+    "==": ICmpPred.EQ,
+    "!=": ICmpPred.NE,
+    "<": ICmpPred.SLT,
+    "<=": ICmpPred.SLE,
+    ">": ICmpPred.SGT,
+    ">=": ICmpPred.SGE,
+}
+_FCMP = {
+    "==": FCmpPred.OEQ,
+    "!=": FCmpPred.UNE,
+    "<": FCmpPred.OLT,
+    "<=": FCmpPred.OLE,
+    ">": FCmpPred.OGT,
+    ">=": FCmpPred.OGE,
+}
+
+
+class _FunctionEmitter:
+    def __init__(self, module: Module, func: Function, decl: ast.FunctionDecl) -> None:
+        self.module = module
+        self.func = func
+        self.decl = decl
+        self.builder = IRBuilder()
+        self.entry = BasicBlock("entry", func)
+        self.builder.position_at_end(self.entry)
+        # Scope stack: name -> (alloca, declared type).
+        self.scopes: List[Dict[str, Tuple[Value, Type]]] = [{}]
+
+    # -- scope helpers ------------------------------------------------------------
+    def push_scope(self) -> None:
+        self.scopes.append({})
+
+    def pop_scope(self) -> None:
+        self.scopes.pop()
+
+    def declare(self, name: str, type_: Type, line: int) -> Value:
+        if name in self.scopes[-1]:
+            raise CodegenError(f"redeclaration of {name!r}", line)
+        slot = self.builder.alloca(type_, name=f"{name}.addr")
+        self.scopes[-1][name] = (slot, type_)
+        return slot
+
+    def lookup(self, name: str, line: int) -> Tuple[Value, Type]:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        raise CodegenError(f"use of undeclared variable {name!r}", line)
+
+    # -- conversions -----------------------------------------------------------------
+    def convert(self, value: Value, to_type: Type, line: int) -> Value:
+        from_type = value.type
+        if from_type is to_type:
+            return value
+        b = self.builder
+        if to_type is I1:
+            if from_type.is_int:
+                return b.icmp(ICmpPred.NE, value, ConstantInt(from_type, 0))
+            if from_type.is_float:
+                return b.fcmp(FCmpPred.UNE, value, ConstantFloat(DOUBLE, 0.0))
+        if from_type is I1 and isinstance(to_type, IntType):
+            return b.zext(value, to_type)
+        if from_type is I1 and to_type is DOUBLE:
+            return b.sitofp(b.zext(value, I32), DOUBLE)
+        if isinstance(from_type, IntType) and isinstance(to_type, IntType):
+            if from_type.bits < to_type.bits:
+                return b.sext(value, to_type)
+            return b.trunc(value, to_type)
+        if isinstance(from_type, IntType) and to_type is DOUBLE:
+            return b.sitofp(value, DOUBLE)
+        if from_type is DOUBLE and isinstance(to_type, IntType):
+            return b.fptosi(value, to_type)
+        raise CodegenError(f"cannot convert {from_type} to {to_type}", line)
+
+    def promote(self, lhs: Value, rhs: Value, line: int) -> Tuple[Value, Value]:
+        """Usual arithmetic conversions: widen both to the higher rank."""
+        lt = lhs.type if lhs.type is not I1 else I32
+        rt = rhs.type if rhs.type is not I1 else I32
+        target = lt if _RANK[lt] >= _RANK[rt] else rt
+        return self.convert(lhs, target, line), self.convert(rhs, target, line)
+
+    # -- expressions -----------------------------------------------------------------
+    def emit_expr(self, node: ast.Expr) -> Value:
+        if isinstance(node, ast.IntLiteral):
+            type_ = I32 if -(2**31) <= node.value < 2**31 else I64
+            return ConstantInt(type_, node.value)
+        if isinstance(node, ast.FloatLiteral):
+            return ConstantFloat(DOUBLE, node.value)
+        if isinstance(node, ast.BoolLiteral):
+            return ConstantInt(I1, int(node.value))
+        if isinstance(node, ast.VarRef):
+            slot, type_ = self.lookup(node.name, node.line)
+            return self.builder.load(slot, name=node.name)
+        if isinstance(node, ast.Unary):
+            return self._emit_unary(node)
+        if isinstance(node, ast.Binary):
+            return self._emit_binary(node)
+        if isinstance(node, ast.Call):
+            return self._emit_call(node)
+        raise CodegenError(f"unsupported expression {type(node).__name__}", node.line)
+
+    def _emit_unary(self, node: ast.Unary) -> Value:
+        operand = self.emit_expr(node.operand)
+        b = self.builder
+        if node.op == "-":
+            if operand.type.is_float:
+                return b.fsub(ConstantFloat(DOUBLE, 0.0), operand)
+            operand = self.convert(operand, I32, node.line) if operand.type is I1 else operand
+            return b.sub(ConstantInt(operand.type, 0), operand)  # type: ignore[arg-type]
+        if node.op == "!":
+            as_bool = self.convert(operand, I1, node.line)
+            return b.xor(as_bool, ConstantInt(I1, 1))
+        if node.op == "~":
+            if not operand.type.is_int or operand.type is I1:
+                raise CodegenError("~ requires an integer operand", node.line)
+            return b.xor(operand, ConstantInt(operand.type, -1))  # type: ignore[arg-type]
+        raise CodegenError(f"unknown unary operator {node.op!r}", node.line)
+
+    def _emit_binary(self, node: ast.Binary) -> Value:
+        if node.op in ("&&", "||"):
+            return self._emit_logical(node)
+        lhs = self.emit_expr(node.lhs)
+        rhs = self.emit_expr(node.rhs)
+        lhs, rhs = self.promote(lhs, rhs, node.line)
+        b = self.builder
+        if node.op in _ICMP:
+            if lhs.type.is_float:
+                return b.fcmp(_FCMP[node.op], lhs, rhs)
+            return b.icmp(_ICMP[node.op], lhs, rhs)
+        if lhs.type.is_float:
+            opcode = _FLOAT_OPS.get(node.op)
+            if opcode is None:
+                raise CodegenError(
+                    f"operator {node.op!r} not defined for double", node.line
+                )
+            return b.binop(opcode, lhs, rhs)
+        opcode = _INT_OPS.get(node.op)
+        if opcode is None:
+            raise CodegenError(f"unknown operator {node.op!r}", node.line)
+        return b.binop(opcode, lhs, rhs)
+
+    def _emit_logical(self, node: ast.Binary) -> Value:
+        """Short-circuit && / || via control flow and a phi."""
+        b = self.builder
+        func = self.func
+        lhs = self.convert(self.emit_expr(node.lhs), I1, node.line)
+        lhs_block = b.block
+        rhs_block = BasicBlock(func.next_name("sc.rhs"), func)
+        join_block = BasicBlock(func.next_name("sc.join"), func)
+        if node.op == "&&":
+            b.cond_br(lhs, rhs_block, join_block)
+            short_value = ConstantInt(I1, 0)
+        else:
+            b.cond_br(lhs, join_block, rhs_block)
+            short_value = ConstantInt(I1, 1)
+        b.position_at_end(rhs_block)
+        rhs = self.convert(self.emit_expr(node.rhs), I1, node.line)
+        rhs_exit = b.block
+        b.br(join_block)
+        b.position_at_end(join_block)
+        phi = b.phi(I1)
+        phi.add_incoming(short_value, lhs_block)
+        phi.add_incoming(rhs, rhs_exit)
+        return phi
+
+    def _emit_call(self, node: ast.Call) -> Value:
+        callee = self.module.get_function(node.name)
+        if callee is None:
+            raise CodegenError(f"call to unknown function {node.name!r}", node.line)
+        params = callee.ftype.params
+        if len(node.args) != len(params):
+            raise CodegenError(
+                f"{node.name} expects {len(params)} arguments, got {len(node.args)}",
+                node.line,
+            )
+        args = [
+            self.convert(self.emit_expr(arg), param, node.line)
+            for arg, param in zip(node.args, params)
+        ]
+        return self.builder.call(callee, args)
+
+    # -- statements ------------------------------------------------------------------
+    def _terminated(self) -> bool:
+        return self.builder.block.is_terminated
+
+    def _fresh_block_if_terminated(self) -> None:
+        if self._terminated():
+            # Statements after return/… are unreachable; emit them into a
+            # detached-from-control-flow block that a later cleanup drops.
+            dead = BasicBlock(self.func.next_name("dead"), self.func)
+            self.builder.position_at_end(dead)
+
+    def emit_stmt(self, node: ast.Stmt) -> None:
+        self._fresh_block_if_terminated()
+        if isinstance(node, ast.Block):
+            self.push_scope()
+            for stmt in node.statements:
+                self.emit_stmt(stmt)
+            self.pop_scope()
+        elif isinstance(node, ast.VarDecl):
+            type_ = _TYPE_MAP[node.type_name]
+            slot = self.declare(node.name, type_, node.line)
+            init = (
+                self.convert(self.emit_expr(node.init), type_, node.line)
+                if node.init is not None
+                else self._zero(type_)
+            )
+            self.builder.store(init, slot)
+        elif isinstance(node, ast.Assign):
+            slot, type_ = self.lookup(node.name, node.line)
+            value = self.convert(self.emit_expr(node.value), type_, node.line)
+            self.builder.store(value, slot)
+        elif isinstance(node, ast.Return):
+            ret_type = self.func.return_type
+            if ret_type.is_void:
+                if node.value is not None:
+                    raise CodegenError("void function returning a value", node.line)
+                self.builder.ret()
+            else:
+                if node.value is None:
+                    raise CodegenError("non-void function must return a value", node.line)
+                self.builder.ret(
+                    self.convert(self.emit_expr(node.value), ret_type, node.line)
+                )
+        elif isinstance(node, ast.If):
+            self._emit_if(node)
+        elif isinstance(node, ast.While):
+            self._emit_while(node)
+        elif isinstance(node, ast.For):
+            self._emit_for(node)
+        elif isinstance(node, ast.ExprStmt):
+            self.emit_expr(node.expr)
+        else:
+            raise CodegenError(f"unsupported statement {type(node).__name__}", node.line)
+
+    def _zero(self, type_: Type) -> Value:
+        if type_.is_float:
+            return ConstantFloat(DOUBLE, 0.0)
+        return ConstantInt(type_, 0)  # type: ignore[arg-type]
+
+    def _emit_if(self, node: ast.If) -> None:
+        b = self.builder
+        func = self.func
+        condition = self.convert(self.emit_expr(node.condition), I1, node.line)
+        then_block = BasicBlock(func.next_name("if.then"), func)
+        else_block = (
+            BasicBlock(func.next_name("if.else"), func)
+            if node.else_block is not None
+            else None
+        )
+        join = BasicBlock(func.next_name("if.end"), func)
+        # NB: an empty BasicBlock is falsy (len == 0), so `or` is wrong here.
+        b.cond_br(condition, then_block, join if else_block is None else else_block)
+
+        b.position_at_end(then_block)
+        self.emit_stmt(node.then_block)
+        if not self._terminated():
+            b.br(join)
+
+        if else_block is not None:
+            b.position_at_end(else_block)
+            self.emit_stmt(node.else_block)  # type: ignore[arg-type]
+            if not self._terminated():
+                b.br(join)
+
+        b.position_at_end(join)
+
+    def _emit_while(self, node: ast.While) -> None:
+        b = self.builder
+        func = self.func
+        header = BasicBlock(func.next_name("while.cond"), func)
+        body = BasicBlock(func.next_name("while.body"), func)
+        exit_block = BasicBlock(func.next_name("while.end"), func)
+        b.br(header)
+        b.position_at_end(header)
+        condition = self.convert(self.emit_expr(node.condition), I1, node.line)
+        b.cond_br(condition, body, exit_block)
+        b.position_at_end(body)
+        self.emit_stmt(node.body)
+        if not self._terminated():
+            b.br(header)
+        b.position_at_end(exit_block)
+
+    def _emit_for(self, node: ast.For) -> None:
+        b = self.builder
+        func = self.func
+        self.push_scope()  # for-init variables scope to the loop
+        if node.init is not None:
+            self.emit_stmt(node.init)
+        header = BasicBlock(func.next_name("for.cond"), func)
+        body = BasicBlock(func.next_name("for.body"), func)
+        exit_block = BasicBlock(func.next_name("for.end"), func)
+        b.br(header)
+        b.position_at_end(header)
+        if node.condition is not None:
+            condition = self.convert(self.emit_expr(node.condition), I1, node.line)
+            b.cond_br(condition, body, exit_block)
+        else:
+            b.br(body)
+        b.position_at_end(body)
+        self.emit_stmt(node.body)
+        if not self._terminated():
+            if node.step is not None:
+                self.emit_stmt(node.step)
+            b.br(header)
+        b.position_at_end(exit_block)
+        self.pop_scope()
+
+    # -- whole function ----------------------------------------------------------------
+    def emit(self) -> None:
+        for arg, param in zip(self.func.args, self.decl.params):
+            arg.name = param.name
+            slot = self.declare(param.name, arg.type, param.line)
+            self.builder.store(arg, slot)
+        for stmt in self.decl.body.statements:
+            self.emit_stmt(stmt)
+        if not self._terminated():
+            if self.func.return_type.is_void:
+                self.builder.ret()
+            else:
+                # C leaves this undefined; we define it as zero.
+                self.builder.ret(self._zero(self.func.return_type))
+        remove_unreachable_blocks(self.func)
+
+
+def compile_program(program: ast.Program, module_name: str = "minic") -> Module:
+    """Lower a parsed MiniC program to an IR module."""
+    module = Module(module_name)
+    decls: List[Tuple[Function, ast.FunctionDecl]] = []
+    for decl in program.functions:
+        if decl.name in module:
+            raise CodegenError(f"redefinition of function {decl.name!r}", decl.line)
+        ftype = FunctionType(
+            _TYPE_MAP[decl.return_type],
+            [_TYPE_MAP[p.type_name] for p in decl.params],
+        )
+        func = Function(ftype, decl.name, parent=module)
+        decls.append((func, decl))
+    for func, decl in decls:
+        _FunctionEmitter(module, func, decl).emit()
+        func.uniquify_names()
+    return module
+
+
+def compile_source(source: str, module_name: str = "minic") -> Module:
+    """Compile MiniC source text to a verified IR module."""
+    from ..ir.verifier import verify_module
+    from .parser import parse_program
+
+    module = compile_program(parse_program(source), module_name)
+    verify_module(module)
+    return module

@@ -1,0 +1,76 @@
+"""Tokenizer for MiniC, the demo source language.
+
+MiniC is a small C subset — enough to write realistic functions that
+compile to the repro IR and feed the merging pipeline: ``int``/``long``/
+``double``/``bool``/``void`` types, arithmetic and logical expressions,
+``if``/``else``, ``while``, ``for``, calls and recursion.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+__all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "int",
+    "long",
+    "double",
+    "bool",
+    "void",
+    "if",
+    "else",
+    "while",
+    "for",
+    "return",
+    "true",
+    "false",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<float>\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?)
+  | (?P<int>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>&&|\|\||==|!=|<=|>=|<<|>>|[-+*/%<>=!&|^~(),;{}])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+class LexError(Exception):
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'int' | 'float' | 'ident' | 'keyword' | 'op' | 'eof'
+    text: str
+    line: int
+
+
+def tokenize(source: str) -> List[Token]:
+    """Turn MiniC source text into a token list ending with an EOF token."""
+    tokens: List[Token] = []
+    line = 1
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise LexError(f"unexpected character {source[pos]!r}", line)
+        kind = match.lastgroup or ""
+        text = match.group(0)
+        if kind == "ident" and text in KEYWORDS:
+            kind = "keyword"
+        if kind not in ("ws", "comment"):
+            tokens.append(Token(kind, text, line))
+        line += text.count("\n")
+        pos = match.end()
+    tokens.append(Token("eof", "", line))
+    return tokens

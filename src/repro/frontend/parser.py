@@ -1,0 +1,238 @@
+"""Recursive-descent parser for MiniC."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .ast import (
+    Assign,
+    Binary,
+    Block,
+    BoolLiteral,
+    Call,
+    Expr,
+    ExprStmt,
+    FloatLiteral,
+    For,
+    FunctionDecl,
+    If,
+    IntLiteral,
+    Param,
+    Program,
+    Return,
+    Stmt,
+    Unary,
+    VarDecl,
+    VarRef,
+    While,
+)
+from .lexer import Token, tokenize
+
+__all__ = ["ParseError", "parse_program"]
+
+_TYPES = {"int", "long", "double", "bool", "void"}
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ----------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def accept(self, text: str) -> bool:
+        if self.peek().text == text and self.peek().kind != "eof":
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        token = self.peek()
+        if token.text != text:
+            raise ParseError(f"expected {text!r}, got {token.text!r}", token.line)
+        return self.next()
+
+    def expect_ident(self) -> Token:
+        token = self.peek()
+        if token.kind != "ident":
+            raise ParseError(f"expected identifier, got {token.text!r}", token.line)
+        return self.next()
+
+    def expect_type(self) -> Token:
+        token = self.peek()
+        if token.kind != "keyword" or token.text not in _TYPES:
+            raise ParseError(f"expected a type, got {token.text!r}", token.line)
+        return self.next()
+
+    # -- grammar -----------------------------------------------------------------
+    def program(self) -> Program:
+        functions = []
+        while self.peek().kind != "eof":
+            functions.append(self.function())
+        return Program(functions)
+
+    def function(self) -> FunctionDecl:
+        ret = self.expect_type()
+        name = self.expect_ident()
+        self.expect("(")
+        params: List[Param] = []
+        if not self.accept(")"):
+            while True:
+                ptype = self.expect_type()
+                if ptype.text == "void":
+                    raise ParseError("parameters cannot be void", ptype.line)
+                pname = self.expect_ident()
+                params.append(Param(ptype.text, pname.text, pname.line))
+                if not self.accept(","):
+                    break
+            self.expect(")")
+        body = self.block()
+        return FunctionDecl(ret.text, name.text, params, body, ret.line)
+
+    def block(self) -> Block:
+        start = self.expect("{")
+        statements: List[Stmt] = []
+        while not self.accept("}"):
+            if self.peek().kind == "eof":
+                raise ParseError("unterminated block", start.line)
+            statements.append(self.statement())
+        return Block(statements, start.line)
+
+    def statement(self) -> Stmt:
+        token = self.peek()
+        if token.text == "{":
+            return self.block()
+        if token.text == "return":
+            self.next()
+            value: Optional[Expr] = None
+            if self.peek().text != ";":
+                value = self.expression()
+            self.expect(";")
+            return Return(value, token.line)
+        if token.text == "if":
+            self.next()
+            self.expect("(")
+            condition = self.expression()
+            self.expect(")")
+            then_block = self.block()
+            else_block = self.block() if self.accept("else") else None
+            return If(condition, then_block, else_block, token.line)
+        if token.text == "while":
+            self.next()
+            self.expect("(")
+            condition = self.expression()
+            self.expect(")")
+            return While(condition, self.block(), token.line)
+        if token.text == "for":
+            self.next()
+            self.expect("(")
+            init = None if self.peek().text == ";" else self.simple_statement()
+            self.expect(";")
+            condition = None if self.peek().text == ";" else self.expression()
+            self.expect(";")
+            step = None if self.peek().text == ")" else self.simple_statement()
+            self.expect(")")
+            return For(init, condition, step, self.block(), token.line)
+        stmt = self.simple_statement()
+        self.expect(";")
+        return stmt
+
+    def simple_statement(self) -> Stmt:
+        """Declaration, assignment or expression (no trailing semicolon)."""
+        token = self.peek()
+        if token.kind == "keyword" and token.text in _TYPES:
+            type_tok = self.next()
+            if type_tok.text == "void":
+                raise ParseError("variables cannot be void", type_tok.line)
+            name = self.expect_ident()
+            init = self.expression() if self.accept("=") else None
+            return VarDecl(type_tok.text, name.text, init, type_tok.line)
+        if token.kind == "ident" and self.peek(1).text == "=":
+            name = self.next()
+            self.expect("=")
+            return Assign(name.text, self.expression(), name.line)
+        return ExprStmt(self.expression(), token.line)
+
+    # -- expressions (precedence climbing) ------------------------------------------
+    def expression(self, min_precedence: int = 1) -> Expr:
+        lhs = self.unary()
+        while True:
+            op = self.peek().text
+            precedence = _PRECEDENCE.get(op)
+            if precedence is None or precedence < min_precedence:
+                return lhs
+            op_tok = self.next()
+            rhs = self.expression(precedence + 1)
+            lhs = Binary(op, lhs, rhs, op_tok.line)
+
+    def unary(self) -> Expr:
+        token = self.peek()
+        if token.text in ("-", "!", "~"):
+            self.next()
+            return Unary(token.text, self.unary(), token.line)
+        return self.primary()
+
+    def primary(self) -> Expr:
+        token = self.next()
+        if token.kind == "int":
+            return IntLiteral(int(token.text), token.line)
+        if token.kind == "float":
+            return FloatLiteral(float(token.text), token.line)
+        if token.text in ("true", "false"):
+            return BoolLiteral(token.text == "true", token.line)
+        if token.text == "(":
+            expr = self.expression()
+            self.expect(")")
+            return expr
+        if token.kind == "ident":
+            if self.peek().text == "(":
+                self.next()
+                args: List[Expr] = []
+                if not self.accept(")"):
+                    args.append(self.expression())
+                    while self.accept(","):
+                        args.append(self.expression())
+                    self.expect(")")
+                return Call(token.text, args, token.line)
+            return VarRef(token.text, token.line)
+        raise ParseError(f"unexpected token {token.text!r}", token.line)
+
+
+def parse_program(source: str) -> Program:
+    """Parse MiniC *source* into an AST."""
+    return _Parser(tokenize(source)).program()

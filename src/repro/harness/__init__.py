@@ -1,0 +1,28 @@
+"""Experiment harness: drivers and helpers for the paper's tables/figures."""
+
+from .experiments import (
+    CompileTimeModel,
+    CorrelationResult,
+    correlation_experiment,
+    make_ranker,
+    run_merging,
+    runtime_impact_experiment,
+    selected_pairs_experiment,
+)
+from .stats import binned_sums, histogram2d, mean_ci95, pearson
+from .table import format_table
+
+__all__ = [
+    "CompileTimeModel",
+    "CorrelationResult",
+    "correlation_experiment",
+    "make_ranker",
+    "run_merging",
+    "runtime_impact_experiment",
+    "selected_pairs_experiment",
+    "binned_sums",
+    "histogram2d",
+    "mean_ci95",
+    "pearson",
+    "format_table",
+]

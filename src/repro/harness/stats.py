@@ -1,0 +1,66 @@
+"""Statistics helpers for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["pearson", "histogram2d", "binned_sums", "mean_ci95"]
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient (0.0 for degenerate inputs)."""
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.size < 2 or float(x.std()) == 0.0 or float(y.std()) == 0.0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def histogram2d(
+    xs: Sequence[float], ys: Sequence[float], cell: float = 0.01
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Discretize the [0,1]² space into ``cell``-sized squares (Figs. 4/10).
+
+    Returns (counts, x_edges, y_edges).
+    """
+    bins = int(round(1.0 / cell))
+    counts, xe, ye = np.histogram2d(
+        np.asarray(xs, dtype=float),
+        np.asarray(ys, dtype=float),
+        bins=bins,
+        range=[[0.0, 1.0], [0.0, 1.0]],
+    )
+    return counts, xe, ye
+
+
+def binned_sums(
+    keys: Sequence[float],
+    values: Sequence[float],
+    bins: int = 10,
+    lo: float = 0.0,
+    hi: float = 1.0,
+) -> List[Tuple[float, float]]:
+    """Sum *values* grouped by which bin their key falls in (Figs. 6/9).
+
+    Returns ``[(bin_left_edge, sum), ...]`` for all bins.
+    """
+    edges = np.linspace(lo, hi, bins + 1)
+    sums = np.zeros(bins)
+    for key, value in zip(keys, values):
+        idx = min(int((key - lo) / (hi - lo) * bins), bins - 1)
+        idx = max(idx, 0)
+        sums[idx] += value
+    return list(zip(edges[:-1].tolist(), sums.tolist()))
+
+
+def mean_ci95(samples: Sequence[float]) -> Tuple[float, float]:
+    """Mean and 95% confidence half-interval (normal approximation)."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        return 0.0, 0.0
+    if arr.size == 1:
+        return float(arr[0]), 0.0
+    half = 1.96 * float(arr.std(ddof=1)) / (arr.size**0.5)
+    return float(arr.mean()), half

@@ -1,0 +1,210 @@
+"""A convenience builder for constructing IR, in the style of ``IRBuilder``."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .basicblock import BasicBlock
+from .function import Function
+from .instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    FCmp,
+    FCmpPred,
+    GetElementPtr,
+    ICmp,
+    ICmpPred,
+    Instruction,
+    Invoke,
+    Load,
+    Opcode,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Switch,
+    Unreachable,
+)
+from .types import FloatType, IntType, PointerType, Type
+from .values import ConstantFloat, ConstantInt, ConstantNull, UndefValue, Value
+
+__all__ = ["IRBuilder"]
+
+
+class IRBuilder:
+    """Appends instructions to an insertion block, auto-naming results."""
+
+    def __init__(self, block: Optional[BasicBlock] = None) -> None:
+        self.block = block
+
+    # -- positioning -------------------------------------------------------------
+    def position_at_end(self, block: BasicBlock) -> "IRBuilder":
+        self.block = block
+        return self
+
+    @property
+    def function(self) -> Function:
+        if self.block is None or self.block.parent is None:
+            raise ValueError("builder is not positioned inside a function")
+        return self.block.parent
+
+    def _emit(self, inst: Instruction, name: str) -> Instruction:
+        if self.block is None:
+            raise ValueError("builder has no insertion block")
+        if not inst.type.is_void:
+            inst.name = name or self.function.next_name()
+        self.block.append(inst)
+        return inst
+
+    # -- constants ---------------------------------------------------------------
+    @staticmethod
+    def const_int(type_: IntType, value: int) -> ConstantInt:
+        return ConstantInt(type_, value)
+
+    @staticmethod
+    def const_float(type_: FloatType, value: float) -> ConstantFloat:
+        return ConstantFloat(type_, value)
+
+    @staticmethod
+    def null(type_: PointerType) -> ConstantNull:
+        return ConstantNull(type_)
+
+    @staticmethod
+    def undef(type_: Type) -> UndefValue:
+        return UndefValue(type_)
+
+    # -- binary ops ----------------------------------------------------------------
+    def binop(self, opcode: Opcode, lhs: Value, rhs: Value, name: str = "") -> Instruction:
+        return self._emit(BinaryOp(opcode, lhs, rhs), name)
+
+    def add(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.ADD, a, b, name)
+
+    def sub(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.SUB, a, b, name)
+
+    def mul(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.MUL, a, b, name)
+
+    def sdiv(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.SDIV, a, b, name)
+
+    def udiv(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.UDIV, a, b, name)
+
+    def srem(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.SREM, a, b, name)
+
+    def urem(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.UREM, a, b, name)
+
+    def and_(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.AND, a, b, name)
+
+    def or_(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.OR, a, b, name)
+
+    def xor(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.XOR, a, b, name)
+
+    def shl(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.SHL, a, b, name)
+
+    def lshr(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.LSHR, a, b, name)
+
+    def ashr(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.ASHR, a, b, name)
+
+    def fadd(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.FADD, a, b, name)
+
+    def fsub(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.FSUB, a, b, name)
+
+    def fmul(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.FMUL, a, b, name)
+
+    def fdiv(self, a: Value, b: Value, name: str = "") -> Instruction:
+        return self.binop(Opcode.FDIV, a, b, name)
+
+    # -- comparisons / select --------------------------------------------------------
+    def icmp(self, pred: ICmpPred, a: Value, b: Value, name: str = "") -> Instruction:
+        return self._emit(ICmp(pred, a, b), name)
+
+    def fcmp(self, pred: FCmpPred, a: Value, b: Value, name: str = "") -> Instruction:
+        return self._emit(FCmp(pred, a, b), name)
+
+    def select(self, cond: Value, if_true: Value, if_false: Value, name: str = "") -> Instruction:
+        return self._emit(Select(cond, if_true, if_false), name)
+
+    # -- memory ------------------------------------------------------------------
+    def alloca(self, type_: Type, name: str = "") -> Instruction:
+        return self._emit(Alloca(type_), name)
+
+    def load(self, pointer: Value, name: str = "") -> Instruction:
+        return self._emit(Load(pointer), name)
+
+    def store(self, value: Value, pointer: Value) -> Instruction:
+        return self._emit(Store(value, pointer), "")
+
+    def gep(self, pointer: Value, indices: Sequence[Value], name: str = "") -> Instruction:
+        return self._emit(GetElementPtr(pointer, indices), name)
+
+    # -- casts --------------------------------------------------------------------
+    def cast(self, opcode: Opcode, value: Value, dest: Type, name: str = "") -> Instruction:
+        return self._emit(Cast(opcode, value, dest), name)
+
+    def trunc(self, value: Value, dest: Type, name: str = "") -> Instruction:
+        return self.cast(Opcode.TRUNC, value, dest, name)
+
+    def zext(self, value: Value, dest: Type, name: str = "") -> Instruction:
+        return self.cast(Opcode.ZEXT, value, dest, name)
+
+    def sext(self, value: Value, dest: Type, name: str = "") -> Instruction:
+        return self.cast(Opcode.SEXT, value, dest, name)
+
+    def bitcast(self, value: Value, dest: Type, name: str = "") -> Instruction:
+        return self.cast(Opcode.BITCAST, value, dest, name)
+
+    def sitofp(self, value: Value, dest: Type, name: str = "") -> Instruction:
+        return self.cast(Opcode.SITOFP, value, dest, name)
+
+    def fptosi(self, value: Value, dest: Type, name: str = "") -> Instruction:
+        return self.cast(Opcode.FPTOSI, value, dest, name)
+
+    # -- calls --------------------------------------------------------------------
+    def call(self, callee: Value, args: Sequence[Value], name: str = "") -> Instruction:
+        return self._emit(Call(callee, args), name)
+
+    def invoke(
+        self,
+        callee: Value,
+        args: Sequence[Value],
+        normal_dest: BasicBlock,
+        unwind_dest: BasicBlock,
+        name: str = "",
+    ) -> Instruction:
+        return self._emit(Invoke(callee, args, normal_dest, unwind_dest), name)
+
+    # -- phi / control flow --------------------------------------------------------
+    def phi(self, type_: Type, name: str = "") -> Phi:
+        return self._emit(Phi(type_), name)  # type: ignore[return-value]
+
+    def br(self, target: BasicBlock) -> Instruction:
+        return self._emit(Branch(target), "")
+
+    def cond_br(self, cond: Value, if_true: BasicBlock, if_false: BasicBlock) -> Instruction:
+        return self._emit(Branch(cond, if_true, if_false), "")
+
+    def switch(self, value: Value, default: BasicBlock) -> Switch:
+        return self._emit(Switch(value, default), "")  # type: ignore[return-value]
+
+    def ret(self, value: Optional[Value] = None) -> Instruction:
+        return self._emit(Ret(value), "")
+
+    def unreachable(self) -> Instruction:
+        return self._emit(Unreachable(), "")

@@ -1,0 +1,512 @@
+"""A reference interpreter for the repro IR.
+
+Two jobs:
+
+* **Differential testing** of the merged-code generator: run the original
+  function and the merged function on the same inputs and compare results.
+  This is how we reproduce the miscompilations behind the HyFM bug fixes of
+  F3M Section III-E (``legacy_bugs=True`` makes them observable again).
+* **Runtime-impact measurement** (paper Figure 17): merged functions execute
+  extra guard branches and ``select`` instructions; the interpreter's dynamic
+  instruction count is our architecture-neutral stand-in for SPEC runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .basicblock import BasicBlock
+from .function import Function
+from .instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    FCmp,
+    FCmpPred,
+    GetElementPtr,
+    ICmp,
+    ICmpPred,
+    Instruction,
+    Invoke,
+    Load,
+    Opcode,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Switch,
+    Unreachable,
+)
+from .types import ArrayType, FloatType, IntType, PointerType, StructType, Type
+from .values import (
+    Argument,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    UndefValue,
+    Value,
+)
+
+__all__ = ["Interpreter", "InterpError", "Trap", "ExecutionResult"]
+
+
+class InterpError(Exception):
+    """Interpreter misuse or unsupported construct."""
+
+
+class Trap(InterpError):
+    """Runtime trap: division by zero, unreachable, null deref, out of fuel."""
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one top-level function execution."""
+
+    value: object
+    instructions_executed: int
+    blocks_executed: int = 0
+
+
+def type_size(type_: Type) -> int:
+    """Byte size used by the flat memory model (no padding)."""
+    if isinstance(type_, IntType):
+        return max(1, (type_.bits + 7) // 8)
+    if isinstance(type_, FloatType):
+        return type_.bits // 8
+    if isinstance(type_, PointerType):
+        return 8
+    if isinstance(type_, ArrayType):
+        return type_.count * type_size(type_.element)
+    if isinstance(type_, StructType):
+        return sum(type_size(f) for f in type_.fields)
+    raise InterpError(f"type {type_} has no size")
+
+
+def _struct_offset(struct: StructType, index: int) -> int:
+    return sum(type_size(f) for f in struct.fields[:index])
+
+
+@dataclass
+class _Frame:
+    function: Function
+    values: Dict[int, object] = field(default_factory=dict)
+
+    def get(self, value: Value) -> object:
+        return self.values[id(value)]
+
+    def set(self, value: Value, result: object) -> None:
+        self.values[id(value)] = result
+
+
+class Interpreter:
+    """Executes IR functions over a flat byte-granular memory.
+
+    Pointers are plain integers; function "pointers" are the
+    :class:`Function` objects themselves (taking their integer address is
+    unsupported, which our workloads never do).
+    """
+
+    def __init__(
+        self,
+        externals: Optional[Dict[str, Callable[..., object]]] = None,
+        fuel: int = 10_000_000,
+        max_call_depth: int = 256,
+    ) -> None:
+        self.externals = dict(externals or {})
+        self.fuel = fuel
+        self.max_call_depth = max_call_depth
+        self.memory: Dict[int, object] = {}
+        # Per-function dynamic call counts (profile data for PGO-style
+        # merging policies; see repro.merge.pgo).
+        self.call_counts: Dict[str, int] = {}
+        self._brk = 0x1000  # leave low addresses unmapped so null derefs trap
+        self._executed = 0
+        self._blocks = 0
+        self._depth = 0
+
+    # -- public API ----------------------------------------------------------------
+    def run(self, func: Function, args: Sequence[object]) -> ExecutionResult:
+        """Execute *func* with Python-level *args*; returns the result."""
+        self._executed = 0
+        self._blocks = 0
+        value = self._call(func, list(args))
+        return ExecutionResult(value, self._executed, self._blocks)
+
+    def alloc(self, size: int) -> int:
+        """Allocate *size* zeroed bytes; returns the base address."""
+        base = self._brk
+        self._brk += max(1, size) + 16  # red zone between allocations
+        for off in range(size):
+            self.memory[base + off] = 0
+        return base
+
+    def store_bytes(self, addr: int, data: bytes) -> None:
+        for i, byte in enumerate(data):
+            self.memory[addr + i] = byte
+
+    # -- evaluation ------------------------------------------------------------------
+    def _const(self, value: Value) -> object:
+        if isinstance(value, ConstantInt):
+            return value.value
+        if isinstance(value, ConstantFloat):
+            return value.value
+        if isinstance(value, ConstantNull):
+            return 0
+        if isinstance(value, UndefValue):
+            if value.type.is_float:
+                return 0.0
+            return 0
+        if isinstance(value, Function):
+            return value
+        raise InterpError(f"cannot evaluate {value!r} as a constant")
+
+    def _eval(self, frame: _Frame, value: Value) -> object:
+        if isinstance(value, (Instruction, Argument)):
+            try:
+                return frame.get(value)
+            except KeyError:
+                raise InterpError(
+                    f"read of unassigned value %{value.name} in {frame.function.name}"
+                ) from None
+        return self._const(value)
+
+    def _call(self, func: Function, args: List[object]) -> object:
+        if func.is_declaration:
+            ext = self.externals.get(func.name)
+            if ext is None:
+                raise InterpError(f"call to unresolved external @{func.name}")
+            return ext(*args)
+        if self._depth >= self.max_call_depth:
+            raise Trap(f"call depth exceeded at @{func.name}")
+        if len(args) != len(func.args):
+            raise InterpError(
+                f"@{func.name} expects {len(func.args)} args, got {len(args)}"
+            )
+        self.call_counts[func.name] = self.call_counts.get(func.name, 0) + 1
+        self._depth += 1
+        try:
+            frame = _Frame(func)
+            for formal, actual in zip(func.args, args):
+                frame.set(formal, actual)
+            return self._run_body(frame)
+        finally:
+            self._depth -= 1
+
+    def _run_body(self, frame: _Frame) -> object:
+        block = frame.function.entry
+        prev: Optional[BasicBlock] = None
+        while True:
+            self._blocks += 1
+            # Phi nodes evaluate simultaneously against the incoming edge.
+            phis = block.phis()
+            if phis:
+                if prev is None:
+                    raise Trap("phi in entry block")
+                staged: List[Tuple[Phi, object]] = []
+                for phi in phis:
+                    incoming = phi.incoming_for(prev)
+                    if incoming is None:
+                        raise Trap(
+                            f"phi %{phi.name} has no incoming for %{prev.name}"
+                        )
+                    staged.append((phi, self._eval(frame, incoming)))
+                for phi, val in staged:
+                    frame.set(phi, val)
+                self._executed += len(phis)
+
+            for inst in block.instructions[len(phis):]:
+                self._executed += 1
+                if self._executed > self.fuel:
+                    raise Trap("out of fuel")
+                outcome = self._exec(frame, inst)
+                if outcome is not None:
+                    kind, payload = outcome
+                    if kind == "ret":
+                        return payload
+                    prev, block = block, payload  # branch taken
+                    break
+            else:
+                raise Trap(f"block %{block.name} fell through without terminator")
+
+    # -- instruction dispatch -----------------------------------------------------
+    def _exec(self, frame: _Frame, inst: Instruction):  # noqa: C901 - dispatcher
+        if isinstance(inst, BinaryOp):
+            frame.set(inst, self._binop(inst, frame))
+            return None
+        if isinstance(inst, ICmp):
+            frame.set(inst, self._icmp(inst, frame))
+            return None
+        if isinstance(inst, FCmp):
+            frame.set(inst, self._fcmp(inst, frame))
+            return None
+        if isinstance(inst, Select):
+            cond = self._eval(frame, inst.condition)
+            picked = inst.true_value if cond else inst.false_value
+            frame.set(inst, self._eval(frame, picked))
+            return None
+        if isinstance(inst, Cast):
+            frame.set(inst, self._cast(inst, frame))
+            return None
+        if isinstance(inst, Alloca):
+            frame.set(inst, self.alloc(type_size(inst.allocated_type)))
+            return None
+        if isinstance(inst, Load):
+            frame.set(inst, self._load(self._addr(frame, inst.pointer), inst.type))
+            return None
+        if isinstance(inst, Store):
+            self._store(
+                self._addr(frame, inst.pointer),
+                self._eval(frame, inst.value),
+                inst.value.type,
+            )
+            return None
+        if isinstance(inst, GetElementPtr):
+            frame.set(inst, self._gep(frame, inst))
+            return None
+        if isinstance(inst, Call):
+            callee = self._eval(frame, inst.callee)
+            if not isinstance(callee, Function):
+                raise Trap("indirect call through a non-function value")
+            result = self._call(callee, [self._eval(frame, a) for a in inst.args])
+            if not inst.type.is_void:
+                frame.set(inst, result)
+            return None
+        if isinstance(inst, Invoke):
+            callee = self._eval(frame, inst.callee)
+            if not isinstance(callee, Function):
+                raise Trap("indirect invoke through a non-function value")
+            # No unwinding in our workloads: always take the normal edge.
+            result = self._call(callee, [self._eval(frame, a) for a in inst.args])
+            if not inst.type.is_void:
+                frame.set(inst, result)
+            return ("br", inst.normal_dest)
+        if isinstance(inst, Branch):
+            if inst.is_conditional:
+                cond = self._eval(frame, inst.condition)
+                true_bb, false_bb = inst.successors()
+                return ("br", true_bb if cond else false_bb)
+            return ("br", inst.successors()[0])
+        if isinstance(inst, Switch):
+            scrutinee = self._eval(frame, inst.value)
+            for const, target in inst.cases:
+                if const.value == scrutinee:
+                    return ("br", target)
+            return ("br", inst.default)
+        if isinstance(inst, Ret):
+            return ("ret", None if inst.value is None else self._eval(frame, inst.value))
+        if isinstance(inst, Unreachable):
+            raise Trap("executed unreachable")
+        raise InterpError(f"no interpreter rule for {inst.opcode!r}")  # pragma: no cover
+
+    # -- helpers --------------------------------------------------------------------
+    def _addr(self, frame: _Frame, pointer: Value) -> int:
+        addr = self._eval(frame, pointer)
+        if not isinstance(addr, int):
+            raise Trap("pointer operand is not an address")
+        if addr == 0:
+            raise Trap("null pointer dereference")
+        return addr
+
+    def _load(self, addr: int, type_: Type) -> object:
+        cell = self.memory.get(addr)
+        if cell is None:
+            raise Trap(f"load from unmapped address {addr:#x}")
+        if isinstance(cell, tuple) and cell[0] == "typed":
+            return cell[1]
+        # Raw zeroed memory: default value of the type.
+        if type_.is_float:
+            return 0.0
+        return cell if isinstance(cell, (int, Function)) else 0
+
+    def _store(self, addr: int, value: object, type_: Type) -> None:
+        if addr not in self.memory:
+            raise Trap(f"store to unmapped address {addr:#x}")
+        # Whole values are stored in the first byte-cell; our own codegen
+        # always loads with the matching type, so this is sound here.
+        self.memory[addr] = ("typed", value)
+
+    def _binop(self, inst: BinaryOp, frame: _Frame) -> object:
+        a = self._eval(frame, inst.lhs)
+        b = self._eval(frame, inst.rhs)
+        op = inst.opcode
+        if op in (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV, Opcode.FREM):
+            fa, fb = float(a), float(b)
+            if op == Opcode.FADD:
+                return fa + fb
+            if op == Opcode.FSUB:
+                return fa - fb
+            if op == Opcode.FMUL:
+                return fa * fb
+            if op == Opcode.FDIV:
+                if fb == 0.0:
+                    return float("inf") if fa > 0 else (float("-inf") if fa < 0 else float("nan"))
+                return fa / fb
+            import math
+
+            return math.fmod(fa, fb) if fb != 0.0 else float("nan")
+
+        bits = inst.type.bits  # type: ignore[attr-defined]
+        mask = (1 << bits) - 1
+
+        def to_signed(x: int) -> int:
+            x &= mask
+            return x - (1 << bits) if x >= (1 << (bits - 1)) else x
+
+        ia, ib = int(a) & mask, int(b) & mask
+        if op == Opcode.ADD:
+            return (ia + ib) & mask
+        if op == Opcode.SUB:
+            return (ia - ib) & mask
+        if op == Opcode.MUL:
+            return (ia * ib) & mask
+        if op == Opcode.AND:
+            return ia & ib
+        if op == Opcode.OR:
+            return ia | ib
+        if op == Opcode.XOR:
+            return ia ^ ib
+        if op == Opcode.SHL:
+            if ib >= bits:
+                return 0
+            return (ia << ib) & mask
+        if op == Opcode.LSHR:
+            if ib >= bits:
+                return 0
+            return ia >> ib
+        if op == Opcode.ASHR:
+            sa = to_signed(ia)
+            if ib >= bits:
+                return mask if sa < 0 else 0
+            return (sa >> ib) & mask
+        if op in (Opcode.SDIV, Opcode.SREM):
+            sa, sb = to_signed(ia), to_signed(ib)
+            if sb == 0:
+                raise Trap("integer division by zero")
+            q = abs(sa) // abs(sb)
+            if (sa < 0) != (sb < 0):
+                q = -q
+            if op == Opcode.SDIV:
+                return q & mask
+            return (sa - q * sb) & mask
+        if op in (Opcode.UDIV, Opcode.UREM):
+            if ib == 0:
+                raise Trap("integer division by zero")
+            return (ia // ib) & mask if op == Opcode.UDIV else (ia % ib) & mask
+        raise InterpError(f"unhandled binary {op!r}")  # pragma: no cover
+
+    def _icmp(self, inst: ICmp, frame: _Frame) -> int:
+        a = self._eval(frame, inst.operand(0))
+        b = self._eval(frame, inst.operand(1))
+        if isinstance(a, Function) or isinstance(b, Function):
+            eq = a is b
+            if inst.pred == ICmpPred.EQ:
+                return int(eq)
+            if inst.pred == ICmpPred.NE:
+                return int(not eq)
+            raise Trap("ordered comparison of function pointers")
+        type_ = inst.operand(0).type
+        bits = type_.bits if isinstance(type_, IntType) else 64
+        mask = (1 << bits) - 1
+        ua, ub = int(a) & mask, int(b) & mask
+
+        def sgn(x: int) -> int:
+            return x - (1 << bits) if x >= (1 << (bits - 1)) else x
+
+        p = inst.pred
+        table = {
+            ICmpPred.EQ: ua == ub,
+            ICmpPred.NE: ua != ub,
+            ICmpPred.UGT: ua > ub,
+            ICmpPred.UGE: ua >= ub,
+            ICmpPred.ULT: ua < ub,
+            ICmpPred.ULE: ua <= ub,
+            ICmpPred.SGT: sgn(ua) > sgn(ub),
+            ICmpPred.SGE: sgn(ua) >= sgn(ub),
+            ICmpPred.SLT: sgn(ua) < sgn(ub),
+            ICmpPred.SLE: sgn(ua) <= sgn(ub),
+        }
+        return int(table[p])
+
+    def _fcmp(self, inst: FCmp, frame: _Frame) -> int:
+        import math
+
+        a = float(self._eval(frame, inst.operand(0)))
+        b = float(self._eval(frame, inst.operand(1)))
+        nan = math.isnan(a) or math.isnan(b)
+        p = inst.pred
+        if p == FCmpPred.ORD:
+            return int(not nan)
+        if p == FCmpPred.UNO:
+            return int(nan)
+        if p == FCmpPred.UEQ:
+            return int(nan or a == b)
+        if p == FCmpPred.UNE:
+            return int(nan or a != b)
+        if nan:
+            return 0
+        table = {
+            FCmpPred.OEQ: a == b,
+            FCmpPred.OGT: a > b,
+            FCmpPred.OGE: a >= b,
+            FCmpPred.OLT: a < b,
+            FCmpPred.OLE: a <= b,
+            FCmpPred.ONE: a != b,
+        }
+        return int(table[p])
+
+    def _cast(self, inst: Cast, frame: _Frame) -> object:
+        value = self._eval(frame, inst.value)
+        src, dst = inst.value.type, inst.type
+        op = inst.opcode
+        if op == Opcode.TRUNC:
+            return int(value) & dst.mask  # type: ignore[attr-defined]
+        if op == Opcode.ZEXT:
+            return int(value) & src.mask  # type: ignore[attr-defined]
+        if op == Opcode.SEXT:
+            bits = src.bits  # type: ignore[attr-defined]
+            v = int(value) & src.mask  # type: ignore[attr-defined]
+            if v >= (1 << (bits - 1)):
+                v -= 1 << bits
+            return v & dst.mask  # type: ignore[attr-defined]
+        if op == Opcode.FPTRUNC or op == Opcode.FPEXT:
+            import struct
+
+            if dst.bits == 32:  # type: ignore[attr-defined]
+                return struct.unpack("f", struct.pack("f", float(value)))[0]
+            return float(value)
+        if op == Opcode.FPTOSI:
+            try:
+                v = int(float(value))
+            except (OverflowError, ValueError):
+                raise Trap("fptosi of non-finite value")
+            return v & dst.mask  # type: ignore[attr-defined]
+        if op == Opcode.SITOFP:
+            bits = src.bits  # type: ignore[attr-defined]
+            v = int(value) & src.mask  # type: ignore[attr-defined]
+            if v >= (1 << (bits - 1)):
+                v -= 1 << bits
+            return float(v)
+        if op in (Opcode.PTRTOINT, Opcode.INTTOPTR, Opcode.BITCAST):
+            return value
+        raise InterpError(f"unhandled cast {op!r}")  # pragma: no cover
+
+    def _gep(self, frame: _Frame, inst: GetElementPtr) -> int:
+        addr = self._addr(frame, inst.pointer)
+        current: Type = inst.pointer.type.pointee  # type: ignore[attr-defined]
+        indices = list(inst.indices)
+        first = self._eval(frame, indices[0])
+        addr += int(first) * type_size(current)
+        for idx in indices[1:]:
+            if isinstance(current, ArrayType):
+                addr += int(self._eval(frame, idx)) * type_size(current.element)
+                current = current.element
+            elif isinstance(current, StructType):
+                field = int(self._eval(frame, idx))
+                addr += _struct_offset(current, field)
+                current = current.fields[field]
+            else:
+                raise Trap(f"gep into non-aggregate {current}")
+        return addr

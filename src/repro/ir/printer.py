@@ -1,0 +1,133 @@
+"""Textual printer for the repro IR (LLVM-flavoured syntax).
+
+The printed form round-trips through :mod:`repro.ir.parser`, which the test
+suite exercises with property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .basicblock import BasicBlock
+from .function import Function
+from .instructions import (
+    Alloca,
+    Branch,
+    Call,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Invoke,
+    Load,
+    Opcode,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Switch,
+)
+from .module import Module
+from .values import Value
+
+__all__ = ["format_value", "format_instruction", "print_function", "print_module"]
+
+_OPCODE_NAMES = {op: op.name.lower() for op in Opcode}
+
+
+def format_value(value: Value) -> str:
+    """``<type> <ref>`` operand spelling."""
+    return f"{value.type} {value.ref()}"
+
+
+def _ops(values) -> str:
+    return ", ".join(v.ref() for v in values)
+
+
+def format_instruction(inst: Instruction) -> str:  # noqa: C901 - printer dispatch
+    """One-line textual form of *inst* (without indentation)."""
+    name = _OPCODE_NAMES[inst.opcode]
+    lhs = f"%{inst.name} = " if not inst.type.is_void and inst.name else ""
+
+    if isinstance(inst, Ret):
+        return f"ret {format_value(inst.value)}" if inst.value is not None else "ret void"
+    if isinstance(inst, Branch):
+        if inst.is_conditional:
+            t, f = inst.successors()
+            return f"br i1 {inst.condition.ref()}, label {t.ref()}, label {f.ref()}"
+        return f"br label {inst.successors()[0].ref()}"
+    if isinstance(inst, Switch):
+        cases = ", ".join(f"{format_value(c)} label {b.ref()}" for c, b in inst.cases)
+        return (
+            f"switch {format_value(inst.value)}, label {inst.default.ref()} "
+            f"[{cases}]"
+        )
+    if isinstance(inst, ICmp):
+        return (
+            f"{lhs}icmp {inst.pred.name.lower()} {format_value(inst.operand(0))},"
+            f" {inst.operand(1).ref()}"
+        )
+    if isinstance(inst, FCmp):
+        return (
+            f"{lhs}fcmp {inst.pred.name.lower()} {format_value(inst.operand(0))},"
+            f" {inst.operand(1).ref()}"
+        )
+    if isinstance(inst, Select):
+        return (
+            f"{lhs}select {format_value(inst.condition)}, "
+            f"{format_value(inst.true_value)}, {format_value(inst.false_value)}"
+        )
+    if isinstance(inst, Alloca):
+        return f"{lhs}alloca {inst.allocated_type}"
+    if isinstance(inst, Load):
+        return f"{lhs}load {inst.type}, {format_value(inst.pointer)}"
+    if isinstance(inst, Store):
+        return f"store {format_value(inst.value)}, {format_value(inst.pointer)}"
+    if isinstance(inst, GetElementPtr):
+        idx = ", ".join(format_value(i) for i in inst.indices)
+        return f"{lhs}gep {format_value(inst.pointer)}, {idx}"
+    if isinstance(inst, Call):
+        args = ", ".join(format_value(a) for a in inst.args)
+        return f"{lhs}call {inst.type} {inst.callee.ref()}({args})"
+    if isinstance(inst, Invoke):
+        args = ", ".join(format_value(a) for a in inst.args)
+        return (
+            f"{lhs}invoke {inst.type} {inst.callee.ref()}({args}) "
+            f"to label {inst.normal_dest.ref()} unwind label {inst.unwind_dest.ref()}"
+        )
+    if isinstance(inst, Phi):
+        inc = ", ".join(f"[ {v.ref()}, {b.ref()} ]" for v, b in inst.incoming)
+        return f"{lhs}phi {inst.type} {inc}"
+    if isinstance(inst, Cast):
+        return f"{lhs}{name} {format_value(inst.value)} to {inst.type}"
+    if inst.is_binary:
+        return (
+            f"{lhs}{name} {format_value(inst.operand(0))}, {inst.operand(1).ref()}"
+        )
+    if inst.opcode == Opcode.UNREACHABLE:
+        return "unreachable"
+    raise NotImplementedError(f"printer missing for {inst.opcode!r}")  # pragma: no cover
+
+
+def _print_block(block: BasicBlock, out: List[str]) -> None:
+    out.append(f"{block.name}:")
+    for inst in block.instructions:
+        out.append(f"  {format_instruction(inst)}")
+
+
+def print_function(func: Function) -> str:
+    params = ", ".join(f"{a.type} %{a.name}" for a in func.args)
+    header = f"{func.return_type} @{func.name}({params})"
+    if func.is_declaration:
+        return f"declare {header}"
+    out = [f"define {header} {{"]
+    for block in func.blocks:
+        _print_block(block, out)
+    out.append("}")
+    return "\n".join(out)
+
+
+def print_module(module: Module) -> str:
+    parts = [print_function(f) for f in module.functions]
+    return "\n\n".join(parts) + ("\n" if parts else "")

@@ -1,0 +1,170 @@
+"""IR verifier: structural and SSA-dominance well-formedness checks.
+
+This is the arbiter of correctness for the merged-code generator.  The two
+HyFM bugs described in F3M Section III-E are exactly dominance violations
+that LLVM's verifier misses post-repair; ours checks the same properties, and
+the interpreter-based differential tests catch the miscompiles the paper
+describes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .basicblock import BasicBlock
+from .function import Function
+from .instructions import Instruction, Phi
+from .module import Module
+from .values import Argument, Constant, Value
+
+__all__ = ["VerificationError", "verify_function", "verify_module"]
+
+
+class VerificationError(Exception):
+    """Raised when an IR unit violates a well-formedness rule."""
+
+    def __init__(self, errors: List[str]) -> None:
+        super().__init__("\n".join(errors))
+        self.errors = errors
+
+
+def _check_operand_scope(func: Function, inst: Instruction, errors: List[str]) -> None:
+    for op in inst.operands:
+        if isinstance(op, Constant):
+            continue
+        if isinstance(op, Argument):
+            if op.parent is not func:
+                errors.append(
+                    f"{func.name}: instruction uses argument %{op.name} of another function"
+                )
+        elif isinstance(op, BasicBlock):
+            if op.parent is not func:
+                errors.append(
+                    f"{func.name}: instruction references block %{op.name} of another function"
+                )
+        elif isinstance(op, Instruction):
+            if op.function is not func:
+                errors.append(
+                    f"{func.name}: instruction uses value %{op.name} defined outside the function"
+                )
+        elif isinstance(op, Function):
+            pass  # global references are always fine
+        else:
+            errors.append(f"{func.name}: unknown operand kind {type(op).__name__}")
+
+
+def _check_block(func: Function, block: BasicBlock, errors: List[str]) -> None:
+    if not block.instructions:
+        errors.append(f"{func.name}: block %{block.name} is empty")
+        return
+    term = block.instructions[-1]
+    if not term.is_terminator:
+        errors.append(f"{func.name}: block %{block.name} does not end in a terminator")
+    for inst in block.instructions[:-1]:
+        if inst.is_terminator:
+            errors.append(
+                f"{func.name}: terminator in the middle of block %{block.name}"
+            )
+    seen_non_phi = False
+    for inst in block.instructions:
+        if inst.parent is not block:
+            errors.append(
+                f"{func.name}: instruction parent pointer broken in %{block.name}"
+            )
+        if inst.is_phi:
+            if seen_non_phi:
+                errors.append(
+                    f"{func.name}: phi after non-phi instruction in %{block.name}"
+                )
+        else:
+            seen_non_phi = True
+
+
+def _check_phis(func: Function, block: BasicBlock, errors: List[str]) -> None:
+    preds = block.predecessors()
+    pred_ids = {id(p) for p in preds}
+    for phi in block.phis():
+        inc_ids = [id(b) for _, b in phi.incoming]
+        if len(set(inc_ids)) != len(inc_ids):
+            errors.append(
+                f"{func.name}: phi %{phi.name} has duplicate incoming blocks"
+            )
+        if set(inc_ids) != pred_ids:
+            errors.append(
+                f"{func.name}: phi %{phi.name} incoming blocks do not match the "
+                f"predecessors of %{block.name}"
+            )
+
+
+def verify_function(func: Function) -> None:
+    """Raise :class:`VerificationError` if *func* is malformed."""
+    errors: List[str] = []
+    if func.is_declaration:
+        return
+    entry = func.entry
+    if entry.predecessors():
+        errors.append(f"{func.name}: entry block has predecessors")
+    if entry.phis():
+        errors.append(f"{func.name}: entry block contains phi nodes")
+
+    for block in func.blocks:
+        if block.parent is not func:
+            errors.append(f"{func.name}: block %{block.name} parent pointer broken")
+        _check_block(func, block, errors)
+        _check_phis(func, block, errors)
+        for inst in block.instructions:
+            _check_operand_scope(func, inst, errors)
+
+    # Return type agreement.
+    from .instructions import Opcode, Ret
+
+    for block in func.blocks:
+        term = block.terminator
+        if isinstance(term, Ret):
+            if func.return_type.is_void:
+                if term.value is not None:
+                    errors.append(f"{func.name}: ret with value in void function")
+            elif term.value is None:
+                errors.append(f"{func.name}: ret void in non-void function")
+            elif term.value.type is not func.return_type:
+                errors.append(
+                    f"{func.name}: ret type {term.value.type} != {func.return_type}"
+                )
+
+    if errors:
+        raise VerificationError(errors)
+
+    # Dominance checks only make sense on structurally sound IR.  Imported
+    # lazily: repro.analysis itself depends on repro.ir.
+    from ..analysis.dominators import DominatorTree
+
+    dt = DominatorTree(func)
+    for block in func.blocks:
+        if not dt.is_reachable(block):
+            continue  # unreachable code is exempt from dominance rules
+        for inst in block.instructions:
+            for idx, op in enumerate(inst.operands):
+                if inst.is_phi and idx % 2 == 1:
+                    continue  # incoming-block slots
+                if isinstance(op, Instruction):
+                    if op.parent is not None and not dt.is_reachable(op.parent):
+                        continue
+                    if not dt.dominates(op, inst, idx):
+                        errors.append(
+                            f"{func.name}: use of %{op.name} in block "
+                            f"%{block.name} is not dominated by its definition"
+                        )
+    if errors:
+        raise VerificationError(errors)
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function in *module*."""
+    errors: List[str] = []
+    for func in module.functions:
+        try:
+            verify_function(func)
+        except VerificationError as exc:
+            errors.extend(exc.errors)
+    if errors:
+        raise VerificationError(errors)

@@ -1,0 +1,43 @@
+"""Function merging: codegen, SSA repair, profitability, and the pass."""
+
+from .errors import MergeError
+from .identical import IdenticalMergeReport, merge_identical_functions, structural_hash
+from .merger import MergeOptions, MergeResult, merge_functions
+from .partitioned import (
+    PartitionedMergeReport,
+    partition_functions,
+    partitioned_merging,
+)
+from .pass_ import FunctionMergingPass, PassConfig
+from .pgo import HotnessFilter, ProfileGuidedPass, profile_module
+from .profitability import MergeBenefit, ProfitabilityModel
+from .report import AttemptRecord, MergeReport
+from .ssa_repair import find_dominance_violations, repair_ssa
+from .thunks import commit_merge, make_thunk, rewrite_call_sites
+
+__all__ = [
+    "MergeError",
+    "IdenticalMergeReport",
+    "merge_identical_functions",
+    "structural_hash",
+    "HotnessFilter",
+    "PartitionedMergeReport",
+    "partition_functions",
+    "partitioned_merging",
+    "ProfileGuidedPass",
+    "profile_module",
+    "MergeOptions",
+    "MergeResult",
+    "merge_functions",
+    "FunctionMergingPass",
+    "PassConfig",
+    "MergeBenefit",
+    "ProfitabilityModel",
+    "AttemptRecord",
+    "MergeReport",
+    "find_dominance_violations",
+    "repair_ssa",
+    "commit_merge",
+    "make_thunk",
+    "rewrite_call_sites",
+]

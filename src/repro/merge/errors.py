@@ -1,0 +1,9 @@
+"""Merge-stage error types."""
+
+from __future__ import annotations
+
+__all__ = ["MergeError"]
+
+
+class MergeError(Exception):
+    """Raised when a candidate pair cannot be merged (codegen rejection)."""

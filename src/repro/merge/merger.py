@@ -1,0 +1,519 @@
+"""Merged-function code generation (the HyFM/SalSSA backend reused by F3M).
+
+Given two functions and a block-level alignment, emit one merged function:
+
+* a fresh ``i1`` *function identifier* parameter selects between the two
+  original behaviours (0 → first function, 1 → second);
+* parameters of the originals are merged by type so compatible parameters
+  share one slot;
+* shared (aligned) instructions are emitted once, with ``select`` resolving
+  operands that differ between the two originals;
+* private instruction runs are placed in blocks guarded by a conditional
+  branch on the function identifier;
+* terminators merge when both functions branch to correspondingly-paired
+  blocks, otherwise each function keeps its own guarded terminator.
+
+Dominance violations introduced by sharing are fixed afterwards by
+:mod:`repro.merge.ssa_repair`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..alignment.model import (
+    BlockAlignment,
+    FunctionAlignment,
+    SharedSegment,
+    SplitSegment,
+)
+from ..ir.basicblock import BasicBlock
+from ..ir.clone import clone_instruction
+from ..ir.function import Function
+from ..ir.instructions import (
+    Branch,
+    Instruction,
+    Invoke,
+    Opcode,
+    Phi,
+    Ret,
+    Select,
+    Switch,
+    Unreachable,
+)
+from ..ir.module import Module
+from ..ir.types import FunctionType, I1, Type
+from ..ir.values import Argument, Constant, ConstantFloat, ConstantInt, ConstantNull, UndefValue, Value
+from .errors import MergeError
+from .ssa_repair import repair_ssa
+
+__all__ = ["MergeOptions", "MergeResult", "merge_functions"]
+
+
+@dataclass(frozen=True)
+class MergeOptions:
+    """Code-generation knobs.
+
+    ``legacy_bugs`` re-enables the two HyFM SSA-repair bugs documented in
+    paper Section III-E (for the bug-effect experiment); the default is the
+    fixed behaviour.
+    """
+
+    legacy_bugs: bool = False
+    max_repair_rounds: int = 16
+
+
+@dataclass
+class MergeResult:
+    """The merged function plus the bookkeeping thunk generation needs."""
+
+    merged: Function
+    function_a: Function
+    function_b: Function
+    # Original argument index -> merged argument index (incl. the id at 0).
+    param_map_a: List[int] = field(default_factory=list)
+    param_map_b: List[int] = field(default_factory=list)
+    num_selects: int = 0
+    num_shared: int = 0
+    num_private: int = 0
+    repairs: int = 0
+
+
+def _merge_parameters(
+    func_a: Function, func_b: Function
+) -> Tuple[List[Type], List[int], List[int]]:
+    """Merge the two parameter lists by type; slot 0 is the function id."""
+    types: List[Type] = [I1]
+    map_a: List[int] = []
+    map_b: List[int] = []
+    for arg in func_a.args:
+        map_a.append(len(types))
+        types.append(arg.type)
+    taken = [False] * len(types)
+    for arg in func_b.args:
+        slot = -1
+        for i in range(1, len(types)):
+            if not taken[i] and types[i] is arg.type:
+                slot = i
+                break
+        if slot < 0:
+            slot = len(types)
+            types.append(arg.type)
+            taken.append(False)
+        taken[slot] = True
+        map_b.append(slot)
+    return types, map_a, map_b
+
+
+def _constants_equal(a: Value, b: Value) -> bool:
+    if a is b:
+        return True
+    if type(a) is not type(b) or a.type is not b.type:
+        return False
+    if isinstance(a, ConstantInt):
+        return a.value == b.value  # type: ignore[union-attr]
+    if isinstance(a, ConstantFloat):
+        return a.value == b.value or (a.value != a.value and b.value != b.value)  # type: ignore[union-attr]
+    if isinstance(a, (ConstantNull, UndefValue)):
+        return True
+    return False
+
+
+@dataclass
+class _Pending:
+    """An emitted instruction whose operands still point at placeholders."""
+
+    inst: Instruction
+    source_a: Optional[Instruction]
+    source_b: Optional[Instruction]
+
+
+class _Merger:
+    """One merge operation; see module docstring for the overall scheme."""
+
+    def __init__(
+        self,
+        alignment: FunctionAlignment,
+        module: Module,
+        name: Optional[str],
+        options: MergeOptions,
+    ) -> None:
+        self.alignment = alignment
+        self.func_a: Function = alignment.function_a  # type: ignore[assignment]
+        self.func_b: Function = alignment.function_b  # type: ignore[assignment]
+        self.module = module
+        self.options = options
+        if self.func_a.return_type is not self.func_b.return_type:
+            raise MergeError(
+                f"return type mismatch: {self.func_a.return_type} vs "
+                f"{self.func_b.return_type}"
+            )
+        if self.func_a.is_declaration or self.func_b.is_declaration:
+            raise MergeError("cannot merge declarations")
+
+        types, self.map_a, self.map_b = _merge_parameters(self.func_a, self.func_b)
+        merged_name = name or module.unique_name(
+            f"merged.{self.func_a.name}.{self.func_b.name}"
+        )
+        self.merged = Function(
+            FunctionType(self.func_a.return_type, types), merged_name, internal=True
+        )
+        self.fid: Argument = self.merged.args[0]
+        self.fid.name = "fid"
+        # Value maps: original value id -> merged value.
+        self.vmap_a: Dict[int, Value] = {}
+        self.vmap_b: Dict[int, Value] = {}
+        for arg, slot in zip(self.func_a.args, self.map_a):
+            self.vmap_a[id(arg)] = self.merged.args[slot]
+        for arg, slot in zip(self.func_b.args, self.map_b):
+            self.vmap_b[id(arg)] = self.merged.args[slot]
+        # Block maps: entry point and terminator-holder of each original block.
+        self.entry_a: Dict[int, BasicBlock] = {}
+        self.entry_b: Dict[int, BasicBlock] = {}
+        self.exit_a: Dict[int, BasicBlock] = {}
+        self.exit_b: Dict[int, BasicBlock] = {}
+        self.pending: List[_Pending] = []
+        self.phi_shells: List[Tuple[Phi, Phi, str]] = []  # (new, old, side)
+        self._deferred_terms: List[
+            Tuple[BlockAlignment, int, BasicBlock, Instruction, Instruction]
+        ] = []
+        self.result = MergeResult(self.merged, self.func_a, self.func_b)
+
+    # -- small helpers -----------------------------------------------------------
+    def _new_block(self, name: str) -> BasicBlock:
+        return BasicBlock(name, self.merged)
+
+    def _placeholder_clone(
+        self, inst: Instruction, side: str, partner: Optional[Instruction] = None
+    ) -> Instruction:
+        """Clone *inst* with every operand replaced by a typed placeholder."""
+        vmap: Dict[int, Value] = {}
+        for op in inst.operands:
+            if isinstance(op, BasicBlock):
+                # Blocks are patched later; point at a detached dummy.
+                vmap[id(op)] = self._dummy_block(op)
+            elif isinstance(op, Constant) or isinstance(op, Function):
+                vmap[id(op)] = op
+            else:
+                vmap[id(op)] = UndefValue(op.type)
+        new = clone_instruction(inst, vmap)
+        if side == "a":
+            self.vmap_a[id(inst)] = new
+            if partner is not None:
+                self.vmap_b[id(partner)] = new
+        else:
+            self.vmap_b[id(inst)] = new
+        self.pending.append(
+            _Pending(new, inst if side == "a" else partner, partner if side == "a" else inst)
+        )
+        return new
+
+    _dummies: Dict[int, BasicBlock]
+
+    def _dummy_block(self, original: BasicBlock) -> BasicBlock:
+        if not hasattr(self, "_dummies"):
+            self._dummies = {}
+        dummy = self._dummies.get(id(original))
+        if dummy is None:
+            dummy = BasicBlock(f"dummy.{original.name}")
+            self._dummies[id(original)] = dummy
+        return dummy
+
+    def _resolve(self, value: Value, side: str) -> Value:
+        vmap = self.vmap_a if side == "a" else self.vmap_b
+        mapped = vmap.get(id(value))
+        if mapped is not None:
+            return mapped
+        if isinstance(value, (Constant, Function)):
+            return value
+        raise MergeError(
+            f"unmapped value %{value.name} from @{self.func_a.name if side == 'a' else self.func_b.name}"
+        )
+
+    def _entry_of(self, block: BasicBlock, side: str) -> BasicBlock:
+        emap = self.entry_a if side == "a" else self.entry_b
+        target = emap.get(id(block))
+        if target is None:
+            raise MergeError(f"no merged entry for block %{block.name}")
+        return target
+
+    # -- phase 1: block scaffolding ----------------------------------------------
+    def build(self) -> MergeResult:
+        dispatch = self._new_block("entry")
+        self._build_pairs()
+        self._build_unmatched(self.alignment.unmatched_a, "a")
+        self._build_unmatched(self.alignment.unmatched_b, "b")
+        self._flush_terminators()
+        self._emit_dispatch(dispatch)
+        self._patch_operands()
+        self._patch_phis()
+        self._drop_dummies()
+        self.merged.uniquify_names()
+        self.module.add_function(self.merged)
+        try:
+            self.result.repairs = repair_ssa(
+                self.merged,
+                legacy_bugs=self.options.legacy_bugs,
+                max_rounds=self.options.max_repair_rounds,
+            )
+        except MergeError:
+            self.merged.erase_from_parent()
+            raise
+        self.result.param_map_a = self.map_a
+        self.result.param_map_b = self.map_b
+        return self.result
+
+    def _emit_dispatch(self, dispatch: BasicBlock) -> None:
+        entry_a = self._entry_of(self.func_a.entry, "a")
+        entry_b = self._entry_of(self.func_b.entry, "b")
+        if entry_a is entry_b:
+            dispatch.append(Branch(entry_a))
+        else:
+            dispatch.append(Branch(self.fid, entry_b, entry_a))
+        # The dispatch block must be the function entry.
+        self.merged.blocks.remove(dispatch)
+        self.merged.blocks.insert(0, dispatch)
+
+    def _build_pairs(self) -> None:
+        for index, pair in enumerate(self.alignment.block_pairs):
+            self._build_pair(pair, index)
+
+    def _build_pair(self, pair: BlockAlignment, index: int) -> None:
+        head = self._new_block(f"p{index}.head")
+        self.entry_a[id(pair.block_a)] = head
+        self.entry_b[id(pair.block_b)] = head
+        # Phi shells for both originals live at the head.
+        for side, block in (("a", pair.block_a), ("b", pair.block_b)):
+            vmap = self.vmap_a if side == "a" else self.vmap_b
+            for phi in block.phis():
+                shell = Phi(phi.type)
+                shell.name = phi.name
+                head.append(shell)
+                vmap[id(phi)] = shell
+                self.phi_shells.append((shell, phi, side))
+
+        current = head
+        split_n = 0
+        for segment in pair.segments:
+            if isinstance(segment, SharedSegment):
+                for a, b in segment.pairs:
+                    current.append(self._placeholder_clone(a, "a", partner=b))
+                    self.result.num_shared += 1
+            elif isinstance(segment, SplitSegment):
+                current = self._build_split(pair, index, split_n, current, segment)
+                split_n += 1
+        self._build_terminators(pair, index, current)
+
+    def _build_split(
+        self,
+        pair: BlockAlignment,
+        index: int,
+        split_n: int,
+        current: BasicBlock,
+        segment: SplitSegment,
+    ) -> BasicBlock:
+        """Emit a guarded diamond for one split segment; returns the join."""
+        join = self._new_block(f"p{index}.s{split_n}.join")
+        left: Optional[BasicBlock] = None
+        right: Optional[BasicBlock] = None
+        if segment.left:
+            left = self._new_block(f"p{index}.s{split_n}.a")
+            for inst in segment.left:
+                left.append(self._placeholder_clone(inst, "a"))
+                self.result.num_private += 1
+            left.append(Branch(join))
+        if segment.right:
+            right = self._new_block(f"p{index}.s{split_n}.b")
+            for inst in segment.right:
+                right.append(self._placeholder_clone(inst, "b"))
+                self.result.num_private += 1
+            right.append(Branch(join))
+        if left is not None and right is not None:
+            current.append(Branch(self.fid, right, left))
+        elif left is not None:
+            current.append(Branch(self.fid, join, left))
+        elif right is not None:
+            current.append(Branch(self.fid, right, join))
+        else:  # both empty: degenerate, keep straight-line
+            current.append(Branch(join))
+        return join
+
+    # -- terminators ----------------------------------------------------------------
+    def _terminators_shareable(self, term_a: Instruction, term_b: Instruction) -> bool:
+        if term_a.opcode != term_b.opcode:
+            return False
+        if isinstance(term_a, Ret):
+            return True
+        if isinstance(term_a, Unreachable):
+            return True
+        if isinstance(term_a, Branch):
+            if term_a.is_conditional != term_b.is_conditional:  # type: ignore[union-attr]
+                return False
+        if isinstance(term_a, Switch):
+            cases_a = term_a.cases
+            cases_b = term_b.cases  # type: ignore[union-attr]
+            if len(cases_a) != len(cases_b):
+                return False
+            if term_a.value.type is not term_b.value.type:  # type: ignore[union-attr]
+                return False
+            for (const_a, _), (const_b, _) in zip(cases_a, cases_b):
+                if const_a.value != const_b.value:
+                    return False
+        if isinstance(term_a, Invoke):
+            if term_a.type is not term_b.type:
+                return False
+            if term_a.num_operands != term_b.num_operands:
+                return False
+            for op_a, op_b in zip(term_a.operands, term_b.operands):
+                if not isinstance(op_a, BasicBlock) and op_a.type is not op_b.type:
+                    return False
+        # Successor slots must lead to the same merged blocks.
+        succ_a = term_a.successors()
+        succ_b = term_b.successors()
+        if len(succ_a) != len(succ_b):
+            return False
+        for sa, sb in zip(succ_a, succ_b):
+            ea = self.entry_a.get(id(sa))
+            eb = self.entry_b.get(id(sb))
+            if ea is None or eb is None or ea is not eb:
+                return False
+        return True
+
+    def _build_terminators(self, pair: BlockAlignment, index: int, current: BasicBlock) -> None:
+        term_a = pair.block_a.terminator
+        term_b = pair.block_b.terminator
+        if term_a is None or term_b is None:
+            raise MergeError("cannot merge unterminated blocks")
+        # Sharing needs both successor maps populated, which happens lazily:
+        # successors' entries exist only after all pairs/unmatched blocks are
+        # scaffolded.  Terminator emission is therefore deferred.
+        self._deferred_terms.append((pair, index, current, term_a, term_b))
+
+    def _flush_terminators(self) -> None:
+        for pair, index, current, term_a, term_b in self._deferred_terms:
+            if self._terminators_shareable(term_a, term_b):
+                merged_term = self._placeholder_clone(term_a, "a", partner=term_b)
+                current.append(merged_term)
+                self.exit_a[id(pair.block_a)] = current
+                self.exit_b[id(pair.block_b)] = current
+            else:
+                blk_a = self._new_block(f"p{index}.term.a")
+                blk_b = self._new_block(f"p{index}.term.b")
+                blk_a.append(self._placeholder_clone(term_a, "a"))
+                blk_b.append(self._placeholder_clone(term_b, "b"))
+                current.append(Branch(self.fid, blk_b, blk_a))
+                self.exit_a[id(pair.block_a)] = blk_a
+                self.exit_b[id(pair.block_b)] = blk_b
+
+    # -- unmatched blocks -------------------------------------------------------------
+    def _build_unmatched(self, blocks: List[BasicBlock], side: str) -> None:
+        emap = self.entry_a if side == "a" else self.entry_b
+        xmap = self.exit_a if side == "a" else self.exit_b
+        vmap = self.vmap_a if side == "a" else self.vmap_b
+        for block in blocks:
+            clone = self._new_block(f"{side}.{block.name}")
+            emap[id(block)] = clone
+            for phi in block.phis():
+                shell = Phi(phi.type)
+                shell.name = phi.name
+                clone.append(shell)
+                vmap[id(phi)] = shell
+                self.phi_shells.append((shell, phi, side))
+            for inst in block.instructions[block.first_non_phi_index():]:
+                if inst.is_terminator:
+                    break
+                clone.append(self._placeholder_clone(inst, side))
+                self.result.num_private += 1
+            term = block.terminator
+            if term is None:
+                raise MergeError(f"unterminated block %{block.name}")
+            clone.append(self._placeholder_clone(term, side))
+            xmap[id(block)] = clone
+
+    # -- phase 2: operand patching -----------------------------------------------------
+    def _patch_operands(self) -> None:
+        for pend in self.pending:
+            inst = pend.inst
+            if pend.source_a is not None and pend.source_b is not None:
+                self._patch_shared(inst, pend.source_a, pend.source_b)
+            elif pend.source_a is not None:
+                self._patch_private(inst, pend.source_a, "a")
+            else:
+                assert pend.source_b is not None
+                self._patch_private(inst, pend.source_b, "b")
+
+    def _patch_shared(self, inst: Instruction, src_a: Instruction, src_b: Instruction) -> None:
+        for idx in range(inst.num_operands):
+            op_a = src_a.operand(idx)
+            op_b = src_b.operand(idx)
+            if isinstance(op_a, BasicBlock):
+                target_a = self._entry_of(op_a, "a")
+                target_b = self._entry_of(op_b, "b")  # type: ignore[arg-type]
+                if target_a is not target_b:
+                    raise MergeError("shared terminator with diverging targets")
+                inst.set_operand(idx, target_a)
+                continue
+            val_a = self._resolve(op_a, "a")
+            val_b = self._resolve(op_b, "b")
+            if val_a is val_b or _constants_equal(val_a, val_b):
+                inst.set_operand(idx, val_a)
+            else:
+                select = Select(self.fid, val_b, val_a)
+                select.name = self.merged.next_name("sel")
+                block = inst.parent
+                assert block is not None
+                block.insert_before(inst, select)
+                inst.set_operand(idx, select)
+                self.result.num_selects += 1
+
+    def _patch_private(self, inst: Instruction, src: Instruction, side: str) -> None:
+        for idx in range(inst.num_operands):
+            op = src.operand(idx)
+            if isinstance(op, BasicBlock):
+                inst.set_operand(idx, self._entry_of(op, side))
+            else:
+                inst.set_operand(idx, self._resolve(op, side))
+
+    # -- phase 3: phi completion -----------------------------------------------------
+    def _patch_phis(self) -> None:
+        for shell, original, side in self.phi_shells:
+            vmap = self.vmap_a if side == "a" else self.vmap_b
+            xmap = self.exit_a if side == "a" else self.exit_b
+            for value, pred in original.incoming:
+                exit_block = xmap.get(id(pred))
+                if exit_block is None:
+                    raise MergeError(f"no merged exit for block %{pred.name}")
+                shell.add_incoming(self._resolve(value, side), exit_block)
+        # Every phi must list *all* predecessors of its merged block; edges
+        # that can only be taken by the other original function get undef.
+        for shell, _original, _side in self.phi_shells:
+            block = shell.parent
+            assert block is not None
+            covered = {id(b) for _v, b in shell.incoming}
+            for pred in block.predecessors():
+                if id(pred) not in covered:
+                    shell.add_incoming(UndefValue(shell.type), pred)
+
+    def _drop_dummies(self) -> None:
+        if hasattr(self, "_dummies"):
+            for dummy in self._dummies.values():
+                if dummy.num_uses:
+                    raise MergeError("unpatched dummy block operand")
+        # Remove degenerate empty-join artifacts is unnecessary: every block
+        # created by the merger is populated and terminated by construction.
+
+
+def merge_functions(
+    alignment: FunctionAlignment,
+    module: Module,
+    name: Optional[str] = None,
+    options: MergeOptions = MergeOptions(),
+) -> MergeResult:
+    """Merge the aligned pair into one new function added to *module*.
+
+    Raises :class:`MergeError` when the pair cannot be merged (diverging
+    return types, irreparable SSA, ...); the module is left unmodified in
+    that case.
+    """
+    return _Merger(alignment, module, name, options).build()

@@ -1,0 +1,110 @@
+"""Partitioned (ThinLTO-style) function merging.
+
+Paper Section VI (future work): "we envisage further improvements that can
+be achieved by integrating function merging to a summary-based link-time
+optimization framework, such as ThinLTO in LLVM".
+
+ThinLTO never materializes the whole program in one module: each partition
+is optimized separately, guided by cheap global *summaries*.  We model the
+consequence for function merging: candidate pairs can only be merged when
+both functions live in the same partition, so cross-partition sibling pairs
+are lost.  The partitioned pass quantifies that cost — and, because MinHash
+fingerprints are exactly the kind of summary ThinLTO could distribute, the
+report also counts how many of the lost pairs a summary index would have
+discovered (the opportunity F3M's fingerprints make recoverable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from ..fingerprint.fnv import fnv1a_32
+from ..ir.function import Function
+from ..ir.module import Module
+from ..search.pairing import MinHashLSHRanker, Ranker
+from .pass_ import FunctionMergingPass, PassConfig
+from .report import MergeReport
+
+__all__ = ["PartitionedMergeReport", "partition_functions", "partitioned_merging"]
+
+
+def partition_functions(module: Module, partitions: int) -> List[List[Function]]:
+    """Deterministically split defined functions into *partitions* groups.
+
+    Assignment hashes the function name, mimicking how source files (and
+    thus their functions) land in different ThinLTO partitions regardless
+    of similarity.
+    """
+    if partitions <= 0:
+        raise ValueError("partitions must be positive")
+    groups: List[List[Function]] = [[] for _ in range(partitions)]
+    for func in module.defined_functions():
+        groups[fnv1a_32(func.name.encode("utf-8")) % partitions].append(func)
+    return groups
+
+
+@dataclass
+class PartitionedMergeReport:
+    partitions: int = 0
+    reports: List[MergeReport] = field(default_factory=list)
+    size_before: int = 0
+    size_after: int = 0
+    cross_partition_candidates: int = 0
+
+    @property
+    def merges(self) -> int:
+        return sum(r.merges for r in self.reports)
+
+    @property
+    def size_reduction(self) -> float:
+        if self.size_before == 0:
+            return 0.0
+        return 1.0 - self.size_after / self.size_before
+
+    @property
+    def total_time(self) -> float:
+        return sum(r.total_time for r in self.reports)
+
+
+def partitioned_merging(
+    module: Module,
+    partitions: int,
+    ranker_factory: Callable[[], Ranker] = MinHashLSHRanker,
+    config: PassConfig = PassConfig(verify=False),
+    count_lost_pairs: bool = True,
+) -> PartitionedMergeReport:
+    """Merge within each partition separately; summarize the whole module.
+
+    With ``count_lost_pairs`` a global MinHash index (the "summary") is
+    consulted first to count how many functions' best global partner lives
+    in another partition — the opportunity a ThinLTO integration would need
+    to import across partition boundaries.
+    """
+    from ..analysis.size import module_size
+
+    report = PartitionedMergeReport(partitions=partitions)
+    report.size_before = module_size(module)
+
+    groups = partition_functions(module, partitions)
+
+    if count_lost_pairs and partitions > 1:
+        partition_of: Dict[int, int] = {}
+        for index, group in enumerate(groups):
+            for func in group:
+                partition_of[id(func)] = index
+        summary: Ranker = ranker_factory()
+        summary.preprocess(module.defined_functions())
+        for func in module.defined_functions():
+            match = summary.best_match(func)
+            if match is not None and partition_of.get(id(match.function)) != partition_of.get(
+                id(func)
+            ):
+                report.cross_partition_candidates += 1
+
+    for group in groups:
+        pass_ = FunctionMergingPass(ranker_factory(), config)
+        report.reports.append(pass_.run(module, functions=group))
+
+    report.size_after = module_size(module)
+    return report

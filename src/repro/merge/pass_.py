@@ -1,0 +1,182 @@
+"""The function-merging pass: ranking → alignment → codegen → commit.
+
+This is the top-level optimization shared by the baseline and F3M; the
+*ranker* argument selects the paper's configurations:
+
+* ``ExhaustiveRanker()`` — HyFM (state of the art).
+* ``MinHashLSHRanker()`` — F3M static (k=200, r=2, b=100, t=0).
+* ``MinHashLSHRanker(adaptive=True)`` — F3M adaptive (Section III-D).
+
+The pass walks functions in module order, asks the ranker for the most
+similar live candidate, aligns the pair block-wise, generates the merged
+function and commits it when the size model finds it profitable.  Every
+stage is timed per attempt so that the paper's breakdown figures can be
+regenerated.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..alignment.hyfm_blocks import align_functions
+from ..analysis.size import module_size
+from ..ir.module import Module
+from ..ir.verifier import VerificationError, verify_function
+from ..search.pairing import Ranker
+from .errors import MergeError
+from .merger import MergeOptions, MergeResult, merge_functions
+from .profitability import ProfitabilityModel
+from .report import AttemptRecord, MergeReport
+from .thunks import commit_merge
+
+__all__ = ["PassConfig", "FunctionMergingPass"]
+
+
+@dataclass(frozen=True)
+class PassConfig:
+    """Pass-wide options.
+
+    ``threshold`` — similarity threshold t below which ranked pairs are
+    rejected before alignment (Section III-D; HyFM effectively uses 0).
+    ``alignment`` — ``"linear"`` (HyFM's fast pairwise strategy, the paper's
+    configuration) or ``"nw"`` (SalSSA-quality Needleman–Wunsch).
+    ``legacy_bugs`` — re-enable the HyFM codegen bugs of Section III-E.
+    ``verify`` — run the IR verifier on every merged function (slower;
+    always on in tests, optional in benchmarks).
+    ``min_instructions`` — skip trivially small functions as candidates.
+    ``remerge`` — merged functions re-enter the candidate pool, so whole
+    families collapse into one function across successive merges (the
+    paper's Fig. 1 workflow replaces the pair with the merged function in
+    the module being optimized).
+    """
+
+    threshold: float = 0.0
+    alignment: str = "linear"
+    legacy_bugs: bool = False
+    verify: bool = True
+    min_instructions: int = 1
+    remerge: bool = True
+
+
+class FunctionMergingPass:
+    """Apply function merging over a whole module."""
+
+    def __init__(self, ranker: Ranker, config: PassConfig = PassConfig()) -> None:
+        self.ranker = ranker
+        self.config = config
+        self.profitability = ProfitabilityModel()
+
+    # -- driver ---------------------------------------------------------------------
+    def run(self, module: Module, functions=None) -> MergeReport:
+        """Merge over *module*; *functions* optionally restricts the
+        candidate population (used by profile-guided merging)."""
+        report = MergeReport(strategy=self.ranker.name)
+        report.size_before = module_size(module)
+        start = time.perf_counter()
+
+        population = functions if functions is not None else module.defined_functions()
+        functions = [
+            f
+            for f in population
+            if f.num_instructions >= self.config.min_instructions
+        ]
+        report.num_functions = len(functions)
+
+        t0 = time.perf_counter()
+        self.ranker.preprocess(functions)
+        report.preprocess_time = time.perf_counter() - t0
+
+        consumed = set()
+        # The ranker's threshold (adaptive variant) overrides the static one.
+        threshold = max(self.config.threshold, getattr(self.ranker, "threshold", 0.0))
+
+        worklist = list(functions)
+        index = 0
+        while index < len(worklist):
+            func = worklist[index]
+            index += 1
+            if id(func) in consumed:
+                continue
+            attempt, merged = self._attempt(module, func, consumed, threshold)
+            report.attempts.append(attempt)
+            if attempt.success:
+                report.merges += 1
+                if self.config.remerge and merged is not None:
+                    self.ranker.insert(merged)
+                    worklist.append(merged)
+
+        report.total_time = time.perf_counter() - start
+        report.comparisons = self.ranker.stats.comparisons
+        report.size_after = module_size(module)
+        return report
+
+    # -- one candidate --------------------------------------------------------------
+    def _attempt(self, module, func, consumed, threshold):
+        """Returns ``(record, merged_function_or_None)``."""
+        t0 = time.perf_counter()
+        match = self.ranker.best_match(func)
+        ranking_time = time.perf_counter() - t0
+
+        if match is None:
+            return (
+                AttemptRecord(
+                    func.name, None, 0.0, "no_candidate", ranking_time=ranking_time
+                ),
+                None,
+            )
+        other = match.function
+        record = AttemptRecord(
+            func.name, other.name, match.similarity, "", ranking_time=ranking_time
+        )
+        if match.similarity < threshold:
+            record.outcome = "rejected_threshold"
+            return record, None
+
+        t0 = time.perf_counter()
+        if func.return_type is not other.return_type:
+            record.align_time = time.perf_counter() - t0
+            record.outcome = "align_fail"
+            return record, None
+        alignment = align_functions(func, other, strategy=self.config.alignment)
+        record.align_time = time.perf_counter() - t0
+        record.alignment_ratio = alignment.alignment_ratio
+        if alignment.matched_instructions == 0:
+            record.outcome = "align_fail"
+            return record, None
+
+        t0 = time.perf_counter()
+        result: Optional[MergeResult] = None
+        try:
+            result = merge_functions(
+                alignment,
+                module,
+                options=MergeOptions(legacy_bugs=self.config.legacy_bugs),
+            )
+            if self.config.verify:
+                verify_function(result.merged)
+        except (MergeError, VerificationError):
+            if result is not None and result.merged.parent is module:
+                result.merged.erase_from_parent()
+            record.codegen_time = time.perf_counter() - t0
+            record.outcome = "codegen_fail"
+            return record, None
+        record.codegen_time = time.perf_counter() - t0
+
+        benefit = self.profitability.evaluate(result)
+        if not benefit.profitable:
+            result.merged.erase_from_parent()
+            record.outcome = "unprofitable"
+            return record, None
+
+        t0 = time.perf_counter()
+        commit_merge(result)
+        self.ranker.remove(func)
+        self.ranker.remove(other)
+        consumed.add(id(func))
+        consumed.add(id(other))
+        record.update_time = time.perf_counter() - t0
+        record.saving = benefit.saving
+        record.outcome = "merged"
+        return record, result.merged

@@ -1,0 +1,101 @@
+"""Profile-guided function merging (paper Section IV-F, future work).
+
+The paper observes that merging slows programs down only when *executed*
+code got merged, and that "a more performance-aware implementation of
+function merging would use profiling information to influence candidate
+selection towards infrequently used functions.  This would eliminate all or
+almost all performance overhead."
+
+This module implements that proposal:
+
+* :func:`profile_module` collects per-function dynamic call counts by
+  running the module's entry point under the reference interpreter;
+* :class:`HotnessFilter` classifies functions as hot/cold by a call-count
+  percentile;
+* :class:`ProfileGuidedPass` wraps :class:`FunctionMergingPass` so hot
+  functions are excluded from merging entirely — cold-with-cold merges keep
+  (almost) all of the size reduction while hot paths stay untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..ir.function import Function
+from ..ir.interp import Interpreter
+from ..ir.module import Module
+from .pass_ import FunctionMergingPass, PassConfig
+from .report import MergeReport
+from ..search.pairing import Ranker
+
+__all__ = ["profile_module", "HotnessFilter", "ProfileGuidedPass"]
+
+
+def profile_module(
+    module: Module,
+    entry: str = "driver",
+    inputs: Sequence[int] = (1, 5, 11),
+    fuel: int = 10_000_000,
+) -> Dict[str, int]:
+    """Dynamic call counts per function, from running *entry* on *inputs*."""
+    func = module.get_function(entry)
+    if func is None or func.is_declaration:
+        raise ValueError(f"no entry point @{entry} to profile")
+    interp = Interpreter(fuel=fuel)
+    for x in inputs:
+        interp.run(func, [x])
+    counts = dict(interp.call_counts)
+    counts.pop(entry, None)
+    return counts
+
+
+@dataclass
+class HotnessFilter:
+    """Classify functions by dynamic call count.
+
+    ``hot_fraction`` — the top fraction of *called* functions (by count)
+    treated as hot.  Functions never called are always cold.
+    """
+
+    profile: Dict[str, int]
+    hot_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        called = sorted(
+            (count for count in self.profile.values() if count > 0), reverse=True
+        )
+        if not called or self.hot_fraction <= 0:
+            self._cutoff = float("inf")
+        else:
+            index = max(0, min(len(called) - 1, int(len(called) * self.hot_fraction) - 1))
+            self._cutoff = called[index]
+
+    def is_hot(self, func: Function) -> bool:
+        return self.profile.get(func.name, 0) >= self._cutoff
+
+    def cold_functions(self, module: Module) -> List[Function]:
+        return [f for f in module.defined_functions() if not self.is_hot(f)]
+
+
+class ProfileGuidedPass:
+    """Function merging restricted to cold code.
+
+    Hot functions are withheld from the ranker, so they can be neither a
+    merge candidate nor a merge partner; everything else proceeds exactly
+    as the wrapped pass would.
+    """
+
+    def __init__(
+        self,
+        ranker: Ranker,
+        hotness: HotnessFilter,
+        config: PassConfig = PassConfig(),
+    ) -> None:
+        self.hotness = hotness
+        self._pass = FunctionMergingPass(ranker, config)
+
+    def run(self, module: Module) -> MergeReport:
+        report = self._pass.run(module, functions=self.hotness.cold_functions(module))
+        report.strategy = f"{report.strategy}+pgo"
+        return report

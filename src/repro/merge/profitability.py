@@ -1,0 +1,60 @@
+"""Profitability model for committed merges.
+
+A merge is profitable when the merged function plus the redirection
+machinery (rewritten call sites, thunks for address-taken or external
+functions) is smaller than the two original functions.  This mirrors HyFM's
+post-codegen size check; F3M changes *which pairs reach this point*, not the
+decision itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.size import function_size, instruction_size
+from ..ir.function import Function
+from .merger import MergeResult
+
+__all__ = ["ProfitabilityModel", "MergeBenefit"]
+
+# Modelled byte costs of the redirection machinery.
+_THUNK_BASE = 12 + 5 + 1  # function overhead + call + ret
+_CALLSITE_EXTRA = 1  # passing the extra function-id argument
+
+
+@dataclass
+class MergeBenefit:
+    original_size: int
+    merged_size: int
+    overhead: int
+
+    @property
+    def saving(self) -> int:
+        return self.original_size - self.merged_size - self.overhead
+
+    @property
+    def profitable(self) -> bool:
+        return self.saving > 0
+
+
+class ProfitabilityModel:
+    """Size-based accept/reject decision for a completed merge."""
+
+    def __init__(self, callsite_extra: int = _CALLSITE_EXTRA, thunk_base: int = _THUNK_BASE) -> None:
+        self.callsite_extra = callsite_extra
+        self.thunk_base = thunk_base
+
+    def _redirection_cost(self, func: Function) -> int:
+        callers = len(func.callers())
+        cost = callers * self.callsite_extra
+        if func.address_taken or not func.internal:
+            cost += self.thunk_base + len(func.args)  # arg forwarding
+        return cost
+
+    def evaluate(self, result: MergeResult) -> MergeBenefit:
+        original = function_size(result.function_a) + function_size(result.function_b)
+        merged = function_size(result.merged)
+        overhead = self._redirection_cost(result.function_a) + self._redirection_cost(
+            result.function_b
+        )
+        return MergeBenefit(original, merged, overhead)

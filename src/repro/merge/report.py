@@ -1,0 +1,114 @@
+"""Stage-level accounting for the merging pass.
+
+The paper's Figures 3 and 13 break the pass runtime into preprocess /
+ranking / align / codegen stages, each split by whether the attempt
+ultimately succeeded.  :class:`MergeReport` collects exactly that, plus the
+pair-level records behind Figures 6, 9 and 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["AttemptRecord", "MergeReport", "STAGES", "OUTCOMES"]
+
+STAGES = ("preprocess", "ranking", "align", "codegen", "update")
+OUTCOMES = (
+    "merged",
+    "unprofitable",
+    "codegen_fail",
+    "align_fail",
+    "rejected_threshold",
+    "no_candidate",
+)
+
+
+@dataclass
+class AttemptRecord:
+    """One candidate function's trip through the pipeline."""
+
+    function: str
+    candidate: Optional[str]
+    similarity: float
+    outcome: str
+    alignment_ratio: float = 0.0
+    saving: int = 0
+    ranking_time: float = 0.0
+    align_time: float = 0.0
+    codegen_time: float = 0.0
+    update_time: float = 0.0
+
+    @property
+    def success(self) -> bool:
+        return self.outcome == "merged"
+
+
+@dataclass
+class MergeReport:
+    """Aggregate result of one :class:`FunctionMergingPass` run."""
+
+    strategy: str = ""
+    num_functions: int = 0
+    size_before: int = 0
+    size_after: int = 0
+    preprocess_time: float = 0.0
+    total_time: float = 0.0
+    attempts: List[AttemptRecord] = field(default_factory=list)
+    comparisons: int = 0
+    merges: int = 0
+
+    # -- headline numbers ---------------------------------------------------------
+    @property
+    def size_reduction(self) -> float:
+        """Fractional object-size reduction (the paper's headline metric)."""
+        if self.size_before == 0:
+            return 0.0
+        return 1.0 - self.size_after / self.size_before
+
+    @property
+    def merge_time(self) -> float:
+        """Total time spent inside the merging pass."""
+        return self.total_time
+
+    # -- stage breakdown (Figures 3 and 13) -----------------------------------------
+    def stage_breakdown(self) -> Dict[str, float]:
+        """Stage → seconds, with ranking/align/codegen split by outcome."""
+        out: Dict[str, float] = {"preprocess": self.preprocess_time}
+        buckets = {
+            "ranking_success": 0.0,
+            "ranking_fail": 0.0,
+            "align_success": 0.0,
+            "align_fail": 0.0,
+            "codegen_success": 0.0,
+            "codegen_fail": 0.0,
+            "update": 0.0,
+        }
+        for att in self.attempts:
+            key = "success" if att.success else "fail"
+            buckets[f"ranking_{key}"] += att.ranking_time
+            buckets[f"align_{key}"] += att.align_time
+            buckets[f"codegen_{key}"] += att.codegen_time
+            buckets["update"] += att.update_time
+        out.update(buckets)
+        return out
+
+    def outcome_counts(self) -> Dict[str, int]:
+        counts = {outcome: 0 for outcome in OUTCOMES}
+        for att in self.attempts:
+            counts[att.outcome] = counts.get(att.outcome, 0) + 1
+        return counts
+
+    def successful_attempts(self) -> List[AttemptRecord]:
+        return [a for a in self.attempts if a.success]
+
+    def summary(self) -> str:
+        counts = self.outcome_counts()
+        return (
+            f"{self.strategy}: {self.num_functions} functions, "
+            f"{self.merges} merges, size {self.size_before} -> {self.size_after} "
+            f"({self.size_reduction:.1%} reduction), "
+            f"{self.total_time:.3f}s pass time, "
+            f"{self.comparisons} fingerprint comparisons, "
+            f"outcomes={ {k: v for k, v in counts.items() if v} }"
+        )

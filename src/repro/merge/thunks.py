@@ -1,0 +1,88 @@
+"""Call-site redirection and thunk generation for committed merges.
+
+After a profitable merge, every direct call to an original function is
+rewritten to call the merged function with the appropriate function-id
+constant.  Originals that may be referenced indirectly (address taken) or
+from outside the module (external linkage) are kept as one-block *thunks*;
+everything else is deleted outright.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Branch, Call, Instruction, Invoke, Ret
+from ..ir.types import I1
+from ..ir.values import ConstantInt, UndefValue, Value
+from .merger import MergeResult
+
+__all__ = ["commit_merge", "rewrite_call_sites", "make_thunk"]
+
+
+def _merged_args(
+    merged: Function, param_map: List[int], originals: List[Value], fid: int
+) -> List[Value]:
+    """Argument vector for a call to *merged* standing in for an original."""
+    args: List[Value] = [
+        UndefValue(p.type) for p in merged.args
+    ]
+    args[0] = ConstantInt(I1, fid)
+    for value, slot in zip(originals, param_map):
+        args[slot] = value
+    return args
+
+
+def rewrite_call_sites(original: Function, merged: Function, param_map: List[int], fid: int) -> int:
+    """Retarget every direct call/invoke of *original* to *merged*."""
+    rewritten = 0
+    for site in original.callers():
+        block = site.parent
+        if block is None:
+            continue
+        new_inst: Instruction
+        if isinstance(site, Call):
+            new_inst = Call(merged, _merged_args(merged, param_map, list(site.args), fid))
+        elif isinstance(site, Invoke):
+            new_inst = Invoke(
+                merged,
+                _merged_args(merged, param_map, list(site.args), fid),
+                site.normal_dest,
+                site.unwind_dest,
+            )
+        else:  # pragma: no cover - callers() only returns calls/invokes
+            continue
+        new_inst.name = site.name
+        block.insert_before(site, new_inst)
+        site.replace_all_uses_with(new_inst)
+        site.erase_from_parent()
+        rewritten += 1
+    return rewritten
+
+
+def make_thunk(original: Function, merged: Function, param_map: List[int], fid: int) -> None:
+    """Replace *original*'s body with a tail-call into *merged*."""
+    original.drop_body()
+    entry = BasicBlock("entry", original)
+    call = Call(merged, _merged_args(merged, param_map, list(original.args), fid))
+    call.name = "fwd" if not call.type.is_void else ""
+    entry.append(call)
+    entry.append(Ret(None if original.return_type.is_void else call))
+
+
+def commit_merge(result: MergeResult) -> None:
+    """Apply a profitable merge to the module: redirect, thunk or delete."""
+    merged = result.merged
+    module = merged.parent
+    assert module is not None, "merged function must be in a module"
+    for func, param_map, fid in (
+        (result.function_a, result.param_map_a, 0),
+        (result.function_b, result.param_map_b, 1),
+    ):
+        rewrite_call_sites(func, merged, param_map, fid)
+        if func.address_taken or not func.internal:
+            make_thunk(func, merged, param_map, fid)
+        else:
+            assert func.num_uses == 0, f"dangling uses of @{func.name}"
+            func.erase_from_parent()

@@ -1,0 +1,27 @@
+"""Candidate search: exhaustive ranking (HyFM), LSH (F3M), adaptive policy."""
+
+from .adaptive import (
+    AdaptiveParameters,
+    adaptive_bands,
+    adaptive_parameters,
+    adaptive_threshold,
+    lsh_match_probability,
+)
+from .lsh import BucketStats, LSHIndex, LSHQueryStats
+from .pairing import ExhaustiveRanker, Match, MinHashLSHRanker, Ranker, RankingStats
+
+__all__ = [
+    "AdaptiveParameters",
+    "adaptive_bands",
+    "adaptive_parameters",
+    "adaptive_threshold",
+    "lsh_match_probability",
+    "BucketStats",
+    "LSHIndex",
+    "LSHQueryStats",
+    "ExhaustiveRanker",
+    "Match",
+    "MinHashLSHRanker",
+    "Ranker",
+    "RankingStats",
+]

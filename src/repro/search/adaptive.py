@@ -1,0 +1,83 @@
+"""Adaptive parameter policy (paper Section III-D, Equations 3 and 4).
+
+The similarity threshold rises with program size — small programs can afford
+wasted merge attempts but not missed merges; huge programs need aggressive
+filtering — and the band count is derived from the threshold so the LSH
+search does not waste effort discovering pairs it would reject anyway.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "adaptive_threshold",
+    "adaptive_bands",
+    "AdaptiveParameters",
+    "adaptive_parameters",
+    "lsh_match_probability",
+]
+
+# Below this function count the policy is fully conservative (t = 0.05,
+# b = 100); the paper: "programs with fewer than 5000 functions do not
+# benefit from aggressive similarity thresholds" and 10^3.5 ≈ 3162 is the
+# formula's lower knee.
+_SMALL_LOG10 = 3.5
+_LARGE_LOG10 = 7.0
+_SMALL_PROGRAM_FUNCTIONS = 5000
+
+
+def adaptive_threshold(num_functions: int) -> float:
+    """Equation 3: similarity threshold as a function of module size."""
+    if num_functions <= 0:
+        return 0.05
+    x = math.log10(num_functions)
+    if x < _SMALL_LOG10:
+        return 0.05
+    if x > _LARGE_LOG10:
+        return 0.4
+    return (x - 3.0) / 10.0
+
+
+def adaptive_bands(threshold: float, num_functions: int) -> int:
+    """Equation 4: bands needed for ≥90% discovery at similarity t + 0.1.
+
+    ``b = ceil(log(0.1) / log(1 − (t + 0.1)^2))`` with r fixed at 2; small
+    programs are pinned to b = 100 (the paper's static default).
+    """
+    if num_functions < _SMALL_PROGRAM_FUNCTIONS:
+        return 100
+    s = min(threshold + 0.1, 0.999)
+    b = math.ceil(math.log(0.1) / math.log(1.0 - s * s))
+    return max(1, min(100, b))
+
+
+def lsh_match_probability(similarity: float, rows: int, bands: int) -> float:
+    """Equation 2: probability two items share at least one band."""
+    s = min(max(similarity, 0.0), 1.0)
+    return 1.0 - (1.0 - s**rows) ** bands
+
+
+@dataclass(frozen=True)
+class AdaptiveParameters:
+    """The full parameter bundle the adaptive variant runs with."""
+
+    threshold: float
+    rows: int
+    bands: int
+
+    @property
+    def fingerprint_size(self) -> int:
+        return self.rows * self.bands
+
+
+def adaptive_parameters(num_functions: int, rows: int = 2) -> AdaptiveParameters:
+    """Derive (t, r, b) — and with them k = r·b — for a module size.
+
+    The adaptive policy "always uses r = 2 and controls k and b"
+    (Section IV-D).
+    """
+    t = adaptive_threshold(num_functions)
+    b = adaptive_bands(t, num_functions)
+    return AdaptiveParameters(threshold=t, rows=rows, bands=b)

@@ -1,0 +1,214 @@
+"""Locality Sensitive Hashing index over MinHash fingerprints (Section III-C).
+
+Fingerprints are split into ``b`` bands of ``r`` rows; each band hashes into
+a bucket keyed by ``(band_index, band_hash)``.  A query only compares the
+querying fingerprint against functions sharing at least one bucket — the
+vast majority of pairwise comparisons never happen.
+
+Over-populated buckets (very common instruction subsequences) would make
+bucket scans quadratic, so the number of fingerprint comparisons per bucket
+is capped (default 100, paper Section III-C / IV-E).
+
+Internally all fingerprints live in one ``(n, k)`` uint32 matrix so batched
+similarity evaluation is a single vectorized comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generic, Hashable, List, Optional, Set, Tuple, TypeVar
+
+import numpy as np
+
+from ..fingerprint.minhash import MinHashFingerprint
+
+__all__ = ["LSHIndex", "LSHQueryStats", "BucketStats"]
+
+KeyT = TypeVar("KeyT", bound=Hashable)
+
+
+@dataclass
+class LSHQueryStats:
+    """Work accounting for a single query (drives Fig. 13/16 benches)."""
+
+    buckets_probed: int = 0
+    candidates_seen: int = 0
+    comparisons: int = 0
+    capped_buckets: int = 0
+
+
+@dataclass
+class BucketStats:
+    """Distribution of bucket populations (Section IV-E analysis)."""
+
+    total_buckets: int
+    max_population: int
+    overpopulated: int  # population >= 128, the paper's reporting cutoff
+    populations: List[int] = field(default_factory=list)
+
+
+class LSHIndex(Generic[KeyT]):
+    """Banded LSH index mapping band hashes to member keys."""
+
+    def __init__(self, rows: int = 2, bands: int = 100, bucket_cap: Optional[int] = 100) -> None:
+        if rows <= 0 or bands <= 0:
+            raise ValueError("rows and bands must be positive")
+        self.rows = rows
+        self.bands = bands
+        self.bucket_cap = bucket_cap
+        self._buckets: Dict[int, List[int]] = {}
+        self._keys: List[KeyT] = []
+        self._row_of: Dict[KeyT, int] = {}
+        self._fingerprints: List[MinHashFingerprint] = []
+        self._bands_of: List[List[int]] = []
+        self._alive: List[bool] = []
+        self._live_count = 0
+        # Fingerprint rows live in one capacity-doubled matrix so inserts
+        # (including merged functions re-entering the index) stay O(1)
+        # amortized and batched similarity stays a single vector op.
+        self._matrix_buf: Optional[np.ndarray] = None
+
+    # -- maintenance -----------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._live_count
+
+    def __contains__(self, key: KeyT) -> bool:
+        row = self._row_of.get(key)
+        return row is not None and self._alive[row]
+
+    def fingerprint(self, key: KeyT) -> MinHashFingerprint:
+        return self._fingerprints[self._row_of[key]]
+
+    def insert(self, key: KeyT, fingerprint: MinHashFingerprint) -> None:
+        if fingerprint.config.k < self.rows * self.bands:
+            raise ValueError(
+                f"fingerprint size {fingerprint.config.k} < rows*bands "
+                f"{self.rows * self.bands}"
+            )
+        if key in self._row_of:
+            raise ValueError(f"duplicate key {key!r}")
+        row = len(self._keys)
+        self._keys.append(key)
+        self._row_of[key] = row
+        self._fingerprints.append(fingerprint)
+        self._alive.append(True)
+        self._live_count += 1
+        self._append_row(fingerprint.values)
+        hashes = fingerprint.band_hashes(self.rows)[: self.bands].astype(np.int64)
+        # One integer key per band: (band_index << 32) | band_hash.
+        bucket_keys = (
+            (np.arange(len(hashes), dtype=np.int64) << 32) | hashes
+        ).tolist()
+        self._bands_of.append(bucket_keys)
+        buckets = self._buckets
+        for bucket_key in bucket_keys:
+            bucket = buckets.get(bucket_key)
+            if bucket is None:
+                buckets[bucket_key] = [row]
+            else:
+                bucket.append(row)
+
+    def remove(self, key: KeyT) -> None:
+        """Lazily remove *key*; it stops appearing in query results."""
+        row = self._row_of.get(key)
+        if row is not None and self._alive[row]:
+            self._alive[row] = False
+            self._live_count -= 1
+
+    def _append_row(self, values: np.ndarray) -> None:
+        n = len(self._fingerprints) - 1
+        if self._matrix_buf is None:
+            self._matrix_buf = np.empty((256, values.shape[0]), dtype=np.uint32)
+        elif n >= self._matrix_buf.shape[0]:
+            grown = np.empty(
+                (self._matrix_buf.shape[0] * 2, self._matrix_buf.shape[1]),
+                dtype=np.uint32,
+            )
+            grown[:n] = self._matrix_buf[:n]
+            self._matrix_buf = grown
+        self._matrix_buf[n] = values
+
+    def _matrix(self) -> np.ndarray:
+        if self._matrix_buf is None:
+            return np.empty((0, self.rows * self.bands), dtype=np.uint32)
+        return self._matrix_buf[: len(self._fingerprints)]
+
+    # -- queries ---------------------------------------------------------------------
+    def query(
+        self, key: KeyT, stats: Optional[LSHQueryStats] = None
+    ) -> List[Tuple[KeyT, float]]:
+        """All live candidates sharing ≥1 bucket with *key*, with similarities.
+
+        Within each bucket at most ``bucket_cap`` members are examined;
+        highly similar pairs share several buckets, so a cap rarely hides
+        them (paper Section IV-E).
+        """
+        stats = stats if stats is not None else LSHQueryStats()
+        me = self._row_of[key]
+        candidates = self._candidate_rows(me, stats)
+        stats.candidates_seen += len(candidates)
+        stats.comparisons += len(candidates)
+        if not candidates:
+            return []
+        sims = self._batch_similarity(me, candidates)
+        keys = self._keys
+        return [(keys[row], float(s)) for row, s in zip(candidates, sims)]
+
+    def _candidate_rows(self, me: int, stats: LSHQueryStats) -> List[int]:
+        alive = self._alive
+        cap = self.bucket_cap
+        seen: Set[int] = {me}
+        candidates: List[int] = []
+        for bucket_key in self._bands_of[me]:
+            members = self._buckets.get(bucket_key, ())
+            stats.buckets_probed += 1
+            # The cap bounds how much of an over-populated bucket we are
+            # willing to scan: entries beyond the window are never examined
+            # (Section III-C: "we limit the number of fingerprint
+            # comparisons per bucket to 100").
+            if cap is not None and len(members) > cap:
+                stats.capped_buckets += 1
+                members = members[:cap]
+            for row in members:
+                if row in seen or not alive[row]:
+                    continue
+                seen.add(row)
+                candidates.append(row)
+        return candidates
+
+    def _batch_similarity(self, me: int, candidates: List[int]) -> np.ndarray:
+        # Batched estimated-Jaccard: fraction of equal minhash entries.
+        matrix = self._matrix()
+        return (matrix[candidates] == matrix[me][None, :]).mean(axis=1)
+
+    def best_match(
+        self, key: KeyT, stats: Optional[LSHQueryStats] = None
+    ) -> Optional[Tuple[KeyT, float]]:
+        """The nearest live candidate by estimated Jaccard similarity."""
+        stats = stats if stats is not None else LSHQueryStats()
+        me = self._row_of[key]
+        candidates = self._candidate_rows(me, stats)
+        stats.candidates_seen += len(candidates)
+        stats.comparisons += len(candidates)
+        if not candidates:
+            return None
+        sims = self._batch_similarity(me, candidates)
+        best = int(sims.argmax())
+        return self._keys[candidates[best]], float(sims[best])
+
+    # -- diagnostics ------------------------------------------------------------------
+    def bucket_stats(self) -> BucketStats:
+        populations = sorted(
+            (
+                sum(1 for row in members if self._alive[row])
+                for members in self._buckets.values()
+            ),
+            reverse=True,
+        )
+        populations = [p for p in populations if p > 0]
+        return BucketStats(
+            total_buckets=len(populations),
+            max_population=populations[0] if populations else 0,
+            overpopulated=sum(1 for p in populations if p >= 128),
+            populations=populations,
+        )

@@ -1,0 +1,20 @@
+"""Standard IR clean-up passes (the post-merge -Os pipeline stand-in)."""
+
+from .constfold import fold_constants
+from .dce import eliminate_dead_code, eliminate_dead_functions
+from .mem2reg import dominance_frontiers, promote_allocas, promote_module
+from .pipeline import OptimizationStats, optimize_function, optimize_module
+from .simplify_cfg import simplify_cfg
+
+__all__ = [
+    "fold_constants",
+    "eliminate_dead_code",
+    "eliminate_dead_functions",
+    "dominance_frontiers",
+    "promote_allocas",
+    "promote_module",
+    "OptimizationStats",
+    "optimize_function",
+    "optimize_module",
+    "simplify_cfg",
+]

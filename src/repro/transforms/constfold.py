@@ -1,0 +1,175 @@
+"""Constant folding and trivial instruction simplification.
+
+Operand merging inserts ``select i1 %fid, C2, C1`` instructions; when the
+two constants turn out equal — or a binary op ends up with constant inputs
+after other folds — the result is a compile-time constant.  This pass folds
+them, feeding :mod:`repro.transforms.simplify_cfg` (constant branch
+conditions) and :mod:`repro.transforms.dce` (newly dead selects).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.function import Function
+from ..ir.instructions import BinaryOp, Cast, ICmp, ICmpPred, Instruction, Opcode, Select
+from ..ir.types import IntType
+from ..ir.values import ConstantInt, Value
+
+__all__ = ["fold_constants"]
+
+
+def _fold_binary(inst: BinaryOp) -> Optional[Value]:
+    lhs, rhs = inst.lhs, inst.rhs
+    type_ = inst.type
+    if not isinstance(type_, IntType):
+        return None  # float folding skipped: rounding must match interp
+    # Identity simplifications first (one constant operand).
+    if isinstance(rhs, ConstantInt):
+        if rhs.value == 0 and inst.opcode in (
+            Opcode.ADD,
+            Opcode.SUB,
+            Opcode.OR,
+            Opcode.XOR,
+            Opcode.SHL,
+            Opcode.LSHR,
+            Opcode.ASHR,
+        ):
+            return lhs
+        if rhs.value == 1 and inst.opcode in (Opcode.MUL, Opcode.SDIV, Opcode.UDIV):
+            return lhs
+        if rhs.value == 0 and inst.opcode in (Opcode.MUL, Opcode.AND):
+            return ConstantInt(type_, 0)
+    if not (isinstance(lhs, ConstantInt) and isinstance(rhs, ConstantInt)):
+        return None
+    bits = type_.bits
+    mask = type_.mask
+    a, b = lhs.value, rhs.value
+
+    def signed(x: int) -> int:
+        return x - (1 << bits) if x >= (1 << (bits - 1)) else x
+
+    op = inst.opcode
+    if op == Opcode.ADD:
+        return ConstantInt(type_, a + b)
+    if op == Opcode.SUB:
+        return ConstantInt(type_, a - b)
+    if op == Opcode.MUL:
+        return ConstantInt(type_, a * b)
+    if op == Opcode.AND:
+        return ConstantInt(type_, a & b)
+    if op == Opcode.OR:
+        return ConstantInt(type_, a | b)
+    if op == Opcode.XOR:
+        return ConstantInt(type_, a ^ b)
+    if op == Opcode.SHL:
+        return ConstantInt(type_, 0 if b >= bits else a << b)
+    if op == Opcode.LSHR:
+        return ConstantInt(type_, 0 if b >= bits else a >> b)
+    if op == Opcode.ASHR:
+        sa = signed(a)
+        return ConstantInt(type_, (sa >> min(b, bits - 1)) & mask)
+    if op in (Opcode.SDIV, Opcode.SREM) and signed(b) != 0:
+        sa, sb = signed(a), signed(b)
+        q = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            q = -q
+        return ConstantInt(type_, q if op == Opcode.SDIV else sa - q * sb)
+    if op in (Opcode.UDIV, Opcode.UREM) and b != 0:
+        return ConstantInt(type_, a // b if op == Opcode.UDIV else a % b)
+    return None
+
+
+_ICMP_FOLDS = {
+    ICmpPred.EQ: lambda a, b: a == b,
+    ICmpPred.NE: lambda a, b: a != b,
+    ICmpPred.UGT: lambda a, b: a > b,
+    ICmpPred.UGE: lambda a, b: a >= b,
+    ICmpPred.ULT: lambda a, b: a < b,
+    ICmpPred.ULE: lambda a, b: a <= b,
+}
+
+
+def _fold_icmp(inst: ICmp) -> Optional[Value]:
+    from ..ir.types import I1
+
+    lhs, rhs = inst.operand(0), inst.operand(1)
+    if not (isinstance(lhs, ConstantInt) and isinstance(rhs, ConstantInt)):
+        return None
+    type_ = lhs.type
+    bits = type_.bits  # type: ignore[attr-defined]
+
+    def signed(x: int) -> int:
+        return x - (1 << bits) if x >= (1 << (bits - 1)) else x
+
+    a, b = lhs.value, rhs.value
+    pred = inst.pred
+    if pred in _ICMP_FOLDS:
+        return ConstantInt(I1, int(_ICMP_FOLDS[pred](a, b)))
+    signed_table = {
+        ICmpPred.SGT: signed(a) > signed(b),
+        ICmpPred.SGE: signed(a) >= signed(b),
+        ICmpPred.SLT: signed(a) < signed(b),
+        ICmpPred.SLE: signed(a) <= signed(b),
+    }
+    return ConstantInt(I1, int(signed_table[pred]))
+
+
+def _fold_select(inst: Select) -> Optional[Value]:
+    cond = inst.condition
+    if isinstance(cond, ConstantInt):
+        return inst.true_value if cond.value else inst.false_value
+    tv, fv = inst.true_value, inst.false_value
+    if tv is fv:
+        return tv
+    if (
+        isinstance(tv, ConstantInt)
+        and isinstance(fv, ConstantInt)
+        and tv.value == fv.value
+    ):
+        return tv
+    return None
+
+
+def _fold_cast(inst: Cast) -> Optional[Value]:
+    value = inst.value
+    if not isinstance(value, ConstantInt) or not isinstance(inst.type, IntType):
+        return None
+    src_bits = value.type.bits  # type: ignore[attr-defined]
+    v = value.value
+    if inst.opcode == Opcode.TRUNC or inst.opcode == Opcode.ZEXT:
+        return ConstantInt(inst.type, v)
+    if inst.opcode == Opcode.SEXT:
+        if v >= (1 << (src_bits - 1)):
+            v -= 1 << src_bits
+        return ConstantInt(inst.type, v)
+    return None
+
+
+def _fold_one(inst: Instruction) -> Optional[Value]:
+    if isinstance(inst, BinaryOp):
+        return _fold_binary(inst)
+    if isinstance(inst, ICmp):
+        return _fold_icmp(inst)
+    if isinstance(inst, Select):
+        return _fold_select(inst)
+    if isinstance(inst, Cast):
+        return _fold_cast(inst)
+    return None
+
+
+def fold_constants(func: Function) -> int:
+    """Fold constant expressions to a fixpoint; returns folds performed."""
+    folded = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks:
+            for inst in list(block.instructions):
+                replacement = _fold_one(inst)
+                if replacement is not None and replacement is not inst:
+                    inst.replace_all_uses_with(replacement)
+                    inst.erase_from_parent()
+                    folded += 1
+                    changed = True
+    return folded

@@ -1,0 +1,63 @@
+"""Dead code elimination.
+
+Merged functions carry per-function phi shells and select chains that are
+dead on one of the two paths; DCE cleans them up exactly the way LLVM's
+post-merge pipeline would, making the size model reflect what a real
+backend would emit.
+"""
+
+from __future__ import annotations
+
+from ..ir.function import Function
+from ..ir.instructions import Instruction
+from ..ir.module import Module
+
+__all__ = ["eliminate_dead_code", "eliminate_dead_functions"]
+
+
+def _is_trivially_dead(inst: Instruction) -> bool:
+    if inst.num_uses:
+        return False
+    if inst.is_terminator or inst.is_phi:
+        return inst.is_phi  # unused phis are removable, terminators never
+    return not inst.has_side_effects()
+
+
+def eliminate_dead_code(func: Function) -> int:
+    """Remove instructions whose results are unused and side-effect free.
+
+    Iterates to a fixpoint (removing one instruction can make its operands
+    dead).  Returns the number of instructions removed.
+    """
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks:
+            for inst in list(block.instructions):
+                if _is_trivially_dead(inst):
+                    inst.erase_from_parent()
+                    removed += 1
+                    changed = True
+    return removed
+
+
+def eliminate_dead_functions(module: Module) -> int:
+    """Remove internal functions that are never referenced.
+
+    Mirrors ``internalize`` + ``globaldce`` in an LTO pipeline; merging
+    leaves behind nothing by construction, but generated workloads and
+    user pipelines may.
+    """
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for func in list(module.functions):
+            if func.internal and not func.is_declaration and func.num_uses == 0:
+                # Entry-point convention: externally-visible functions and
+                # drivers stay.
+                func.erase_from_parent()
+                removed += 1
+                changed = True
+    return removed

@@ -1,0 +1,166 @@
+"""Promote memory to registers (the classic ``mem2reg`` pass).
+
+The MiniC frontend lowers every local variable to an entry-block ``alloca``
+with load/store traffic.  This pass rebuilds SSA form: phi nodes are placed
+at the iterated dominance frontier of each variable's definition blocks and
+uses are renamed along a dominator-tree walk — the standard
+Cytron-et-al. construction, which is also what LLVM runs before any of the
+merging work in the paper begins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis.cfg import reachable_blocks
+from ..analysis.dominators import DominatorTree
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Alloca, Instruction, Load, Phi, Store
+from ..ir.module import Module
+from ..ir.values import UndefValue, Value
+
+__all__ = ["promote_allocas", "promote_module", "dominance_frontiers"]
+
+
+def dominance_frontiers(
+    func: Function, dt: DominatorTree
+) -> Dict[int, Set[BasicBlock]]:
+    """Dominance frontier of every reachable block (Cooper's algorithm)."""
+    frontiers: Dict[int, Set[BasicBlock]] = {
+        id(b): set() for b in func.blocks if dt.is_reachable(b)
+    }
+    for block in func.blocks:
+        if not dt.is_reachable(block):
+            continue
+        preds = [p for p in block.predecessors() if dt.is_reachable(p)]
+        if len(preds) < 2:
+            continue
+        idom = dt.idom(block)
+        for pred in preds:
+            runner: Optional[BasicBlock] = pred
+            while runner is not None and runner is not idom:
+                frontiers[id(runner)].add(block)
+                runner = dt.idom(runner)
+    return frontiers
+
+
+def _promotable(alloca: Alloca) -> bool:
+    """True if every use is a direct load or a store *to* the slot."""
+    for user, index in alloca.uses():
+        if isinstance(user, Load):
+            continue
+        if isinstance(user, Store) and index == 1:  # pointer operand
+            continue
+        return False
+    return True
+
+
+def promote_allocas(func: Function) -> int:
+    """Promote all promotable allocas in *func*; returns how many."""
+    if func.is_declaration:
+        return 0
+    live = reachable_blocks(func)
+    if any(id(b) not in live for b in func.blocks):
+        # Keep the pass simple: require a cleaned CFG (frontend/merger both
+        # remove unreachable blocks before running us).
+        from .simplify_cfg import simplify_cfg  # noqa: F401  (documented dep)
+
+        from ..analysis.cfg import remove_unreachable_blocks
+
+        remove_unreachable_blocks(func)
+
+    allocas: List[Alloca] = [
+        inst
+        for block in func.blocks
+        for inst in block.instructions
+        if isinstance(inst, Alloca) and _promotable(inst)
+    ]
+    if not allocas:
+        return 0
+
+    dt = DominatorTree(func)
+    frontiers = dominance_frontiers(func, dt)
+    slot_index = {id(a): i for i, a in enumerate(allocas)}
+
+    # -- phi placement at the iterated dominance frontier ------------------------
+    phis: Dict[Tuple[int, int], Phi] = {}  # (block id, slot) -> phi
+    for slot, alloca in enumerate(allocas):
+        def_blocks = {
+            id(user.parent)
+            for user, index in alloca.uses()
+            if isinstance(user, Store) and user.parent is not None
+        }
+        worklist = [b for b in func.blocks if id(b) in def_blocks]
+        placed: Set[int] = set()
+        while worklist:
+            block = worklist.pop()
+            for frontier_block in frontiers.get(id(block), ()):
+                if id(frontier_block) in placed:
+                    continue
+                placed.add(id(frontier_block))
+                phi = Phi(alloca.allocated_type)
+                phi.name = func.next_name(f"{alloca.name or 'mem'}.phi")
+                frontier_block.insert(0, phi)
+                phis[(id(frontier_block), slot)] = phi
+                if id(frontier_block) not in def_blocks:
+                    worklist.append(frontier_block)
+
+    # -- renaming along the dominator tree ---------------------------------------
+    stacks: List[List[Value]] = [[] for _ in allocas]
+    phi_slot: Dict[int, int] = {id(phi): slot for (_bid, slot), phi in phis.items()}
+
+    def current(slot: int, type_) -> Value:
+        return stacks[slot][-1] if stacks[slot] else UndefValue(type_)
+
+    def rename(block: BasicBlock) -> None:
+        pushed = [0] * len(allocas)
+        for inst in list(block.instructions):
+            if isinstance(inst, Phi):
+                slot = phi_slot.get(id(inst))
+                if slot is not None:
+                    stacks[slot].append(inst)
+                    pushed[slot] += 1
+                continue
+            if isinstance(inst, Load):
+                slot = slot_index.get(id(inst.pointer))
+                if slot is not None:
+                    inst.replace_all_uses_with(
+                        current(slot, allocas[slot].allocated_type)
+                    )
+                    inst.erase_from_parent()
+                continue
+            if isinstance(inst, Store):
+                slot = slot_index.get(id(inst.pointer))
+                if slot is not None:
+                    stacks[slot].append(inst.value)
+                    pushed[slot] += 1
+                    inst.erase_from_parent()
+                continue
+        for succ in block.successors():
+            for slot, alloca in enumerate(allocas):
+                phi = phis.get((id(succ), slot))
+                if phi is not None and phi.incoming_for(block) is None:
+                    phi.add_incoming(
+                        current(slot, alloca.allocated_type), block
+                    )
+        for child in dt.children(block):
+            rename(child)
+        for slot, count in enumerate(pushed):
+            if count:
+                del stacks[slot][-count:]
+
+    rename(func.entry)
+
+    for alloca in allocas:
+        assert alloca.num_uses == 0, f"unpromoted use of %{alloca.name}"
+        alloca.erase_from_parent()
+
+    # Phis for never-stored paths may be fed only by undef/self; leave them —
+    # DCE removes unused ones, and partially-undef phis are still correct.
+    return len(allocas)
+
+
+def promote_module(module: Module) -> int:
+    """Run mem2reg on every defined function."""
+    return sum(promote_allocas(f) for f in module.defined_functions())

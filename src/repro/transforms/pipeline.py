@@ -1,0 +1,75 @@
+"""A small pass pipeline: the "rest of the compiler" after merging.
+
+``optimize_function``/``optimize_module`` run constant folding, CFG
+simplification and DCE to a fixpoint — the clean-ups LLVM's -Os pipeline
+would apply to merged code before emission, so size measurements reflect
+realistic output rather than the merger's conservative scaffolding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.function import Function
+from ..ir.module import Module
+from .constfold import fold_constants
+from .dce import eliminate_dead_code, eliminate_dead_functions
+from .simplify_cfg import simplify_cfg
+
+__all__ = ["OptimizationStats", "optimize_function", "optimize_module"]
+
+
+@dataclass
+class OptimizationStats:
+    folds: int = 0
+    cfg_changes: int = 0
+    dead_instructions: int = 0
+    dead_functions: int = 0
+
+    def __add__(self, other: "OptimizationStats") -> "OptimizationStats":
+        return OptimizationStats(
+            self.folds + other.folds,
+            self.cfg_changes + other.cfg_changes,
+            self.dead_instructions + other.dead_instructions,
+            self.dead_functions + other.dead_functions,
+        )
+
+    @property
+    def total(self) -> int:
+        return (
+            self.folds
+            + self.cfg_changes
+            + self.dead_instructions
+            + self.dead_functions
+        )
+
+
+def optimize_function(func: Function, max_rounds: int = 8) -> OptimizationStats:
+    """Fold → simplify-cfg → DCE to a fixpoint on one function."""
+    stats = OptimizationStats()
+    for _ in range(max_rounds):
+        round_stats = OptimizationStats(
+            folds=fold_constants(func),
+            cfg_changes=simplify_cfg(func),
+            dead_instructions=eliminate_dead_code(func),
+        )
+        stats = stats + round_stats
+        if round_stats.total == 0:
+            break
+    return stats
+
+
+def optimize_module(
+    module: Module, max_rounds: int = 8, drop_dead_functions: bool = True
+) -> OptimizationStats:
+    """Optimize every defined function, then drop unreferenced internals.
+
+    ``drop_dead_functions=False`` keeps never-referenced internal functions
+    (library-style modules where everything is a potential entry point).
+    """
+    stats = OptimizationStats()
+    for func in module.defined_functions():
+        stats = stats + optimize_function(func, max_rounds)
+    if drop_dead_functions:
+        stats.dead_functions += eliminate_dead_functions(module)
+    return stats

@@ -1,0 +1,135 @@
+"""CFG simplification.
+
+The merged-code generator emits conservative block structure: join blocks
+holding nothing but a branch, single-predecessor chains, and conditional
+branches whose condition is a constant (when a select-merged operand folded
+away).  This pass performs the classic clean-ups LLVM's ``simplifycfg``
+would apply before size measurement:
+
+* fold conditional branches on constant conditions;
+* remove blocks that only branch (retargeting predecessors and phis);
+* merge single-successor/single-predecessor block chains;
+* delete unreachable blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.cfg import remove_unreachable_blocks
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Branch, Instruction, Phi
+from ..ir.values import ConstantInt
+
+__all__ = ["simplify_cfg"]
+
+
+def _fold_constant_branches(func: Function) -> int:
+    changed = 0
+    for block in func.blocks:
+        term = block.terminator
+        if isinstance(term, Branch) and term.is_conditional:
+            cond = term.condition
+            if isinstance(cond, ConstantInt):
+                taken_idx = 1 if cond.value else 2
+                dead_idx = 2 if cond.value else 1
+                taken: BasicBlock = term.operand(taken_idx)  # type: ignore[assignment]
+                dead: BasicBlock = term.operand(dead_idx)  # type: ignore[assignment]
+                if dead is not taken:
+                    for phi in dead.phis():
+                        if phi.incoming_for(block) is not None:
+                            phi.remove_incoming(block)
+                term.erase_from_parent()
+                block.append(Branch(taken))
+                changed += 1
+    return changed
+
+
+def _forward_empty_blocks(func: Function) -> int:
+    """Retarget edges through blocks that contain only ``br label %x``."""
+    changed = 0
+    for block in list(func.blocks):
+        if block is func.entry:
+            continue
+        if len(block.instructions) != 1:
+            continue
+        term = block.terminator
+        if not isinstance(term, Branch) or term.is_conditional:
+            continue
+        target: BasicBlock = term.successors()[0]
+        if target is block:
+            continue  # self loop
+        preds = block.predecessors()
+        if not preds:
+            continue
+        # A phi in the target distinguishing `block` from a pred that also
+        # reaches `target` directly cannot be collapsed without merging
+        # incoming values; skip those (LLVM does the same dance).
+        target_phis = target.phis()
+        if target_phis:
+            pred_ids = {id(p) for p in preds}
+            existing = {id(b) for _v, b in target_phis[0].incoming}
+            if pred_ids & existing:
+                continue
+        for pred in preds:
+            pterm = pred.terminator
+            if pterm is None:
+                continue
+            for idx, op in enumerate(pterm.operands):
+                if op is block:
+                    pterm.set_operand(idx, target)
+            changed += 1
+        for phi in target_phis:
+            incoming = phi.incoming_for(block)
+            if incoming is not None:
+                phi.remove_incoming(block)
+                for pred in preds:
+                    phi.add_incoming(incoming, pred)
+        block.erase_from_parent()
+        changed += 1
+    return changed
+
+
+def _merge_block_chains(func: Function) -> int:
+    """Merge B into A when A's only successor is B and B's only pred is A."""
+    changed = 0
+    for block in list(func.blocks):
+        term = block.terminator
+        if not isinstance(term, Branch) or term.is_conditional:
+            continue
+        succ: BasicBlock = term.successors()[0]
+        if succ is block or succ is func.entry:
+            continue
+        preds = succ.predecessors()
+        if len(preds) != 1 or preds[0] is not block:
+            continue
+        # Phis in succ have a single incoming value: replace them with it.
+        for phi in list(succ.phis()):
+            incoming = phi.incoming_for(block)
+            assert incoming is not None
+            phi.replace_all_uses_with(incoming)
+            phi.erase_from_parent()
+        term.erase_from_parent()
+        for inst in list(succ.instructions):
+            succ.remove(inst)
+            block.append(inst)
+        succ.replace_all_uses_with(block)  # stray phi references
+        succ.erase_from_parent()
+        changed += 1
+    return changed
+
+
+def simplify_cfg(func: Function) -> int:
+    """Run all simplifications to a fixpoint; returns total change count."""
+    if func.is_declaration:
+        return 0
+    total = 0
+    while True:
+        changed = _fold_constant_branches(func)
+        changed += remove_unreachable_blocks(func)
+        changed += _forward_empty_blocks(func)
+        changed += _merge_block_chains(func)
+        total += changed
+        if not changed:
+            return total

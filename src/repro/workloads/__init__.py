@@ -1,0 +1,27 @@
+"""Synthetic workloads: random IR generation, mutation families, suites."""
+
+from .generator import FunctionGenerator, GeneratorConfig
+from .mutate import make_variant, mutate_function
+from .suites import (
+    BENCHMARKS,
+    BenchmarkSpec,
+    WorkloadConfig,
+    benchmark_by_name,
+    build_benchmark,
+    build_workload,
+    size_class,
+)
+
+__all__ = [
+    "FunctionGenerator",
+    "GeneratorConfig",
+    "make_variant",
+    "mutate_function",
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "WorkloadConfig",
+    "benchmark_by_name",
+    "build_benchmark",
+    "build_workload",
+    "size_class",
+]

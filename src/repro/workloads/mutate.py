@@ -1,0 +1,265 @@
+"""Mutation engine: derive "similar" variants of a base function.
+
+Real programs contain families of nearly identical functions; merging lives
+off them.  A variant is a clone of the base with *n* random, semantics-
+bending but well-formedness-preserving edits — changed constants, swapped
+operators, flipped predicates, inserted or deleted instructions.  The
+mutation count controls how far the variant drifts, which in turn controls
+the pair's alignment ratio and merge profitability: the knob behind the
+profitable/unprofitable mixes in Figures 4, 6, 9, 10 and 14.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..ir.basicblock import BasicBlock
+from ..ir.clone import clone_function
+from ..ir.function import Function
+from ..ir.instructions import (
+    BinaryOp,
+    GetElementPtr,
+    ICmp,
+    ICmpPred,
+    Instruction,
+    Opcode,
+    Phi,
+    Switch,
+)
+from ..ir.module import Module
+from ..ir.values import ConstantInt
+
+__all__ = ["mutate_function", "make_variant", "shuffle_function", "make_shuffled_variant"]
+
+_SWAP_GROUPS = [
+    [Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND, Opcode.OR, Opcode.XOR],
+    [Opcode.SHL, Opcode.LSHR, Opcode.ASHR],
+    [Opcode.FADD, Opcode.FSUB, Opcode.FMUL],
+]
+_ICMP_PREDS = [
+    ICmpPred.EQ,
+    ICmpPred.NE,
+    ICmpPred.SLT,
+    ICmpPred.SLE,
+    ICmpPred.SGT,
+    ICmpPred.SGE,
+]
+_DIV_OPS = (Opcode.SDIV, Opcode.UDIV, Opcode.SREM, Opcode.UREM)
+_SHIFT_OPS = (Opcode.SHL, Opcode.LSHR, Opcode.ASHR)
+
+
+def _non_phi_instructions(func: Function) -> List[Instruction]:
+    """Mutable instructions: no phis, and no loop induction updates.
+
+    Instructions named ``iv*`` are the generator's loop-counter increments;
+    mutating them (e.g. ``add iv, 1`` -> ``sub iv, 1``) would produce
+    non-terminating loops, which the interpreter-based experiments cannot
+    tolerate.
+    """
+    return [
+        inst
+        for block in func.blocks
+        for inst in block.instructions
+        if not inst.is_phi and not inst.name.startswith("iv")
+    ]
+
+
+def _mutate_constant(func: Function, rng: random.Random) -> bool:
+    candidates = []
+    for inst in _non_phi_instructions(func):
+        if isinstance(inst, (GetElementPtr, Switch)):
+            continue  # index validity / case uniqueness constraints
+        for idx, op in enumerate(inst.operands):
+            if isinstance(op, ConstantInt) and op.type.bits > 1:
+                candidates.append((inst, idx, op))
+    if not candidates:
+        return False
+    inst, idx, op = rng.choice(candidates)
+    if inst.opcode in _DIV_OPS and idx == 1:
+        new_value = rng.randint(1, 13)  # keep divisors non-zero
+    elif inst.opcode in _SHIFT_OPS and idx == 1:
+        new_value = rng.randint(1, 5)
+    else:
+        # Avoid 0/1: they fold to identities under -Os-style cleanup and
+        # the mutation would vanish before merging ever sees it.
+        new_value = rng.randint(2, 63)
+    if new_value == op.value:
+        new_value = (new_value % 62) + 2
+    inst.set_operand(idx, ConstantInt(op.type, new_value))
+    return True
+
+
+def _mutate_opcode(func: Function, rng: random.Random) -> bool:
+    candidates = [
+        inst
+        for inst in _non_phi_instructions(func)
+        if isinstance(inst, BinaryOp)
+        and any(inst.opcode in group for group in _SWAP_GROUPS)
+    ]
+    if not candidates:
+        return False
+    inst = rng.choice(candidates)
+    for group in _SWAP_GROUPS:
+        if inst.opcode in group:
+            others = [op for op in group if op != inst.opcode]
+            inst.opcode = rng.choice(others)
+            return True
+    return False
+
+
+def _mutate_predicate(func: Function, rng: random.Random) -> bool:
+    candidates = [i for i in _non_phi_instructions(func) if isinstance(i, ICmp)]
+    if not candidates:
+        return False
+    inst = rng.choice(candidates)
+    inst.pred = rng.choice([p for p in _ICMP_PREDS if p != inst.pred])
+    return True
+
+
+def _insert_instruction(func: Function, rng: random.Random) -> bool:
+    """Insert a new arithmetic op fed by an earlier same-block int value and
+    reroute that value's later same-block uses through it."""
+    candidates = []
+    for block in func.blocks:
+        for pos, inst in enumerate(block.instructions):
+            if inst.is_phi or inst.is_terminator:
+                continue
+            if inst.type.is_int and inst.type.bits > 1:  # type: ignore[attr-defined]
+                candidates.append((block, pos, inst))
+    if not candidates:
+        return False
+    block, pos, source = rng.choice(candidates)
+    new = BinaryOp(
+        rng.choice([Opcode.ADD, Opcode.XOR, Opcode.SUB]),
+        source,
+        ConstantInt(source.type, rng.randint(1, 15)),  # type: ignore[arg-type]
+    )
+    new.name = func.next_name("mut")
+    block.insert(pos + 1, new)
+    # Reroute later same-block uses so the new op is live; a dead insert
+    # would be erased by DCE before merging ever sees it.
+    rerouted = False
+    for user, idx in list(source.uses()):
+        if (
+            isinstance(user, Instruction)
+            and user is not new
+            and user.parent is block
+            and block.instructions.index(user) > pos + 1
+        ):
+            user.set_operand(idx, new)
+            rerouted = True
+    if not rerouted:
+        new.erase_from_parent()
+        return False
+    return True
+
+
+def _reorder_instructions(func: Function, rng: random.Random) -> bool:
+    """Swap two adjacent independent instructions.
+
+    Preserves semantics and the opcode *multiset* — the HyFM fingerprint
+    cannot see the change at all — while shifting the instruction sequence
+    that shingles and alignment operate on.  This is exactly the structural
+    blindness of opcode-frequency fingerprints the paper's Section II-B
+    criticizes, so workloads need a realistic dose of it.
+    """
+    candidates = []
+    for block in func.blocks:
+        insts = block.instructions
+        start = block.first_non_phi_index()
+        end = len(insts) - 1 if block.is_terminated else len(insts)
+        for pos in range(start, end - 1):
+            a, b = insts[pos], insts[pos + 1]
+            if a.name.startswith("iv") or b.name.startswith("iv"):
+                continue
+            if b in a.users or a in b.users:
+                continue  # data dependence
+            if (a.may_write_memory() or a.may_read_memory()) and (
+                b.may_write_memory() or b.may_read_memory()
+            ):
+                continue  # possible memory dependence
+            candidates.append((block, pos))
+    if not candidates:
+        return False
+    block, pos = rng.choice(candidates)
+    insts = block.instructions
+    insts[pos], insts[pos + 1] = insts[pos + 1], insts[pos]
+    return True
+
+
+def _delete_instruction(func: Function, rng: random.Random) -> bool:
+    candidates = [
+        inst
+        for inst in _non_phi_instructions(func)
+        if isinstance(inst, BinaryOp) and inst.lhs.type is inst.type
+    ]
+    if not candidates:
+        return False
+    inst = rng.choice(candidates)
+    inst.replace_all_uses_with(inst.lhs)
+    inst.erase_from_parent()
+    return True
+
+
+_MUTATIONS = [
+    (_mutate_constant, 0.30),
+    (_reorder_instructions, 0.15),
+    (_mutate_opcode, 0.15),
+    (_mutate_predicate, 0.12),
+    (_insert_instruction, 0.18),
+    (_delete_instruction, 0.10),
+]
+
+
+def mutate_function(func: Function, rng: random.Random, n_mutations: int) -> int:
+    """Apply up to *n_mutations* random edits in place; returns how many took."""
+    applied = 0
+    weights = [w for _fn, w in _MUTATIONS]
+    funcs = [fn for fn, _w in _MUTATIONS]
+    for _ in range(n_mutations):
+        mutation = rng.choices(funcs, weights=weights, k=1)[0]
+        if mutation(func, rng):
+            applied += 1
+    return applied
+
+
+def shuffle_function(func: Function, rng: random.Random, n_swaps: int) -> int:
+    """Apply only instruction reorders: same semantics, same opcode
+    multiset, different instruction schedule.
+
+    Pairs built this way are the purest form of the paper's Figure 5
+    problem: the opcode-frequency fingerprint scores them as identical
+    while their alignment (and single-instruction shingles) degrade.
+    """
+    applied = 0
+    for _ in range(n_swaps):
+        if _reorder_instructions(func, rng):
+            applied += 1
+    return applied
+
+
+def make_shuffled_variant(
+    base: Function,
+    name: str,
+    rng: random.Random,
+    n_swaps: int,
+    module: Optional[Module] = None,
+) -> Function:
+    """Clone *base* as *name* and shuffle the clone's instruction order."""
+    variant = clone_function(base, name, module if module is not None else base.parent)
+    shuffle_function(variant, rng, n_swaps)
+    return variant
+
+
+def make_variant(
+    base: Function,
+    name: str,
+    rng: random.Random,
+    n_mutations: int,
+    module: Optional[Module] = None,
+) -> Function:
+    """Clone *base* as *name* and mutate the clone."""
+    variant = clone_function(base, name, module if module is not None else base.parent)
+    mutate_function(variant, rng, n_mutations)
+    return variant

@@ -1,0 +1,142 @@
+"""Tests for CFG traversals and the dominator tree."""
+
+from repro.analysis import (
+    DominatorTree,
+    postorder,
+    reachable_blocks,
+    remove_unreachable_blocks,
+    reverse_postorder,
+)
+from repro.ir import (
+    BasicBlock,
+    Branch,
+    ConstantInt,
+    I32,
+    IRBuilder,
+    Ret,
+    verify_function,
+)
+from tests.conftest import build_diamond, build_loop, build_straightline
+
+
+class TestTraversal:
+    def test_rpo_starts_at_entry(self, module):
+        func = build_diamond(module)
+        rpo = reverse_postorder(func)
+        assert rpo[0] is func.entry
+        assert len(rpo) == 4
+
+    def test_rpo_respects_dominance(self, module):
+        func = build_diamond(module)
+        rpo = reverse_postorder(func)
+        index = {id(b): i for i, b in enumerate(rpo)}
+        # join comes after both arms
+        entry, big, small, join = func.blocks
+        assert index[id(join)] > index[id(big)]
+        assert index[id(join)] > index[id(small)]
+
+    def test_postorder_is_reverse(self, module):
+        func = build_loop(module)
+        assert list(reversed(postorder(func))) == reverse_postorder(func)
+
+    def test_declaration_is_empty(self, module):
+        from repro.ir import Function, FunctionType
+
+        func = Function(FunctionType(I32, []), "d", parent=module)
+        assert reverse_postorder(func) == []
+
+
+class TestUnreachable:
+    def test_reachable_blocks(self, module):
+        func = build_diamond(module)
+        dead = BasicBlock("dead", func)
+        dead.append(Ret(ConstantInt(I32, 0)))
+        live = reachable_blocks(func)
+        assert id(dead) not in live
+        assert len(live) == 4
+
+    def test_remove_unreachable(self, module):
+        func = build_diamond(module)
+        dead = BasicBlock("dead", func)
+        dead.append(Ret(ConstantInt(I32, 0)))
+        removed = remove_unreachable_blocks(func)
+        assert removed == 1
+        assert len(func.blocks) == 4
+        verify_function(func)
+
+    def test_remove_unreachable_fixes_phis(self, module):
+        func = build_diamond(module)
+        join = func.blocks[-1]
+        dead = BasicBlock("dead", func)
+        b = IRBuilder(dead)
+        b.br(join)
+        phi = join.phis()[0]
+        phi.add_incoming(ConstantInt(I32, 77), dead)
+        removed = remove_unreachable_blocks(func)
+        assert removed == 1
+        assert phi.incoming_for(dead) is None
+        verify_function(func)
+
+
+class TestDominators:
+    def test_diamond_idoms(self, module):
+        func = build_diamond(module)
+        entry, big, small, join = func.blocks
+        dt = DominatorTree(func)
+        assert dt.idom(entry) is None
+        assert dt.idom(big) is entry
+        assert dt.idom(small) is entry
+        assert dt.idom(join) is entry
+
+    def test_dominates_block(self, module):
+        func = build_diamond(module)
+        entry, big, small, join = func.blocks
+        dt = DominatorTree(func)
+        assert dt.dominates_block(entry, join)
+        assert dt.dominates_block(entry, entry)
+        assert not dt.dominates_block(big, join)
+        assert not dt.strictly_dominates_block(entry, entry)
+
+    def test_loop_header_dominates_body(self, module):
+        func = build_loop(module)
+        entry, header, body, exit_bb = func.blocks
+        dt = DominatorTree(func)
+        assert dt.dominates_block(header, body)
+        assert dt.dominates_block(header, exit_bb)
+        assert not dt.dominates_block(body, exit_bb)
+
+    def test_instruction_dominance_same_block(self, module):
+        func = build_straightline(module)
+        dt = DominatorTree(func)
+        insts = func.entry.instructions
+        assert dt.dominates(insts[0], insts[1], 0)
+        assert not dt.dominates(insts[1], insts[0], 0)
+
+    def test_phi_use_checks_incoming_block(self, module):
+        func = build_loop(module)
+        entry, header, body, exit_bb = func.blocks
+        dt = DominatorTree(func)
+        iv_phi = header.phis()[0]
+        # Back-edge incoming value (iv.next in body) must dominate the
+        # *body* exit, not the phi itself.
+        iv_next = body.instructions[-2]
+        incoming_idx = [
+            i for i, op in enumerate(iv_phi.operands) if op is iv_next
+        ][0]
+        assert dt.dominates(iv_next, iv_phi, incoming_idx)
+
+    def test_children(self, module):
+        func = build_diamond(module)
+        entry = func.entry
+        dt = DominatorTree(func)
+        assert set(id(c) for c in dt.children(entry)) == set(
+            id(b) for b in func.blocks[1:]
+        )
+
+    def test_unreachable_block_not_in_tree(self, module):
+        func = build_diamond(module)
+        dead = BasicBlock("dead", func)
+        dead.append(Ret(ConstantInt(I32, 0)))
+        dt = DominatorTree(func)
+        assert not dt.is_reachable(dead)
+        assert not dt.dominates_block(dead, func.entry)

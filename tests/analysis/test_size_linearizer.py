@@ -1,0 +1,57 @@
+"""Tests for the size model and linearization."""
+
+from repro.analysis import (
+    function_size,
+    instruction_size,
+    linearize,
+    linearize_blocks,
+    module_size,
+    size_breakdown,
+)
+from repro.ir import BasicBlock, ConstantInt, Function, FunctionType, I32, Ret
+from tests.conftest import build_diamond, build_loop, build_straightline
+
+
+class TestSizeModel:
+    def test_phi_is_free(self, module):
+        func = build_diamond(module)
+        phi = func.blocks[-1].phis()[0]
+        assert instruction_size(phi) == 0
+
+    def test_declaration_is_free(self, module):
+        func = Function(FunctionType(I32, []), "d", parent=module)
+        assert function_size(func) == 0
+
+    def test_function_size_monotone_in_instructions(self, module):
+        small = build_straightline(module, "small")
+        big = build_diamond(module, "big")
+        assert function_size(big) > function_size(small) > 0
+
+    def test_module_size_sums(self, module):
+        build_straightline(module, "a")
+        build_straightline(module, "b")
+        assert module_size(module) == sum(size_breakdown(module).values())
+
+    def test_breakdown_names(self, module):
+        build_straightline(module, "a")
+        assert set(size_breakdown(module)) == {"a"}
+
+
+class TestLinearizer:
+    def test_all_reachable_instructions_once(self, module):
+        func = build_loop(module)
+        seq = linearize(func)
+        assert len(seq) == func.num_instructions
+        assert len({id(i) for i in seq}) == len(seq)
+
+    def test_unreachable_blocks_excluded(self, module):
+        func = build_straightline(module)
+        dead = BasicBlock("dead", func)
+        dead.append(Ret(ConstantInt(I32, 0)))
+        assert len(linearize(func)) == func.num_instructions - 1
+
+    def test_block_order_deterministic(self, module):
+        func = build_diamond(module)
+        assert [b.name for b in linearize_blocks(func)] == [
+            b.name for b in linearize_blocks(func)
+        ]

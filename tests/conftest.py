@@ -1,0 +1,89 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import (
+    BasicBlock,
+    Function,
+    FunctionType,
+    I32,
+    IRBuilder,
+    ICmpPred,
+    Module,
+    parse_module,
+)
+
+
+@pytest.fixture
+def module() -> Module:
+    return Module("test")
+
+
+def build_diamond(module: Module, name: str = "diamond", mul_by: int = 2) -> Function:
+    """i32 f(i32 x, i32 y): classic if/else diamond with a phi join."""
+    func = Function(FunctionType(I32, [I32, I32]), name, parent=module)
+    b = IRBuilder(BasicBlock("entry", func))
+    s = b.add(func.args[0], func.args[1])
+    c = b.icmp(ICmpPred.SGT, s, b.const_int(I32, 10))
+    big = BasicBlock("big", func)
+    small = BasicBlock("small", func)
+    join = BasicBlock("join", func)
+    b.cond_br(c, big, small)
+    b.position_at_end(big)
+    v1 = b.mul(s, b.const_int(I32, mul_by))
+    b.br(join)
+    b.position_at_end(small)
+    v2 = b.sub(s, b.const_int(I32, 1))
+    b.br(join)
+    b.position_at_end(join)
+    p = b.phi(I32)
+    p.add_incoming(v1, big)
+    p.add_incoming(v2, small)
+    b.ret(p)
+    return func
+
+
+def build_straightline(module: Module, name: str = "line", k: int = 3) -> Function:
+    """i32 f(i32 x): a short straight-line function."""
+    func = Function(FunctionType(I32, [I32]), name, parent=module)
+    b = IRBuilder(BasicBlock("entry", func))
+    v = b.add(func.args[0], b.const_int(I32, k))
+    v = b.mul(v, b.const_int(I32, 3))
+    v = b.xor(v, b.const_int(I32, 0x55))
+    b.ret(v)
+    return func
+
+
+def build_loop(module: Module, name: str = "loop", trip: int = 5) -> Function:
+    """i32 f(i32 x): accumulate x over a counted loop."""
+    func = Function(FunctionType(I32, [I32]), name, parent=module)
+    entry = BasicBlock("entry", func)
+    header = BasicBlock("header", func)
+    body = BasicBlock("body", func)
+    exit_bb = BasicBlock("exit", func)
+    b = IRBuilder(entry)
+    b.br(header)
+    b.position_at_end(header)
+    iv = b.phi(I32, "iv")
+    acc = b.phi(I32, "acc")
+    iv.add_incoming(b.const_int(I32, 0), entry)
+    acc.add_incoming(func.args[0], entry)
+    cond = b.icmp(ICmpPred.SLT, iv, b.const_int(I32, trip))
+    b.cond_br(cond, body, exit_bb)
+    b.position_at_end(body)
+    acc_next = b.add(acc, iv)
+    # Named "iv.next" so the mutation engine never breaks loop termination
+    # (same convention as the workload generator).
+    iv_next = b.add(iv, b.const_int(I32, 1), "iv.next")
+    b.br(header)
+    iv.add_incoming(iv_next, body)
+    acc.add_incoming(acc_next, body)
+    b.position_at_end(exit_bb)
+    b.ret(acc)
+    return func
+
+
+def parse(text: str) -> Module:
+    return parse_module(text)

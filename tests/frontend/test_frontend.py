@@ -1,0 +1,194 @@
+"""Tests for the MiniC frontend (lexer, parser, codegen)."""
+
+import pytest
+
+from repro.frontend import (
+    CodegenError,
+    LexError,
+    ParseError,
+    compile_source,
+    parse_program,
+    tokenize,
+)
+from repro.ir import Interpreter, Trap, verify_module
+
+
+def run(src, name, args, **kw):
+    module = compile_source(src)
+    return Interpreter(**kw).run(module.get_function(name), args).value
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("int f(int x) { return x + 42; }")
+        kinds = [t.kind for t in tokens]
+        assert kinds[-1] == "eof"
+        assert "keyword" in kinds and "ident" in kinds and "int" in kinds
+
+    def test_comments_skipped(self):
+        tokens = tokenize("// line\nint /* block\ncomment */ x")
+        texts = [t.text for t in tokens if t.kind != "eof"]
+        assert texts == ["int", "x"]
+
+    def test_two_char_operators(self):
+        texts = [t.text for t in tokenize("a <= b && c == d || e >= f")]
+        assert "<=" in texts and "&&" in texts and "==" in texts and "||" in texts
+
+    def test_float_literals(self):
+        tokens = tokenize("1.5 2.0e3 .25")
+        assert [t.kind for t in tokens[:-1]] == ["float", "float", "float"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_lex_error(self):
+        with pytest.raises(LexError):
+            tokenize("int x = $;")
+
+
+class TestParser:
+    def test_function_shape(self):
+        program = parse_program("int add(int a, int b) { return a + b; }")
+        assert len(program.functions) == 1
+        func = program.functions[0]
+        assert func.name == "add"
+        assert [p.type_name for p in func.params] == ["int", "int"]
+
+    def test_precedence(self):
+        from repro.frontend.ast import Binary
+
+        program = parse_program("int f() { return 1 + 2 * 3; }")
+        expr = program.functions[0].body.statements[0].value
+        assert isinstance(expr, Binary) and expr.op == "+"
+        assert isinstance(expr.rhs, Binary) and expr.rhs.op == "*"
+
+    def test_parse_errors(self):
+        for bad in (
+            "int f( { }",
+            "int f() { return 1 }",
+            "int f() { if x { } }",
+            "void f(void v) { }",
+            "int f() {",
+        ):
+            with pytest.raises(ParseError):
+                parse_program(bad)
+
+
+class TestCodegen:
+    def test_arithmetic(self):
+        assert run("int f(int x) { return x * 3 + 1; }", "f", [5]) == 16
+
+    def test_division_semantics(self):
+        assert run("int f(int a, int b) { return a / b; }", "f", [7, 2]) == 3
+
+    def test_bool_logic_short_circuit(self):
+        src = """
+        int div_ok(int a, int b) {
+            if (b != 0 && a / b > 1) { return 1; }
+            return 0;
+        }
+        """
+        assert run(src, "div_ok", [10, 2]) == 1
+        assert run(src, "div_ok", [10, 0]) == 0  # no division-by-zero trap
+
+    def test_else_branch(self):
+        src = "int f(int x) { if (x > 0) { return 1; } else { return 2; } }"
+        assert run(src, "f", [5]) == 1
+        assert run(src, "f", [-5 & 0xFFFFFFFF]) == 2
+
+    def test_while_loop(self):
+        src = """
+        int sum_to(int n) {
+            int acc = 0;
+            int i = 1;
+            while (i <= n) { acc = acc + i; i = i + 1; }
+            return acc;
+        }
+        """
+        assert run(src, "sum_to", [10]) == 55
+
+    def test_for_loop(self):
+        src = """
+        int fact(int n) {
+            int acc = 1;
+            for (int i = 2; i <= n; i = i + 1) { acc = acc * i; }
+            return acc;
+        }
+        """
+        assert run(src, "fact", [5]) == 120
+
+    def test_recursion(self):
+        src = "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }"
+        assert run(src, "fib", [12]) == 144
+
+    def test_mutual_recursion_forward_reference(self):
+        src = """
+        int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+        int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }
+        """
+        assert run(src, "is_even", [10]) == 1
+        assert run(src, "is_odd", [10]) == 0
+
+    def test_double_arithmetic_and_promotion(self):
+        src = "double f(int n, double x) { return n * x + 0.5; }"
+        assert run(src, "f", [4, 2.5]) == 10.5
+
+    def test_long_widening(self):
+        src = "long f(int x) { long y = x; return y * 1000000; }"
+        assert run(src, "f", [3000]) == 3_000_000_000
+
+    def test_bool_return(self):
+        src = "bool f(int x, int lo, int hi) { return x >= lo && x <= hi; }"
+        assert run(src, "f", [5, 1, 10]) == 1
+        assert run(src, "f", [50, 1, 10]) == 0
+
+    def test_unary_operators(self):
+        assert run("int f(int x) { return -x; }", "f", [7]) == (-7) & 0xFFFFFFFF
+        assert run("int f(bool b) { return !b; }", "f", [1]) == 0
+        assert run("int f(int x) { return ~x; }", "f", [0]) == 0xFFFFFFFF
+
+    def test_shadowing_scopes(self):
+        src = """
+        int f(int x) {
+            int y = 1;
+            { int y = 10; x = x + y; }
+            return x + y;
+        }
+        """
+        assert run(src, "f", [0]) == 11
+
+    def test_void_function(self):
+        src = "void nop(int x) { } int f(int x) { nop(x); return x; }"
+        assert run(src, "f", [9]) == 9
+
+    def test_missing_return_defaults_to_zero(self):
+        assert run("int f(int x) { if (x > 0) { return x; } }", "f", [0]) == 0
+
+    def test_dead_code_after_return(self):
+        src = "int f(int x) { return x; x = 99; return 1; }"
+        assert run(src, "f", [5]) == 5
+
+    def test_module_verifies(self):
+        module = compile_source(
+            "int a(int x) { return x; } int b(int x) { return a(x) + 1; }"
+        )
+        verify_module(module)
+
+    def test_codegen_errors(self):
+        for bad in (
+            "int f() { return y; }",  # undeclared
+            "int f() { int x = 1; int x = 2; return x; }",  # redeclaration
+            "int f() { return g(); }",  # unknown function
+            "int f(int x) { return h; }",  # undeclared ref
+            "void f() { return 1; }",  # void returning value
+            "int f() { return; }",  # non-void missing value
+        ):
+            with pytest.raises(CodegenError):
+                compile_source(bad)
+
+    def test_call_arity_checked(self):
+        with pytest.raises(CodegenError):
+            compile_source(
+                "int g(int a, int b) { return a; } int f() { return g(1); }"
+            )

@@ -1,0 +1,89 @@
+"""Tests for basic-block structure and CFG edges."""
+
+import pytest
+
+from repro.ir import (
+    BasicBlock,
+    Branch,
+    ConstantInt,
+    Function,
+    FunctionType,
+    I32,
+    IRBuilder,
+    Phi,
+    Ret,
+)
+from tests.conftest import build_diamond
+
+
+class TestStructure:
+    def test_append_and_terminate(self, module):
+        func = Function(FunctionType(I32, [I32]), "f", parent=module)
+        block = BasicBlock("entry", func)
+        b = IRBuilder(block)
+        v = b.add(func.args[0], b.const_int(I32, 1))
+        assert not block.is_terminated
+        b.ret(v)
+        assert block.is_terminated
+        assert block.terminator is block.instructions[-1]
+
+    def test_append_after_terminator_rejected(self, module):
+        func = Function(FunctionType(I32, [I32]), "f", parent=module)
+        block = BasicBlock("entry", func)
+        block.append(Ret(ConstantInt(I32, 0)))
+        with pytest.raises(ValueError):
+            block.append(Ret(ConstantInt(I32, 0)))
+
+    def test_double_ownership_rejected(self, module):
+        func = Function(FunctionType(I32, [I32]), "f", parent=module)
+        b1, b2 = BasicBlock("b1", func), BasicBlock("b2", func)
+        r = Ret(ConstantInt(I32, 0))
+        b1.append(r)
+        with pytest.raises(ValueError):
+            b2.append(r)
+
+    def test_insert_before_after(self, module):
+        func = Function(FunctionType(I32, [I32]), "f", parent=module)
+        block = BasicBlock("entry", func)
+        b = IRBuilder(block)
+        v = b.add(func.args[0], b.const_int(I32, 1))
+        r = b.ret(v)
+        from repro.ir import BinaryOp, Opcode
+
+        extra = BinaryOp(Opcode.MUL, func.args[0], ConstantInt(I32, 2))
+        block.insert_before_terminator(extra)
+        assert block.instructions == [v, extra, r]
+        extra2 = BinaryOp(Opcode.XOR, func.args[0], ConstantInt(I32, 3))
+        block.insert_before(v, extra2)
+        assert block.instructions[0] is extra2
+
+    def test_phi_helpers(self, module):
+        func = Function(FunctionType(I32, [I32]), "f", parent=module)
+        pred = BasicBlock("pred", func)
+        block = BasicBlock("b", func)
+        pred.append(Branch(block))
+        phi = Phi(I32)
+        phi.add_incoming(ConstantInt(I32, 1), pred)
+        block.insert(0, phi)
+        block.append(Ret(phi))
+        assert block.phis() == [phi]
+        assert block.first_non_phi_index() == 1
+        assert block.non_phis()[0].is_terminator
+
+
+class TestCFG:
+    def test_successors_and_predecessors(self, module):
+        func = build_diamond(module)
+        entry, big, small, join = func.blocks
+        assert entry.successors() == [big, small]
+        assert big.successors() == [join]
+        assert set(id(p) for p in join.predecessors()) == {id(big), id(small)}
+        assert entry.predecessors() == []
+
+    def test_erase_block(self, module):
+        func = build_diamond(module)
+        join = func.blocks[-1]
+        nblocks = len(func.blocks)
+        join.erase_from_parent()
+        assert len(func.blocks) == nblocks - 1
+        assert join.parent is None

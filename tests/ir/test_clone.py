@@ -1,0 +1,55 @@
+"""Tests for function cloning."""
+
+from repro.ir import (
+    Interpreter,
+    clone_function,
+    print_function,
+    verify_function,
+)
+from tests.conftest import build_diamond, build_loop, build_straightline
+
+
+class TestClone:
+    def test_clone_is_verifiable_and_equivalent(self, module):
+        for builder, args in (
+            (build_straightline, [5]),
+            (build_loop, [3]),
+        ):
+            base = builder(module, f"base_{builder.__name__}")
+            copy = clone_function(base, f"copy_{builder.__name__}", module)
+            verify_function(copy)
+            assert (
+                Interpreter().run(base, args).value
+                == Interpreter().run(copy, args).value
+            )
+
+    def test_clone_diamond_two_args(self, module):
+        base = build_diamond(module, "base")
+        copy = clone_function(base, "copy", module)
+        verify_function(copy)
+        for args in ([7, 8], [1, 2], [50, 60]):
+            assert (
+                Interpreter().run(base, args).value
+                == Interpreter().run(copy, args).value
+            )
+
+    def test_clone_preserves_structure(self, module):
+        base = build_loop(module, "base")
+        copy = clone_function(base, "copy", module)
+        # Identical modulo the function name.
+        assert print_function(copy) == print_function(base).replace("@base", "@copy")
+
+    def test_clone_is_independent(self, module):
+        base = build_straightline(module, "base")
+        copy = clone_function(base, "copy", module)
+        copy.entry.instructions[0].set_operand(1, copy.entry.instructions[0].operand(0))
+        # Mutating the clone must not touch the original.
+        assert Interpreter().run(base, [5]).value == 0x55 ^ ((5 + 3) * 3)
+
+    def test_back_edge_phi_values_remapped(self, module):
+        base = build_loop(module, "base")
+        copy = clone_function(base, "copy", module)
+        base_insts = {id(i) for i in base.instructions()}
+        for inst in copy.instructions():
+            for op in inst.operands:
+                assert id(op) not in base_insts, "clone references original value"

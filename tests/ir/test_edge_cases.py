@@ -1,0 +1,148 @@
+"""Edge-case coverage across the IR stack."""
+
+import pytest
+
+from repro.ir import (
+    BasicBlock,
+    ConstantInt,
+    FCmpPred,
+    Function,
+    FunctionType,
+    I1,
+    I8,
+    I32,
+    IRBuilder,
+    Interpreter,
+    Module,
+    Switch,
+    parse_module,
+    print_module,
+    verify_module,
+)
+
+
+class TestSwitchEdges:
+    def test_switch_with_no_cases(self):
+        text = (
+            "define i32 @f(i32 %x) {\nentry:\n"
+            "  switch i32 %x, label %d []\nd:\n  ret i32 7\n}"
+        )
+        module = parse_module(text)
+        verify_module(module)
+        assert Interpreter().run(module.get_function("f"), [3]).value == 7
+        # Round-trips.
+        assert "switch" in print_module(parse_module(print_module(module)))
+
+    def test_switch_case_order_preserved(self):
+        text = (
+            "define i32 @f(i32 %x) {\nentry:\n"
+            "  switch i32 %x, label %d [i32 5 label %a, i32 1 label %b]\n"
+            "a:\n  ret i32 50\nb:\n  ret i32 10\nd:\n  ret i32 0\n}"
+        )
+        module = parse_module(text)
+        func = module.get_function("f")
+        sw = func.entry.terminator
+        assert isinstance(sw, Switch)
+        assert [c.value for c, _b in sw.cases] == [5, 1]
+
+
+class TestFloatEdges:
+    def test_nan_comparisons(self):
+        text = (
+            "define i32 @f(double %x) {\nentry:\n"
+            "  %z = fdiv double 0.0, 0.0\n"
+            "  %o = fcmp oeq double %z, %z\n"
+            "  %u = fcmp une double %z, %z\n"
+            "  %oe = zext i1 %o to i32\n  %ue = zext i1 %u to i32\n"
+            "  %r = add i32 %oe, %ue\n  ret i32 %r\n}"
+        )
+        module = parse_module(text)
+        # NaN: ordered-eq false, unordered-ne true → 0 + 1.
+        assert Interpreter().run(module.get_function("f"), [0.0]).value == 1
+
+    def test_fptrunc_rounds_to_f32(self):
+        text = (
+            "define float @f(double %x) {\nentry:\n"
+            "  %t = fptrunc double %x to float\n  ret float %t\n}"
+        )
+        module = parse_module(text)
+        import struct
+
+        value = 1.1
+        expected = struct.unpack("f", struct.pack("f", value))[0]
+        assert Interpreter().run(module.get_function("f"), [value]).value == expected
+
+
+class TestTinyWidths:
+    def test_i1_arithmetic(self):
+        text = (
+            "define i1 @f(i1 %a, i1 %b) {\nentry:\n"
+            "  %x = xor i1 %a, %b\n  ret i1 %x\n}"
+        )
+        module = parse_module(text)
+        func = module.get_function("f")
+        for a in (0, 1):
+            for b in (0, 1):
+                assert Interpreter().run(func, [a, b]).value == a ^ b
+
+    def test_i8_overflow_chain(self):
+        module = Module("m")
+        func = Function(FunctionType(I8, [I8]), "f", parent=module)
+        b = IRBuilder(BasicBlock("entry", func))
+        v = func.args[0]
+        for _ in range(4):
+            v = b.mul(v, ConstantInt(I8, 3))
+        b.ret(v)
+        verify_module(module)
+        assert Interpreter().run(func, [7]).value == (7 * 81) & 0xFF
+
+
+class TestNamingEdges:
+    def test_names_with_dots_round_trip(self):
+        module = Module("m")
+        func = Function(FunctionType(I32, [I32]), "has.dots.in-name", parent=module)
+        b = IRBuilder(BasicBlock("entry.block", func))
+        v = b.add(func.args[0], ConstantInt(I32, 1))
+        v.name = "value.1"
+        b.ret(v)
+        text = print_module(module)
+        reparsed = parse_module(text)
+        assert print_module(reparsed) == text
+
+    def test_anonymous_values_printable_after_uniquify(self):
+        module = Module("m")
+        func = Function(FunctionType(I32, [I32]), "f", parent=module)
+        block = BasicBlock("", func)
+        from repro.ir import BinaryOp, Opcode, Ret
+
+        inst = BinaryOp(Opcode.ADD, func.args[0], ConstantInt(I32, 1))
+        block.append(inst)
+        block.append(Ret(inst))
+        func.uniquify_names()
+        assert block.name
+        assert inst.name
+        parse_module(print_module(module))
+
+
+class TestInterpreterAccounting:
+    def test_blocks_executed_counted(self, module):
+        from tests.conftest import build_loop
+
+        func = build_loop(module, trip=3)
+        result = Interpreter().run(func, [0])
+        # entry + (header+body)*3 + header + exit
+        assert result.blocks_executed == 1 + 3 * 2 + 1 + 1
+
+    def test_call_counts_profile(self, module):
+        from tests.conftest import build_straightline
+
+        callee = build_straightline(module, "callee")
+        caller = Function(FunctionType(I32, [I32]), "caller", parent=module)
+        b = IRBuilder(BasicBlock("entry", caller))
+        r1 = b.call(callee, [caller.args[0]])
+        r2 = b.call(callee, [r1])
+        b.ret(r2)
+        interp = Interpreter()
+        interp.run(caller, [1])
+        assert interp.call_counts["callee"] == 2
+        assert interp.call_counts["caller"] == 1

@@ -1,0 +1,203 @@
+"""Interpreter semantics tests."""
+
+import pytest
+
+from repro.ir import (
+    Interpreter,
+    InterpError,
+    Trap,
+    parse_module,
+)
+from tests.conftest import build_diamond, build_loop, build_straightline
+
+
+def run_text(text, name, args, **kw):
+    module = parse_module(text)
+    return Interpreter(**kw).run(module.get_function(name), args).value
+
+
+class TestArithmetic:
+    def test_wrapping_add(self):
+        text = "define i8 @f(i8 %x) {\nentry:\n  %r = add i8 %x, 200\n  ret i8 %r\n}"
+        assert run_text(text, "f", [100]) == (100 + 200) & 0xFF
+
+    def test_signed_division_rounds_to_zero(self):
+        text = "define i32 @f(i32 %x) {\nentry:\n  %r = sdiv i32 %x, 2\n  ret i32 %r\n}"
+        assert run_text(text, "f", [7]) == 3
+        assert run_text(text, "f", [-7 & 0xFFFFFFFF]) == -3 & 0xFFFFFFFF
+
+    def test_srem_sign(self):
+        text = "define i32 @f(i32 %x) {\nentry:\n  %r = srem i32 %x, 3\n  ret i32 %r\n}"
+        assert run_text(text, "f", [-7 & 0xFFFFFFFF]) == -1 & 0xFFFFFFFF
+
+    def test_division_by_zero_traps(self):
+        text = "define i32 @f(i32 %x) {\nentry:\n  %r = sdiv i32 %x, 0\n  ret i32 %r\n}"
+        with pytest.raises(Trap):
+            run_text(text, "f", [1])
+
+    def test_shifts(self):
+        text = (
+            "define i32 @f(i32 %x) {\nentry:\n  %a = shl i32 %x, 4\n"
+            "  %b = lshr i32 %a, 2\n  %c = ashr i32 %b, 1\n  ret i32 %c\n}"
+        )
+        assert run_text(text, "f", [3]) == ((3 << 4) >> 2) >> 1
+
+    def test_ashr_sign_extends(self):
+        text = "define i8 @f(i8 %x) {\nentry:\n  %r = ashr i8 %x, 2\n  ret i8 %r\n}"
+        assert run_text(text, "f", [0x80]) == (-128 >> 2) & 0xFF
+
+    def test_float_ops(self):
+        text = (
+            "define double @f(double %x) {\nentry:\n  %a = fmul double %x, 2.0\n"
+            "  %b = fadd double %a, 0.5\n  ret double %b\n}"
+        )
+        assert run_text(text, "f", [1.25]) == 3.0
+
+    def test_icmp_signed_vs_unsigned(self):
+        text = (
+            "define i32 @f(i8 %x) {\nentry:\n  %s = icmp slt i8 %x, 0\n"
+            "  %u = icmp ult i8 %x, 10\n  %se = zext i1 %s to i32\n"
+            "  %ue = zext i1 %u to i32\n  %r = add i32 %se, %ue\n  ret i32 %r\n}"
+        )
+        assert run_text(text, "f", [0xF0]) == 1  # negative signed, large unsigned
+
+
+class TestCastsAndSelect:
+    def test_sext_trunc(self):
+        text = (
+            "define i64 @f(i8 %x) {\nentry:\n  %w = sext i8 %x to i64\n  ret i64 %w\n}"
+        )
+        assert run_text(text, "f", [0xFF]) == -1 & 0xFFFFFFFFFFFFFFFF
+
+    def test_sitofp_fptosi(self):
+        text = (
+            "define i32 @f(i32 %x) {\nentry:\n  %d = sitofp i32 %x to double\n"
+            "  %h = fmul double %d, 0.5\n  %r = fptosi double %h to i32\n  ret i32 %r\n}"
+        )
+        assert run_text(text, "f", [9]) == 4
+
+    def test_select(self):
+        text = (
+            "define i32 @f(i32 %x) {\nentry:\n  %c = icmp sgt i32 %x, 0\n"
+            "  %r = select i1 %c, i32 1, i32 -1\n  ret i32 %r\n}"
+        )
+        assert run_text(text, "f", [5]) == 1
+        assert run_text(text, "f", [-5 & 0xFFFFFFFF]) == -1 & 0xFFFFFFFF
+
+
+class TestControlFlow:
+    def test_diamond(self, module):
+        func = build_diamond(module)
+        assert Interpreter().run(func, [7, 8]).value == 30
+        assert Interpreter().run(func, [1, 2]).value == 2
+
+    def test_loop(self, module):
+        func = build_loop(module, trip=5)
+        # acc = x + 0+1+2+3+4
+        assert Interpreter().run(func, [10]).value == 20
+
+    def test_switch(self):
+        text = (
+            "define i32 @f(i32 %x) {\nentry:\n"
+            "  switch i32 %x, label %other [i32 1 label %one, i32 2 label %two]\n"
+            "one:\n  ret i32 100\ntwo:\n  ret i32 200\nother:\n  ret i32 0\n}"
+        )
+        assert run_text(text, "f", [1]) == 100
+        assert run_text(text, "f", [2]) == 200
+        assert run_text(text, "f", [9]) == 0
+
+    def test_unreachable_traps(self):
+        text = "define i32 @f() {\nentry:\n  unreachable\n}"
+        with pytest.raises(Trap):
+            run_text(text, "f", [])
+
+    def test_fuel_limit(self, module):
+        func = build_loop(module, trip=1000)
+        with pytest.raises(Trap):
+            Interpreter(fuel=100).run(func, [0])
+
+    def test_instruction_count(self, module):
+        func = build_straightline(module)
+        result = Interpreter().run(func, [1])
+        assert result.instructions_executed == 4  # three ops + ret
+
+
+class TestMemory:
+    def test_alloca_store_load(self):
+        text = (
+            "define i32 @f(i32 %x) {\nentry:\n  %p = alloca i32\n"
+            "  store i32 %x, i32* %p\n  %v = load i32, i32* %p\n  ret i32 %v\n}"
+        )
+        assert run_text(text, "f", [42]) == 42
+
+    def test_array_gep(self):
+        text = (
+            "define i32 @f(i32 %x) {\nentry:\n  %a = alloca [4 x i32]\n"
+            "  %p0 = gep [4 x i32]* %a, i64 0, i64 0\n"
+            "  %p2 = gep [4 x i32]* %a, i64 0, i64 2\n"
+            "  store i32 %x, i32* %p2\n  store i32 7, i32* %p0\n"
+            "  %v = load i32, i32* %p2\n  ret i32 %v\n}"
+        )
+        assert run_text(text, "f", [13]) == 13
+
+    def test_uninitialized_load_is_zero(self):
+        text = (
+            "define i32 @f() {\nentry:\n  %p = alloca i32\n"
+            "  %v = load i32, i32* %p\n  ret i32 %v\n}"
+        )
+        assert run_text(text, "f", []) == 0
+
+    def test_struct_gep_distinct_fields(self):
+        text = (
+            "define i32 @f(i32 %x) {\nentry:\n  %s = alloca {i32, i32}\n"
+            "  %p0 = gep {i32, i32}* %s, i64 0, i32 0\n"
+            "  %p1 = gep {i32, i32}* %s, i64 0, i32 1\n"
+            "  store i32 %x, i32* %p0\n  store i32 99, i32* %p1\n"
+            "  %v = load i32, i32* %p0\n  ret i32 %v\n}"
+        )
+        assert run_text(text, "f", [5]) == 5
+
+
+class TestCalls:
+    def test_direct_call(self):
+        text = (
+            "define i32 @inc(i32 %x) {\nentry:\n  %r = add i32 %x, 1\n  ret i32 %r\n}\n"
+            "define i32 @f(i32 %x) {\nentry:\n  %a = call i32 @inc(i32 %x)\n"
+            "  %b = call i32 @inc(i32 %a)\n  ret i32 %b\n}"
+        )
+        assert run_text(text, "f", [1]) == 3
+
+    def test_invoke_takes_normal_edge(self):
+        text = (
+            "define i32 @id(i32 %x) {\nentry:\n  ret i32 %x\n}\n"
+            "define i32 @f(i32 %x) {\nentry:\n"
+            "  %r = invoke i32 @id(i32 %x) to label %ok unwind label %bad\n"
+            "ok:\n  ret i32 %r\nbad:\n  unreachable\n}"
+        )
+        assert run_text(text, "f", [11]) == 11
+
+    def test_external_via_registry(self):
+        text = (
+            "declare i32 @ext(i32)\n"
+            "define i32 @f(i32 %x) {\nentry:\n  %r = call i32 @ext(i32 %x)\n  ret i32 %r\n}"
+        )
+        module = parse_module(text)
+        interp = Interpreter(externals={"ext": lambda x: x * 10})
+        assert interp.run(module.get_function("f"), [4]).value == 40
+
+    def test_unresolved_external(self):
+        text = (
+            "declare i32 @ext(i32)\n"
+            "define i32 @f(i32 %x) {\nentry:\n  %r = call i32 @ext(i32 %x)\n  ret i32 %r\n}"
+        )
+        module = parse_module(text)
+        with pytest.raises(InterpError):
+            Interpreter().run(module.get_function("f"), [4])
+
+    def test_recursion_depth_limit(self):
+        text = (
+            "define i32 @f(i32 %x) {\nentry:\n  %r = call i32 @f(i32 %x)\n  ret i32 %r\n}"
+        )
+        module = parse_module(text)
+        with pytest.raises(Trap):
+            Interpreter(max_call_depth=10).run(module.get_function("f"), [1])

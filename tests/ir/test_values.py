@@ -1,0 +1,120 @@
+"""Tests for values, constants and use-list bookkeeping."""
+
+import pytest
+
+from repro.ir import (
+    Argument,
+    BasicBlock,
+    BinaryOp,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    DOUBLE,
+    Function,
+    FunctionType,
+    I1,
+    I8,
+    I32,
+    IRBuilder,
+    Module,
+    Opcode,
+    PointerType,
+    UndefValue,
+)
+
+
+class TestConstants:
+    def test_int_wraps_to_width(self):
+        c = ConstantInt(I8, 300)
+        assert c.value == 300 & 0xFF
+
+    def test_signed_value(self):
+        assert ConstantInt(I8, 0xFF).signed_value == -1
+        assert ConstantInt(I8, 127).signed_value == 127
+        assert ConstantInt(I1, 1).signed_value == 1
+
+    def test_int_requires_int_type(self):
+        with pytest.raises(TypeError):
+            ConstantInt(DOUBLE, 3)
+
+    def test_float_requires_float_type(self):
+        with pytest.raises(TypeError):
+            ConstantFloat(I32, 1.0)
+
+    def test_null_requires_pointer(self):
+        with pytest.raises(TypeError):
+            ConstantNull(I32)
+        assert ConstantNull(PointerType(I32)).ref() == "null"
+
+    def test_undef_ref(self):
+        assert UndefValue(I32).ref() == "undef"
+
+    def test_refs(self):
+        assert ConstantInt(I32, -7).ref() == "-7"
+        assert ConstantFloat(DOUBLE, 1.5).ref() == "1.5"
+
+
+class TestUseLists:
+    def _setup(self):
+        a = Argument(I32, "a", 0)
+        b = Argument(I32, "b", 1)
+        inst = BinaryOp(Opcode.ADD, a, b)
+        return a, b, inst
+
+    def test_uses_tracked(self):
+        a, b, inst = self._setup()
+        assert a.num_uses == 1
+        assert inst in a.users
+        assert list(a.uses()) == [(inst, 0)]
+        assert list(b.uses()) == [(inst, 1)]
+
+    def test_same_value_twice(self):
+        a = Argument(I32, "a", 0)
+        inst = BinaryOp(Opcode.ADD, a, a)
+        assert a.num_uses == 2
+        assert sorted(idx for _u, idx in a.uses()) == [0, 1]
+
+    def test_set_operand_moves_use(self):
+        a, b, inst = self._setup()
+        c = Argument(I32, "c", 2)
+        inst.set_operand(0, c)
+        assert a.num_uses == 0
+        assert c.num_uses == 1
+        assert inst.operand(0) is c
+
+    def test_replace_all_uses_with(self):
+        a, b, inst = self._setup()
+        inst2 = BinaryOp(Opcode.MUL, a, a)
+        c = Argument(I32, "c", 2)
+        a.replace_all_uses_with(c)
+        assert a.num_uses == 0
+        assert c.num_uses == 3
+        assert inst.operand(0) is c
+        assert inst2.operand(0) is c and inst2.operand(1) is c
+
+    def test_rauw_self_is_noop(self):
+        a, b, inst = self._setup()
+        a.replace_all_uses_with(a)
+        assert a.num_uses == 1
+
+    def test_drop_all_references(self):
+        a, b, inst = self._setup()
+        inst.drop_all_references()
+        assert a.num_uses == 0
+        assert b.num_uses == 0
+        assert inst.num_operands == 0
+
+
+class TestEraseInstruction:
+    def test_erase_from_parent_cleans_up(self, module):
+        func = Function(FunctionType(I32, [I32]), "f", parent=module)
+        block = BasicBlock("entry", func)
+        b = IRBuilder(block)
+        v = b.add(func.args[0], b.const_int(I32, 1))
+        w = b.mul(v, b.const_int(I32, 2))
+        b.ret(w)
+        assert func.args[0].num_uses == 1
+        w.replace_all_uses_with(v)
+        w.erase_from_parent()
+        assert len(block) == 2
+        assert v.num_uses == 1  # the ret

@@ -1,0 +1,131 @@
+"""Tests for the IR verifier's error classes."""
+
+import pytest
+
+from repro.ir import (
+    BasicBlock,
+    BinaryOp,
+    Branch,
+    ConstantInt,
+    Function,
+    FunctionType,
+    I32,
+    IRBuilder,
+    Module,
+    Opcode,
+    Phi,
+    Ret,
+    VerificationError,
+    verify_function,
+    verify_module,
+)
+from tests.conftest import build_diamond, build_loop, build_straightline
+
+
+def expect_error(func, fragment):
+    with pytest.raises(VerificationError) as exc:
+        verify_function(func)
+    assert fragment in str(exc.value)
+
+
+class TestStructural:
+    def test_clean_functions_pass(self, module):
+        build_straightline(module)
+        build_diamond(module)
+        build_loop(module)
+        verify_module(module)
+
+    def test_declarations_pass(self, module):
+        Function(FunctionType(I32, []), "d", parent=module)
+        verify_module(module)
+
+    def test_empty_block(self, module):
+        func = build_straightline(module)
+        BasicBlock("dangling", func)
+        expect_error(func, "is empty")
+
+    def test_missing_terminator(self, module):
+        func = Function(FunctionType(I32, [I32]), "f", parent=module)
+        block = BasicBlock("entry", func)
+        block.append(BinaryOp(Opcode.ADD, func.args[0], ConstantInt(I32, 1)))
+        expect_error(func, "does not end in a terminator")
+
+    def test_phi_after_non_phi(self, module):
+        func = build_straightline(module)
+        entry = func.entry
+        phi = Phi(I32)
+        entry.insert(2, phi)  # after two binary ops
+        expect_error(func, "phi after non-phi")
+
+    def test_ret_type_mismatch(self, module):
+        func = Function(FunctionType(I32, [I32]), "f", parent=module)
+        block = BasicBlock("entry", func)
+        block.append(Ret(None))
+        expect_error(func, "ret void in non-void function")
+
+
+class TestPhiConsistency:
+    def test_phi_missing_pred(self, module):
+        func = build_diamond(module)
+        join = func.blocks[-1]
+        phi = join.phis()[0]
+        phi.remove_incoming(func.blocks[1])  # drop the 'big' edge
+        expect_error(func, "incoming blocks do not match")
+
+    def test_phi_extra_pred(self, module):
+        func = build_diamond(module)
+        join = func.blocks[-1]
+        phi = join.phis()[0]
+        phi.add_incoming(ConstantInt(I32, 9), join)  # join is not a pred
+        expect_error(func, "incoming blocks do not match")
+
+
+class TestDominance:
+    def test_use_before_def_across_blocks(self, module):
+        func = build_diamond(module)
+        entry, big, small, join = func.blocks
+        # Make 'small' use the value defined in 'big'.
+        big_val = big.instructions[0]
+        small_sub = small.instructions[0]
+        small_sub.set_operand(0, big_val)
+        expect_error(func, "not dominated")
+
+    def test_use_before_def_same_block(self, module):
+        func = Function(FunctionType(I32, [I32]), "f", parent=module)
+        block = BasicBlock("entry", func)
+        b = IRBuilder(block)
+        v1 = b.add(func.args[0], b.const_int(I32, 1))
+        v2 = b.add(v1, b.const_int(I32, 2))
+        b.ret(v2)
+        # Make the earlier instruction depend on the later one.
+        v1.set_operand(0, v2)
+        expect_error(func, "not dominated")
+
+    def test_loop_phi_back_edge_is_legal(self, module):
+        func = build_loop(module)
+        verify_function(func)
+
+    def test_entry_with_predecessor(self, module):
+        func = build_straightline(module)
+        entry = func.entry
+        other = BasicBlock("pre", func)
+        other.append(Branch(entry))
+        expect_error(func, "entry block has predecessors")
+
+
+class TestCrossFunction:
+    def test_foreign_value_rejected(self, module):
+        f1 = build_straightline(module, "f1")
+        f2 = build_straightline(module, "f2")
+        foreign = f1.entry.instructions[0]
+        f2.entry.instructions[1].set_operand(0, foreign)
+        expect_error(f2, "defined outside the function")
+
+    def test_module_verify_aggregates(self, module):
+        f1 = build_straightline(module, "f1")
+        BasicBlock("bad", f1)
+        f2 = build_straightline(module, "f2")
+        BasicBlock("bad2", f2)
+        with pytest.raises(VerificationError) as exc:
+            verify_module(module)
+        assert len(exc.value.errors) >= 2

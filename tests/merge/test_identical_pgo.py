@@ -1,0 +1,203 @@
+"""Tests for identical-function merging and profile-guided merging."""
+
+import pytest
+
+from repro.ir import Interpreter, Module, verify_module
+from repro.merge import (
+    HotnessFilter,
+    PassConfig,
+    ProfileGuidedPass,
+    merge_identical_functions,
+    profile_module,
+    structural_hash,
+)
+from repro.search import ExhaustiveRanker, MinHashLSHRanker
+from repro.workloads import build_workload
+from tests.conftest import build_diamond, build_straightline
+
+
+class TestStructuralHash:
+    def test_identical_functions_hash_equal(self, module):
+        a = build_diamond(module, "a")
+        b = build_diamond(module, "b")
+        assert structural_hash(a) == structural_hash(b)
+
+    def test_constant_change_hashes_differently(self, module):
+        a = build_diamond(module, "a", mul_by=2)
+        b = build_diamond(module, "b", mul_by=3)
+        assert structural_hash(a) != structural_hash(b)
+
+    def test_hash_ignores_symbol_name_only(self, module):
+        a = build_straightline(module, "totally_different_name")
+        b = build_straightline(module, "b")
+        assert structural_hash(a) == structural_hash(b)
+
+    def test_hashing_does_not_mutate(self, module):
+        from repro.ir import print_function
+
+        a = build_diamond(module, "a")
+        before = print_function(a)
+        structural_hash(a)
+        assert print_function(a) == before
+        assert len(module) == 1
+
+
+class TestIdenticalMerging:
+    def test_duplicates_folded(self, module):
+        build_diamond(module, "a")
+        build_diamond(module, "b")
+        build_diamond(module, "c")
+        build_diamond(module, "different", mul_by=7)
+        report = merge_identical_functions(module)
+        assert report.groups == 1
+        assert report.functions_removed == 2
+        assert module.get_function("a") is not None
+        assert module.get_function("different") is not None
+        verify_module(module)
+
+    def test_call_sites_redirected(self):
+        from repro.ir import (
+            BasicBlock,
+            Function,
+            FunctionType,
+            I32,
+            IRBuilder,
+        )
+
+        module = Module("m")
+        a = build_straightline(module, "a")
+        b = build_straightline(module, "b")
+        caller = Function(FunctionType(I32, [I32]), "caller", parent=module)
+        builder = IRBuilder(BasicBlock("entry", caller))
+        r1 = builder.call(a, [caller.args[0]])
+        r2 = builder.call(b, [caller.args[0]])
+        builder.ret(builder.add(r1, r2))
+        ref = Interpreter().run(caller, [5]).value
+        report = merge_identical_functions(module)
+        assert report.call_sites_rewritten >= 1
+        verify_module(module)
+        assert Interpreter().run(module.get_function("caller"), [5]).value == ref
+
+    def test_external_duplicate_becomes_forwarder(self, module):
+        a = build_diamond(module, "a")
+        b = build_diamond(module, "b")
+        b.internal = False
+        merge_identical_functions(module)
+        fwd = module.get_function("b")
+        assert fwd is not None
+        assert len(fwd.blocks) == 1
+        verify_module(module)
+        assert Interpreter().run(fwd, [7, 8]).value == 30
+
+    def test_workload_semantics_preserved(self):
+        module = build_workload(80, "ident")
+        driver = module.get_function("driver")
+        ref = {x: Interpreter().run(driver, [x]).value for x in (0, 4, 9)}
+        merge_identical_functions(module)
+        verify_module(module)
+        for x, expected in ref.items():
+            assert Interpreter().run(module.get_function("driver"), [x]).value == expected
+
+    def test_no_duplicates_no_changes(self, module):
+        build_diamond(module, "a", mul_by=2)
+        build_diamond(module, "b", mul_by=3)
+        report = merge_identical_functions(module)
+        assert report.groups == 0
+        assert len(module) == 2
+
+
+class TestProfiling:
+    def test_profile_counts_calls(self):
+        module = build_workload(60, "prof")
+        profile = profile_module(module)
+        assert profile  # something was called
+        assert all(count >= 1 for count in profile.values())
+
+    def test_missing_entry_rejected(self, module):
+        with pytest.raises(ValueError):
+            profile_module(module, entry="nope")
+
+    def test_hotness_filter_partition(self):
+        module = build_workload(60, "prof")
+        profile = profile_module(module)
+        hotness = HotnessFilter(profile, hot_fraction=0.25)
+        funcs = module.defined_functions()
+        hot = [f for f in funcs if hotness.is_hot(f)]
+        cold = hotness.cold_functions(module)
+        assert len(hot) + len(cold) == len(funcs)
+        assert hot, "some functions must be classified hot"
+        # Never-called functions are always cold.
+        for func in funcs:
+            if profile.get(func.name, 0) == 0:
+                assert not hotness.is_hot(func)
+
+    def test_zero_fraction_means_all_cold(self):
+        module = build_workload(40, "prof0")
+        profile = profile_module(module)
+        hotness = HotnessFilter(profile, hot_fraction=0.0)
+        assert len(hotness.cold_functions(module)) == len(module.defined_functions())
+
+
+class TestProfileGuidedPass:
+    def _run(self, n, hot_fraction):
+        module = build_workload(n, "pgorun")
+        profile = profile_module(module)
+        driver = module.get_function("driver")
+        base = sum(
+            Interpreter().run(driver, [x]).instructions_executed for x in (1, 5)
+        )
+        hotness = HotnessFilter(profile, hot_fraction=hot_fraction)
+        pass_ = ProfileGuidedPass(MinHashLSHRanker(), hotness, PassConfig(verify=False))
+        report = pass_.run(module)
+        verify_module(module)
+        after = sum(
+            Interpreter()
+            .run(module.get_function("driver"), [x])
+            .instructions_executed
+            for x in (1, 5)
+        )
+        return report, after / base
+
+    def test_strategy_tag(self):
+        report, _ = self._run(60, 0.2)
+        assert report.strategy.endswith("+pgo")
+
+    def test_semantics_preserved(self):
+        module = build_workload(80, "pgosem")
+        driver = module.get_function("driver")
+        ref = {x: Interpreter().run(driver, [x]).value for x in (0, 3, 8)}
+        profile = profile_module(module)
+        hotness = HotnessFilter(profile, hot_fraction=0.3)
+        ProfileGuidedPass(ExhaustiveRanker(), hotness, PassConfig()).run(module)
+        verify_module(module)
+        for x, expected in ref.items():
+            assert Interpreter().run(module.get_function("driver"), [x]).value == expected
+
+    def test_pgo_reduces_runtime_overhead(self):
+        """The paper's Section IV-F expectation: keeping hot functions out
+        of merging removes most of the dynamic overhead."""
+        # Unrestricted merging on the same workload:
+        module = build_workload(120, "pgocmp")
+        driver = module.get_function("driver")
+        base = sum(
+            Interpreter().run(driver, [x]).instructions_executed for x in (1, 5)
+        )
+        from repro.merge import FunctionMergingPass
+
+        FunctionMergingPass(MinHashLSHRanker(), PassConfig(verify=False)).run(module)
+        after_all = sum(
+            Interpreter()
+            .run(module.get_function("driver"), [x])
+            .instructions_executed
+            for x in (1, 5)
+        )
+        overhead_all = after_all / base
+
+        _report, overhead_pgo = TestProfileGuidedPass._run(self, 120, 0.35)
+        assert overhead_pgo <= overhead_all + 1e-9
+        # And it should remove a majority of the introduced overhead.
+        assert (overhead_pgo - 1.0) <= 0.6 * max(overhead_all - 1.0, 1e-9)
+
+    def test_pgo_keeps_meaningful_size_reduction(self):
+        report, _ = self._run(120, 0.2)
+        assert report.size_reduction > 0.02

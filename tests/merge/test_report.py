@@ -1,0 +1,60 @@
+"""Tests for the pass report accounting (drives Figures 3 and 13)."""
+
+from repro.merge import MergeReport
+from repro.merge.report import AttemptRecord
+
+
+def _attempt(outcome, **times):
+    record = AttemptRecord("f", "g", 0.5, outcome)
+    for key, value in times.items():
+        setattr(record, key, value)
+    return record
+
+
+class TestStageBreakdown:
+    def test_success_and_fail_buckets(self):
+        report = MergeReport(strategy="x", preprocess_time=1.0)
+        report.attempts = [
+            _attempt("merged", ranking_time=0.1, align_time=0.2, codegen_time=0.3, update_time=0.05),
+            _attempt("unprofitable", ranking_time=0.4, align_time=0.5, codegen_time=0.6),
+            _attempt("align_fail", ranking_time=0.7, align_time=0.8),
+        ]
+        b = report.stage_breakdown()
+        assert b["preprocess"] == 1.0
+        assert abs(b["ranking_success"] - 0.1) < 1e-12
+        assert abs(b["ranking_fail"] - 1.1) < 1e-12
+        assert abs(b["align_success"] - 0.2) < 1e-12
+        assert abs(b["align_fail"] - 1.3) < 1e-12
+        assert abs(b["codegen_success"] - 0.3) < 1e-12
+        assert abs(b["codegen_fail"] - 0.6) < 1e-12
+        assert abs(b["update"] - 0.05) < 1e-12
+
+    def test_outcome_counts(self):
+        report = MergeReport()
+        report.attempts = [
+            _attempt("merged"),
+            _attempt("merged"),
+            _attempt("no_candidate"),
+        ]
+        counts = report.outcome_counts()
+        assert counts["merged"] == 2
+        assert counts["no_candidate"] == 1
+        assert sum(counts.values()) == 3
+
+    def test_size_reduction_bounds(self):
+        report = MergeReport(size_before=100, size_after=80)
+        assert abs(report.size_reduction - 0.2) < 1e-12
+        assert MergeReport(size_before=0, size_after=0).size_reduction == 0.0
+
+    def test_successful_attempts_filter(self):
+        report = MergeReport()
+        report.attempts = [_attempt("merged"), _attempt("align_fail")]
+        assert len(report.successful_attempts()) == 1
+
+    def test_summary_contains_key_facts(self):
+        report = MergeReport(
+            strategy="f3m", num_functions=10, size_before=100, size_after=90, merges=2
+        )
+        report.attempts = [_attempt("merged"), _attempt("merged")]
+        text = report.summary()
+        assert "f3m" in text and "10 functions" in text and "2 merges" in text

@@ -1,0 +1,104 @@
+"""Tests for the adaptive policy (paper Equations 2, 3 and 4)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.search import (
+    adaptive_bands,
+    adaptive_parameters,
+    adaptive_threshold,
+    lsh_match_probability,
+)
+
+
+class TestThreshold:
+    def test_small_programs_conservative(self):
+        # "programs with fewer than 5000 functions do not benefit from
+        # aggressive similarity thresholds ... a very conservative threshold
+        # of 0.05"
+        for n in (1, 100, 1000, 3000):
+            assert adaptive_threshold(n) == 0.05
+
+    def test_large_programs_capped(self):
+        assert adaptive_threshold(20_000_000) == 0.4
+
+    def test_middle_follows_log_formula(self):
+        for n in (10_000, 100_000, 1_000_000):
+            expected = (math.log10(n) - 3.0) / 10.0
+            assert adaptive_threshold(n) == pytest.approx(expected)
+
+    def test_chrome_scale_threshold(self):
+        # Paper Section IV-C: for Chrome the adaptive variant raises the
+        # threshold to about 0.31.
+        assert adaptive_threshold(1_200_000) == pytest.approx(0.31, abs=0.01)
+
+    @given(st.integers(1, 10**8))
+    def test_monotone_and_bounded(self, n):
+        t = adaptive_threshold(n)
+        assert 0.05 <= t <= 0.4
+        assert adaptive_threshold(n + 1000) >= t - 1e-12
+
+
+class TestBands:
+    def test_paper_reported_band_counts(self):
+        # Section III-D: "57 for programs with 10k functions, 25 for 100k
+        # functions, 14 for 1m functions".
+        assert adaptive_bands(adaptive_threshold(10_000), 10_000) == 57
+        assert adaptive_bands(adaptive_threshold(100_000), 100_000) == 25
+        assert adaptive_bands(adaptive_threshold(1_000_000), 1_000_000) == 14
+
+    def test_small_programs_pinned_to_100(self):
+        assert adaptive_bands(adaptive_threshold(100), 100) == 100
+        assert adaptive_bands(adaptive_threshold(4999), 4999) == 100
+
+    def test_chrome_band_count(self):
+        # Section IV-C: "reducing the number of bands to just 13".
+        assert adaptive_bands(adaptive_threshold(1_200_000), 1_200_000) == 13
+
+    @given(st.integers(5000, 10**8))
+    def test_bands_decrease_with_size(self, n):
+        b = adaptive_bands(adaptive_threshold(n), n)
+        b_bigger = adaptive_bands(adaptive_threshold(n * 2), n * 2)
+        assert 1 <= b <= 100
+        assert b_bigger <= b
+
+
+class TestMatchProbability:
+    def test_equation2_reference_values(self):
+        # p = 1 - (1 - s^r)^b
+        assert lsh_match_probability(0.5, 2, 100) == pytest.approx(
+            1 - (1 - 0.25) ** 100
+        )
+        assert lsh_match_probability(0.0, 2, 100) == 0.0
+        assert lsh_match_probability(1.0, 2, 100) == 1.0
+
+    @given(st.floats(0, 1), st.integers(1, 8), st.integers(1, 100))
+    def test_probability_bounds(self, s, r, b):
+        p = lsh_match_probability(s, r, b)
+        assert 0.0 <= p <= 1.0
+
+    def test_discovery_guarantee(self):
+        """The derived b gives >= 90% discovery probability at t + 0.1,
+        which is the design requirement Equation 4 encodes."""
+        for n in (10_000, 100_000, 1_000_000):
+            params = adaptive_parameters(n)
+            p = lsh_match_probability(
+                params.threshold + 0.1, params.rows, params.bands
+            )
+            assert p >= 0.9
+
+
+class TestParameterBundle:
+    def test_fingerprint_size(self):
+        params = adaptive_parameters(10_000)
+        assert params.fingerprint_size == params.rows * params.bands
+        assert params.rows == 2
+
+    def test_small_program_defaults(self):
+        params = adaptive_parameters(500)
+        assert params.bands == 100
+        assert params.threshold == 0.05
+        assert params.fingerprint_size == 200

@@ -1,0 +1,136 @@
+"""Tests for the banded LSH index."""
+
+import numpy as np
+import pytest
+
+from repro.fingerprint import MinHashConfig, MinHashFingerprint
+from repro.search import LSHIndex, LSHQueryStats, lsh_match_probability
+
+
+def fp(seq, k=200):
+    return MinHashFingerprint.from_encoded(seq, MinHashConfig(k=k))
+
+
+class TestBasics:
+    def test_insert_query_similar(self):
+        index = LSHIndex(rows=2, bands=100)
+        base = list(range(50))
+        variant = list(range(50))
+        variant[10] = 999
+        far = list(range(1000, 1050))
+        index.insert("base", fp(base))
+        index.insert("variant", fp(variant))
+        index.insert("far", fp(far))
+        result = index.best_match("base")
+        assert result is not None
+        name, sim = result
+        assert name == "variant"
+        assert sim > 0.5
+
+    def test_dissimilar_not_candidates(self):
+        index = LSHIndex(rows=2, bands=100)
+        index.insert("a", fp(list(range(0, 60))))
+        index.insert("b", fp(list(range(5000, 5060))))
+        names = [k for k, _ in index.query("a")]
+        assert "b" not in names
+
+    def test_duplicate_key_rejected(self):
+        index = LSHIndex()
+        index.insert("a", fp([1, 2, 3]))
+        with pytest.raises(ValueError):
+            index.insert("a", fp([1, 2, 3]))
+
+    def test_fingerprint_too_small_rejected(self):
+        index = LSHIndex(rows=2, bands=100)
+        with pytest.raises(ValueError):
+            index.insert("a", fp([1, 2, 3], k=50))
+
+    def test_len_and_contains(self):
+        index = LSHIndex()
+        index.insert("a", fp([1, 2, 3]))
+        index.insert("b", fp([4, 5, 6]))
+        assert len(index) == 2
+        assert "a" in index
+        index.remove("a")
+        assert len(index) == 1
+        assert "a" not in index
+
+    def test_removed_keys_not_returned(self):
+        index = LSHIndex()
+        seq = list(range(40))
+        index.insert("a", fp(seq))
+        index.insert("b", fp(seq))
+        index.insert("c", fp(seq))
+        index.remove("b")
+        names = {k for k, _ in index.query("a")}
+        assert names == {"c"}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LSHIndex(rows=0)
+        with pytest.raises(ValueError):
+            LSHIndex(bands=0)
+
+
+class TestBucketCap:
+    def _crowded_index(self, cap, population=40):
+        index = LSHIndex(rows=2, bands=100, bucket_cap=cap)
+        seq = list(range(30))  # identical fingerprints: all in same buckets
+        for i in range(population):
+            index.insert(f"f{i}", fp(seq))
+        return index
+
+    def test_cap_limits_comparisons(self):
+        capped = self._crowded_index(cap=5)
+        stats = LSHQueryStats()
+        capped.query("f0", stats)
+        uncapped = self._crowded_index(cap=None)
+        stats_unc = LSHQueryStats()
+        uncapped.query("f0", stats_unc)
+        assert stats.comparisons < stats_unc.comparisons
+        assert stats.capped_buckets > 0
+        assert stats_unc.capped_buckets == 0
+
+    def test_identical_functions_still_found_under_cap(self):
+        # Paper Section IV-E: similar functions share many buckets, so even
+        # an aggressive cap keeps them discoverable.
+        index = self._crowded_index(cap=2)
+        result = index.best_match("f0")
+        assert result is not None
+        assert result[1] == 1.0
+
+    def test_bucket_stats(self):
+        index = self._crowded_index(cap=100, population=130)
+        stats = index.bucket_stats()
+        assert stats.max_population == 130
+        assert stats.overpopulated >= 1
+        assert stats.total_buckets >= 1
+
+
+class TestBandingProbability:
+    def test_empirical_matches_equation2(self):
+        """Empirical bucket-sharing frequency tracks p = 1-(1-s^r)^b."""
+        rng = np.random.default_rng(11)
+        rows, bands = 2, 32
+        k = rows * bands
+        trials = 120
+        target_sim = 0.5
+        hits = 0
+        for t in range(trials):
+            n = 60
+            base = list(rng.integers(0, 10_000, size=n))
+            variant = list(base)
+            # Replace enough elements to pull Jaccard towards target_sim.
+            n_replace = int(n * (1 - target_sim) / (1 + (1 - target_sim)))
+            for pos in rng.choice(n, size=n_replace, replace=False):
+                variant[int(pos)] = int(rng.integers(10_000, 20_000))
+            index = LSHIndex(rows=rows, bands=bands)
+            cfg = MinHashConfig(k=k)
+            fa = MinHashFingerprint.from_encoded(base, cfg)
+            fb = MinHashFingerprint.from_encoded(variant, cfg)
+            index.insert("a", fa)
+            index.insert("b", fb)
+            if index.query("a"):
+                hits += 1
+        expected = lsh_match_probability(target_sim, rows, bands)
+        assert hits / trials == pytest.approx(expected, abs=0.25)

@@ -1,0 +1,115 @@
+"""Tests for the ranking strategies (exhaustive vs MinHash+LSH)."""
+
+import random
+
+import pytest
+
+from repro.search import ExhaustiveRanker, MinHashLSHRanker
+from repro.workloads import make_variant
+from tests.conftest import build_diamond, build_loop, build_straightline
+
+
+def _population(module):
+    base = build_diamond(module, "base")
+    rng = random.Random(5)
+    near = make_variant(base, "near", rng, 1, module)
+    far1 = build_loop(module, "far1")
+    far2 = build_straightline(module, "far2")
+    return [base, near, far1, far2]
+
+
+class TestExhaustiveRanker:
+    def test_finds_nearest_neighbour(self, module):
+        funcs = _population(module)
+        ranker = ExhaustiveRanker()
+        ranker.preprocess(funcs)
+        match = ranker.best_match(funcs[0])
+        assert match is not None
+        assert match.function.name == "near"
+        assert match.similarity > 0.8
+
+    def test_comparison_count_is_quadratic(self, module):
+        funcs = _population(module)
+        ranker = ExhaustiveRanker()
+        ranker.preprocess(funcs)
+        for f in funcs:
+            ranker.best_match(f)
+        # n queries x (n-1) live candidates each.
+        assert ranker.stats.comparisons == len(funcs) * (len(funcs) - 1)
+
+    def test_removal_excludes_candidates(self, module):
+        funcs = _population(module)
+        ranker = ExhaustiveRanker()
+        ranker.preprocess(funcs)
+        ranker.remove(funcs[1])
+        match = ranker.best_match(funcs[0])
+        assert match.function.name != "near"
+
+    def test_single_function_no_match(self, module):
+        func = build_diamond(module)
+        ranker = ExhaustiveRanker()
+        ranker.preprocess([func])
+        assert ranker.best_match(func) is None
+
+    def test_similarity_helper(self, module):
+        funcs = _population(module)
+        ranker = ExhaustiveRanker()
+        ranker.preprocess(funcs)
+        assert ranker.similarity(funcs[0], funcs[0]) == 1.0
+
+
+class TestMinHashLSHRanker:
+    def test_finds_near_duplicate(self, module):
+        funcs = _population(module)
+        ranker = MinHashLSHRanker()
+        ranker.preprocess(funcs)
+        match = ranker.best_match(funcs[0])
+        assert match is not None
+        assert match.function.name == "near"
+
+    def test_threshold_filters_matches(self, module):
+        funcs = _population(module)
+        ranker = MinHashLSHRanker(threshold=0.999)
+        ranker.preprocess(funcs)
+        # 'near' was mutated, so its similarity is below 0.999.
+        match = ranker.best_match(funcs[0])
+        assert match is None or match.similarity >= 0.999
+
+    def test_removal(self, module):
+        funcs = _population(module)
+        ranker = MinHashLSHRanker()
+        ranker.preprocess(funcs)
+        ranker.remove(funcs[1])
+        match = ranker.best_match(funcs[0])
+        assert match is None or match.function.name != "near"
+
+    def test_stats_accumulate(self, module):
+        funcs = _population(module)
+        ranker = MinHashLSHRanker()
+        ranker.preprocess(funcs)
+        for f in funcs:
+            ranker.best_match(f)
+        assert ranker.stats.queries == len(funcs)
+        assert ranker.stats.buckets_probed > 0
+
+    def test_adaptive_configuration(self, module):
+        funcs = _population(module)
+        ranker = MinHashLSHRanker(adaptive=True)
+        ranker.preprocess(funcs)
+        # Small module: paper defaults.
+        assert ranker.parameters.bands == 100
+        assert ranker.threshold == 0.05
+        assert ranker.config.k == 200
+        assert ranker.name == "f3m-adaptive"
+
+    def test_custom_bands_and_rows(self, module):
+        funcs = _population(module)
+        ranker = MinHashLSHRanker(rows=4, bands=50)
+        ranker.preprocess(funcs)
+        assert ranker._index.rows == 4
+        assert ranker._index.bands == 50
+
+    def test_preprocess_required(self, module):
+        ranker = MinHashLSHRanker()
+        with pytest.raises(AssertionError):
+            ranker.best_match(build_diamond(module))

@@ -1,0 +1,132 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def module_file(tmp_path):
+    path = tmp_path / "prog.ll"
+    assert main(["generate", "-n", "30", "-o", str(path)]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_parseable_module(self, module_file):
+        from repro.ir import parse_module, verify_module
+
+        module = parse_module(module_file.read_text())
+        verify_module(module)
+        assert len(module.defined_functions()) >= 30
+
+    def test_stdout_output(self, capsys):
+        assert main(["generate", "-n", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "define" in out
+
+
+class TestStats:
+    def test_prints_metrics(self, module_file, capsys):
+        assert main(["stats", str(module_file)]) == 0
+        out = capsys.readouterr().out
+        assert "functions (defined)" in out
+        assert "modelled size" in out
+
+
+class TestMerge:
+    @pytest.mark.parametrize("strategy", ["hyfm", "f3m", "f3m-adaptive", "identical"])
+    def test_strategies_produce_valid_output(self, module_file, tmp_path, strategy):
+        out = tmp_path / f"out-{strategy}.ll"
+        assert (
+            main(["merge", str(module_file), "-s", strategy, "-o", str(out)]) == 0
+        )
+        from repro.ir import parse_module, verify_module
+
+        verify_module(parse_module(out.read_text()))
+
+    def test_merge_reduces_size(self, module_file, tmp_path):
+        from repro.analysis import module_size
+        from repro.ir import parse_module
+
+        out = tmp_path / "merged.ll"
+        main(["merge", str(module_file), "-s", "f3m", "-o", str(out)])
+        before = module_size(parse_module(module_file.read_text()))
+        after = module_size(parse_module(out.read_text()))
+        assert after < before
+
+    def test_merge_preserves_semantics(self, module_file, tmp_path, capsys):
+        out = tmp_path / "merged.ll"
+        main(["merge", str(module_file), "-s", "f3m", "-o", str(out)])
+        assert main(["run", str(module_file), "--entry", "driver", "-a", "7"]) == 0
+        ref = capsys.readouterr().out
+        assert main(["run", str(out), "--entry", "driver", "-a", "7"]) == 0
+        assert capsys.readouterr().out == ref
+
+    def test_optimize_flag(self, module_file, tmp_path):
+        out = tmp_path / "opt.ll"
+        assert (
+            main(
+                ["merge", str(module_file), "-s", "f3m", "--optimize", "-o", str(out)]
+            )
+            == 0
+        )
+
+
+class TestRun:
+    def test_missing_entry_fails(self, module_file):
+        assert main(["run", str(module_file), "--entry", "nope"]) == 1
+
+    def test_wrong_arity_fails(self, module_file):
+        assert main(["run", str(module_file), "--entry", "driver"]) == 1
+
+    def test_runs_driver(self, module_file, capsys):
+        assert main(["run", str(module_file), "--entry", "driver", "-a", "3"]) == 0
+        assert "result:" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_prints_all_strategies(self, capsys):
+        assert main(["compare", "-n", "60"]) == 0
+        out = capsys.readouterr().out
+        for name in ("hyfm", "f3m", "f3m-adaptive"):
+            assert name in out
+
+
+class TestCompile:
+    SOURCE = "int sq(int x) { return x * x; }\nint f(int x) { return sq(x) + 1; }\n"
+
+    def test_compile_and_run(self, tmp_path, capsys):
+        src = tmp_path / "prog.mc"
+        src.write_text(self.SOURCE)
+        out = tmp_path / "prog.ll"
+        assert main(["compile", str(src), "-o", str(out)]) == 0
+        assert main(["run", str(out), "--entry", "f", "-a", "6"]) == 0
+        assert "result: 37" in capsys.readouterr().out
+
+    def test_no_mem2reg_keeps_allocas(self, tmp_path):
+        src = tmp_path / "prog.mc"
+        src.write_text(self.SOURCE)
+        out = tmp_path / "raw.ll"
+        assert main(["compile", str(src), "--no-mem2reg", "-o", str(out)]) == 0
+        assert "alloca" in out.read_text()
+        out2 = tmp_path / "ssa.ll"
+        assert main(["compile", str(src), "-o", str(out2)]) == 0
+        assert "alloca" not in out2.read_text()
+
+    def test_compile_then_merge_toolchain(self, tmp_path, capsys):
+        src = tmp_path / "prog.mc"
+        src.write_text(
+            "int a(int x) { int v = x * 3; if (v > 10) { v = v - 10; } return v; }\n"
+            "int b(int x) { int v = x * 5; if (v > 10) { v = v - 10; } return v; }\n"
+            "int use(int x) { return a(x) + b(x); }\n"
+        )
+        out = tmp_path / "prog.ll"
+        merged = tmp_path / "merged.ll"
+        assert main(["compile", str(src), "-o", str(out)]) == 0
+        assert main(["run", str(out), "--entry", "use", "-a", "4"]) == 0
+        ref = capsys.readouterr().out
+        assert main(["merge", str(out), "-s", "f3m", "-o", str(merged)]) == 0
+        assert "merged." in merged.read_text()
+        assert main(["run", str(merged), "--entry", "use", "-a", "4"]) == 0
+        assert capsys.readouterr().out == ref

@@ -1,0 +1,272 @@
+"""Tests for the clean-up passes (DCE, SimplifyCFG, constant folding)."""
+
+import random
+
+import pytest
+
+from repro.ir import (
+    BasicBlock,
+    Branch,
+    ConstantInt,
+    I32,
+    Interpreter,
+    Module,
+    parse_module,
+    verify_function,
+    verify_module,
+)
+from repro.transforms import (
+    eliminate_dead_code,
+    eliminate_dead_functions,
+    fold_constants,
+    optimize_function,
+    optimize_module,
+    simplify_cfg,
+)
+from tests.conftest import build_diamond, build_loop, build_straightline
+
+
+class TestDCE:
+    def test_removes_unused_pure_instruction(self, module):
+        func = build_straightline(module)
+        from repro.ir import BinaryOp, Opcode
+
+        dead = BinaryOp(Opcode.MUL, func.args[0], ConstantInt(I32, 9))
+        dead.name = "dead"
+        func.entry.insert(0, dead)
+        assert eliminate_dead_code(func) == 1
+        verify_function(func)
+
+    def test_keeps_side_effects(self):
+        text = (
+            "define i32 @f(i32 %x) {\nentry:\n  %p = alloca i32\n"
+            "  store i32 %x, i32* %p\n  ret i32 %x\n}"
+        )
+        m = parse_module(text)
+        func = m.get_function("f")
+        assert eliminate_dead_code(func) == 0
+
+    def test_cascading_removal(self, module):
+        func = build_straightline(module)
+        from repro.ir import BinaryOp, Opcode
+
+        a = BinaryOp(Opcode.ADD, func.args[0], ConstantInt(I32, 1))
+        b = BinaryOp(Opcode.MUL, a, ConstantInt(I32, 2))
+        func.entry.insert(0, a)
+        func.entry.insert(1, b)
+        assert eliminate_dead_code(func) == 2
+
+    def test_unused_phi_removed(self, module):
+        func = build_diamond(module)
+        join = func.blocks[-1]
+        from repro.ir import Phi
+
+        extra = Phi(I32)
+        for pred in join.predecessors():
+            extra.add_incoming(ConstantInt(I32, 0), pred)
+        join.insert(0, extra)
+        assert eliminate_dead_code(func) == 1
+        verify_function(func)
+
+    def test_dead_function_elimination(self):
+        m = Module("m")
+        build_straightline(m, "unused")
+        keep = build_straightline(m, "kept")
+        keep.internal = False
+        assert eliminate_dead_functions(m) == 1
+        assert m.get_function("unused") is None
+        assert m.get_function("kept") is not None
+
+
+class TestConstFold:
+    def test_binary_fold(self):
+        text = (
+            "define i32 @f() {\nentry:\n  %a = add i32 3, 4\n"
+            "  %b = mul i32 %a, 2\n  ret i32 %b\n}"
+        )
+        m = parse_module(text)
+        func = m.get_function("f")
+        folded = fold_constants(func)
+        assert folded == 2
+        assert Interpreter().run(func, []).value == 14
+
+    def test_identity_simplifications(self):
+        text = (
+            "define i32 @f(i32 %x) {\nentry:\n  %a = add i32 %x, 0\n"
+            "  %b = mul i32 %a, 1\n  %c = xor i32 %b, 0\n  ret i32 %c\n}"
+        )
+        m = parse_module(text)
+        func = m.get_function("f")
+        fold_constants(func)
+        eliminate_dead_code(func)
+        assert func.num_instructions == 1  # just the ret
+        assert Interpreter().run(func, [9]).value == 9
+
+    def test_select_fold(self):
+        text = (
+            "define i32 @f(i32 %x) {\nentry:\n"
+            "  %s = select i1 1, i32 %x, i32 7\n  ret i32 %s\n}"
+        )
+        m = parse_module(text)
+        func = m.get_function("f")
+        assert fold_constants(func) == 1
+        assert Interpreter().run(func, [5]).value == 5
+
+    def test_select_equal_arms(self):
+        text = (
+            "define i32 @f(i1 %c) {\nentry:\n"
+            "  %s = select i1 %c, i32 7, i32 7\n  ret i32 %s\n}"
+        )
+        m = parse_module(text)
+        assert fold_constants(m.get_function("f")) == 1
+
+    def test_icmp_fold(self):
+        text = (
+            "define i32 @f() {\nentry:\n  %c = icmp slt i32 -1, 1\n"
+            "  %z = zext i1 %c to i32\n  ret i32 %z\n}"
+        )
+        m = parse_module(text)
+        func = m.get_function("f")
+        fold_constants(func)
+        assert Interpreter().run(func, []).value == 1
+
+    def test_no_fold_of_division_by_zero(self):
+        text = "define i32 @f() {\nentry:\n  %a = sdiv i32 4, 0\n  ret i32 %a\n}"
+        m = parse_module(text)
+        assert fold_constants(m.get_function("f")) == 0  # trap preserved
+
+    def test_sdiv_signed_semantics(self):
+        text = "define i32 @f() {\nentry:\n  %a = sdiv i32 -7, 2\n  ret i32 %a\n}"
+        m = parse_module(text)
+        func = m.get_function("f")
+        fold_constants(func)
+        assert Interpreter().run(func, []).value == (-3) & 0xFFFFFFFF
+
+
+class TestSimplifyCFG:
+    def test_constant_branch_folded(self):
+        text = (
+            "define i32 @f(i32 %x) {\nentry:\n  br i1 1, label %a, label %b\n"
+            "a:\n  ret i32 1\nb:\n  ret i32 2\n}"
+        )
+        m = parse_module(text)
+        func = m.get_function("f")
+        simplify_cfg(func)
+        verify_function(func)
+        assert len(func.blocks) <= 2
+        assert Interpreter().run(func, [0]).value == 1
+
+    def test_empty_block_forwarding(self):
+        text = (
+            "define i32 @f(i1 %c) {\nentry:\n  br i1 %c, label %hop, label %out\n"
+            "hop:\n  br label %out\n"
+            "out:\n  %p = phi i32 [ 1, %hop ], [ 2, %entry ]\n  ret i32 %p\n}"
+        )
+        m = parse_module(text)
+        func = m.get_function("f")
+        before = Interpreter().run(func, [1]).value, Interpreter().run(func, [0]).value
+        simplify_cfg(func)
+        verify_function(func)
+        after = Interpreter().run(func, [1]).value, Interpreter().run(func, [0]).value
+        assert before == after == (1, 2)
+
+    def test_chain_merging(self):
+        text = (
+            "define i32 @f(i32 %x) {\nentry:\n  %a = add i32 %x, 1\n  br label %next\n"
+            "next:\n  %b = mul i32 %a, 2\n  br label %last\n"
+            "last:\n  ret i32 %b\n}"
+        )
+        m = parse_module(text)
+        func = m.get_function("f")
+        simplify_cfg(func)
+        verify_function(func)
+        assert len(func.blocks) == 1
+        assert Interpreter().run(func, [3]).value == 8
+
+    def test_diamond_untouched(self, module):
+        func = build_diamond(module)
+        n_blocks = len(func.blocks)
+        simplify_cfg(func)
+        verify_function(func)
+        assert len(func.blocks) == n_blocks
+        assert Interpreter().run(func, [7, 8]).value == 30
+
+    def test_loop_preserved(self, module):
+        func = build_loop(module, trip=5)
+        simplify_cfg(func)
+        verify_function(func)
+        assert Interpreter().run(func, [10]).value == 20
+
+
+class TestPipeline:
+    def test_optimize_function_reaches_fixpoint(self):
+        text = (
+            "define i32 @f(i32 %x) {\nentry:\n  %c = icmp sgt i32 5, 3\n"
+            "  br i1 %c, label %a, label %b\n"
+            "a:\n  %v = add i32 %x, 0\n  br label %out\n"
+            "b:\n  br label %out\n"
+            "out:\n  %p = phi i32 [ %v, %a ], [ 9, %b ]\n  ret i32 %p\n}"
+        )
+        m = parse_module(text)
+        func = m.get_function("f")
+        stats = optimize_function(func)
+        verify_function(func)
+        assert stats.total > 0
+        assert len(func.blocks) == 1
+        assert Interpreter().run(func, [4]).value == 4
+
+    def test_optimize_module_preserves_workload_semantics(self):
+        from repro.workloads import build_workload
+
+        module = build_workload(60, "optcheck")
+        driver = module.get_function("driver")
+        ref = {x: Interpreter().run(driver, [x]).value for x in (0, 5, 12)}
+        optimize_module(module)
+        verify_module(module)
+        new_driver = module.get_function("driver")
+        for x, expected in ref.items():
+            assert Interpreter().run(new_driver, [x]).value == expected
+
+    def test_optimize_after_merge_shrinks_module(self):
+        """The realistic pipeline: merge, then clean up; size only drops."""
+        from repro.analysis import module_size
+        from repro.merge import FunctionMergingPass
+        from repro.search import MinHashLSHRanker
+        from repro.workloads import build_workload
+
+        module = build_workload(80, "mergeopt")
+        driver = module.get_function("driver")
+        ref = Interpreter().run(driver, [3]).value
+        FunctionMergingPass(MinHashLSHRanker()).run(module)
+        merged_size = module_size(module)
+        optimize_module(module)
+        verify_module(module)
+        assert module_size(module) <= merged_size
+        assert Interpreter().run(module.get_function("driver"), [3]).value == ref
+
+
+class TestPropertyPreservation:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_pipeline_preserves_generated_functions(self, seed):
+        from repro.workloads import FunctionGenerator
+
+        module = Module(f"pp{seed}")
+        gen = FunctionGenerator(module, random.Random(seed))
+        funcs = [gen.generate(f"g{i}") for i in range(4)]
+        rng = random.Random(seed + 1)
+        cases = []
+        for func in funcs:
+            args = [
+                1.5 if p.is_float else rng.randint(0, 40)
+                for p in func.ftype.params
+            ]
+            try:
+                cases.append((func, args, Interpreter().run(func, args).value))
+            except Exception:
+                cases.append((func, args, "trap"))
+        optimize_module(module)
+        verify_module(module)
+        for func, args, expected in cases:
+            if expected == "trap" or module.get_function(func.name) is None:
+                continue
+            assert Interpreter().run(func, args).value == expected
