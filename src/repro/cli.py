@@ -17,8 +17,9 @@ import sys
 from typing import List, Optional
 
 from .analysis.size import module_size
+from .faults import FAULT_STAGES, FaultInjector
 from .harness.experiments import make_ranker
-from .harness.table import format_table
+from .harness.table import format_outcome_table, format_table
 from .ir.interp import Interpreter
 from .ir.module import Module
 from .ir.parser import parse_module
@@ -108,9 +109,20 @@ def _cmd_merge(args: argparse.Namespace) -> int:
         )
     else:
         ranker = make_ranker(args.strategy)
-        config = PassConfig(threshold=args.threshold, verify=not args.no_verify)
-        merge_report = FunctionMergingPass(ranker, config).run(module)
+        config = PassConfig(
+            threshold=args.threshold,
+            verify=not args.no_verify,
+            oracle=args.oracle,
+            on_error=args.on_error,
+        )
+        faults = (
+            FaultInjector.parse(args.inject_fault) if args.inject_fault else None
+        )
+        merge_report = FunctionMergingPass(ranker, config, faults=faults).run(module)
         print(merge_report.summary(), file=sys.stderr)
+        print(format_outcome_table(merge_report.outcome_counts()), file=sys.stderr)
+        for att in merge_report.contained_failures():
+            print(f"contained failure: @{att.function} ({att.error})", file=sys.stderr)
     if args.optimize:
         optimize_module(module, drop_dead_functions=False)
     verify_module(module)
@@ -198,6 +210,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_merge.add_argument("-o", "--output", default="-")
     p_merge.add_argument("--optimize", action="store_true", help="run clean-up passes after merging")
     p_merge.add_argument("--no-verify", action="store_true")
+    p_merge.add_argument(
+        "--oracle",
+        action="store_true",
+        help="gate every commit with the differential-execution oracle",
+    )
+    p_merge.add_argument(
+        "--on-error",
+        choices=["skip", "raise"],
+        default="skip",
+        help="contain unexpected merge failures (skip, default) or re-raise",
+    )
+    p_merge.add_argument(
+        "--inject-fault",
+        metavar="STAGE[:N]",
+        help=(
+            "deterministically fail at a pipeline stage "
+            f"({'|'.join(FAULT_STAGES)}), optionally only on the N-th hit"
+        ),
+    )
     p_merge.set_defaults(func=_cmd_merge)
 
     p_run = sub.add_parser("run", help="interpret a function in a module")

@@ -1,0 +1,75 @@
+"""Deterministic fault injection for the merging pipeline.
+
+The §III-E story is that merging infrastructure fails in practice — the
+question is whether the pass *contains* such failures (skip the pair,
+roll the module back, keep going) or lets them abort a whole build.  A
+:class:`FaultInjector` raises :class:`InjectedFault` at a named pipeline
+stage so tests can prove the containment property for every stage:
+
+* ``rank``    — before the ranker is consulted for a candidate;
+* ``align``   — before block alignment;
+* ``codegen`` — before merged-function code generation;
+* ``verify``  — before the IR verifier runs on the merged function;
+* ``oracle``  — before the differential-execution oracle (if enabled);
+* ``commit``  — *in the middle of* call-site rewriting, after the first
+  original has already been redirected, so a commit-stage fault leaves
+  the module genuinely half-mutated and rollback must repair it.
+
+Injection is deterministic: ``FaultInjector("codegen", at=2)`` fires on
+the second codegen attempt only; ``at=None`` fires on every hit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+__all__ = ["FAULT_STAGES", "InjectedFault", "FaultInjector"]
+
+FAULT_STAGES = ("rank", "align", "codegen", "verify", "oracle", "commit")
+
+
+class InjectedFault(RuntimeError):
+    """The synthetic failure raised by :class:`FaultInjector`."""
+
+
+class FaultInjector:
+    """Raise at the *at*-th hit of *stage* (every hit when ``at`` is None)."""
+
+    def __init__(
+        self,
+        stage: str,
+        at: Optional[int] = None,
+        exception: Type[BaseException] = InjectedFault,
+    ) -> None:
+        if stage not in FAULT_STAGES:
+            raise ValueError(
+                f"unknown fault stage {stage!r}; expected one of {FAULT_STAGES}"
+            )
+        if at is not None and at < 1:
+            raise ValueError("fault ordinal is 1-based")
+        self.stage = stage
+        self.at = at
+        self.exception = exception
+        self.hits: Dict[str, int] = {s: 0 for s in FAULT_STAGES}
+        self.fired = 0
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultInjector":
+        """Build an injector from a ``stage`` or ``stage:N`` CLI spec."""
+        stage, _, ordinal = spec.partition(":")
+        return cls(stage, at=int(ordinal) if ordinal else None)
+
+    def hit(self, stage: str) -> None:
+        """Record one arrival at *stage*, raising if the plan says so."""
+        self.hits[stage] += 1
+        if stage != self.stage:
+            return
+        if self.at is None or self.hits[stage] == self.at:
+            self.fired += 1
+            raise self.exception(
+                f"injected fault at stage {stage!r} (hit {self.hits[stage]})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        when = "always" if self.at is None else f"at={self.at}"
+        return f"<FaultInjector {self.stage} {when} fired={self.fired}>"

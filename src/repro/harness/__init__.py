@@ -10,7 +10,7 @@ from .experiments import (
     selected_pairs_experiment,
 )
 from .stats import binned_sums, histogram2d, mean_ci95, pearson
-from .table import format_table
+from .table import format_outcome_table, format_table
 
 __all__ = [
     "CompileTimeModel",
@@ -24,5 +24,6 @@ __all__ = [
     "histogram2d",
     "mean_ci95",
     "pearson",
+    "format_outcome_table",
     "format_table",
 ]

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Mapping, Sequence
 
-__all__ = ["format_table"]
+__all__ = ["format_table", "format_outcome_table"]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -21,3 +21,16 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
     for row in str_rows:
         lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
     return "\n".join(lines)
+
+
+def format_outcome_table(
+    counts: Mapping[str, int], include_zero: bool = False
+) -> str:
+    """Per-outcome attempt counts (``MergeReport.outcome_counts()``) as a
+    table, in the report's stable outcome order."""
+    rows = [
+        (outcome, count)
+        for outcome, count in counts.items()
+        if count or include_zero
+    ]
+    return format_table(["outcome", "attempts"], rows)

@@ -1,6 +1,6 @@
 """Function merging: codegen, SSA repair, profitability, and the pass."""
 
-from .errors import MergeError
+from .errors import CommitError, MergeError
 from .identical import IdenticalMergeReport, merge_identical_functions, structural_hash
 from .merger import MergeOptions, MergeResult, merge_functions
 from .partitioned import (
@@ -11,12 +11,16 @@ from .partitioned import (
 from .pass_ import FunctionMergingPass, PassConfig
 from .pgo import HotnessFilter, ProfileGuidedPass, profile_module
 from .profitability import MergeBenefit, ProfitabilityModel
-from .report import AttemptRecord, MergeReport
+from .report import AttemptRecord, MergeReport, Outcome
 from .ssa_repair import find_dominance_violations, repair_ssa
 from .thunks import commit_merge, make_thunk, rewrite_call_sites
+from .transaction import MergeTransaction
 
 __all__ = [
+    "CommitError",
     "MergeError",
+    "MergeTransaction",
+    "Outcome",
     "IdenticalMergeReport",
     "merge_identical_functions",
     "structural_hash",

@@ -2,8 +2,14 @@
 
 from __future__ import annotations
 
-__all__ = ["MergeError"]
+__all__ = ["MergeError", "CommitError"]
 
 
 class MergeError(Exception):
     """Raised when a candidate pair cannot be merged (codegen rejection)."""
+
+
+class CommitError(MergeError):
+    """Raised when applying a profitable merge to the module fails part-way
+    (e.g. dangling uses of an original); the transaction layer rolls the
+    module back to its pre-attempt state when this escapes ``commit_merge``."""

@@ -12,24 +12,35 @@ similar live candidate, aligns the pair block-wise, generates the merged
 function and commits it when the size model finds it profitable.  Every
 stage is timed per attempt so that the paper's breakdown figures can be
 regenerated.
+
+Every attempt is *transactional*: any failure — an expected codegen
+rejection, a veto from the differential oracle, or an unexpected
+exception from any stage (the §III-E class of generator bugs) — rolls
+the module back to its pre-attempt state and, under the default
+``on_error="skip"`` policy, the pass records a structured outcome and
+continues with the next candidate.  ``on_error="raise"`` preserves the
+exception for debugging, after the rollback has run.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..alignment.hyfm_blocks import align_functions
 from ..analysis.size import module_size
+from ..faults import FaultInjector, InjectedFault
 from ..ir.module import Module
 from ..ir.verifier import VerificationError, verify_function
+from ..oracle.differential import DifferentialOracle, OracleConfig
 from ..search.pairing import Ranker
 from .errors import MergeError
 from .merger import MergeOptions, MergeResult, merge_functions
 from .profitability import ProfitabilityModel
-from .report import AttemptRecord, MergeReport
+from .report import AttemptRecord, MergeReport, Outcome
 from .thunks import commit_merge
+from .transaction import MergeTransaction
 
 __all__ = ["PassConfig", "FunctionMergingPass"]
 
@@ -50,6 +61,11 @@ class PassConfig:
     families collapse into one function across successive merges (the
     paper's Fig. 1 workflow replaces the pair with the merged function in
     the module being optimized).
+    ``oracle`` — gate every profitable merge with the differential-execution
+    oracle; divergence vetoes the commit with an ``oracle_fail`` outcome.
+    ``on_error`` — ``"skip"`` (default) contains unexpected exceptions:
+    the attempt is rolled back, recorded, and the pass continues.
+    ``"raise"`` re-raises after the rollback (debugging).
     """
 
     threshold: float = 0.0
@@ -58,15 +74,41 @@ class PassConfig:
     verify: bool = True
     min_instructions: int = 1
     remerge: bool = True
+    oracle: bool = False
+    on_error: str = "skip"
+
+    def __post_init__(self) -> None:
+        if self.on_error not in ("skip", "raise"):
+            raise ValueError(
+                f"on_error must be 'skip' or 'raise', got {self.on_error!r}"
+            )
+
+
+@dataclass
+class _AttemptContext:
+    """Mutable attempt state shared with the exception handlers."""
+
+    record: AttemptRecord
+    stage: str = "rank"
 
 
 class FunctionMergingPass:
     """Apply function merging over a whole module."""
 
-    def __init__(self, ranker: Ranker, config: PassConfig = PassConfig()) -> None:
+    def __init__(
+        self,
+        ranker: Ranker,
+        config: PassConfig = PassConfig(),
+        faults: Optional[FaultInjector] = None,
+        oracle: Optional[DifferentialOracle] = None,
+    ) -> None:
         self.ranker = ranker
         self.config = config
         self.profitability = ProfitabilityModel()
+        self.faults = faults
+        if oracle is None and config.oracle:
+            oracle = DifferentialOracle(OracleConfig())
+        self.oracle = oracle
 
     # -- driver ---------------------------------------------------------------------
     def run(self, module: Module, functions=None) -> MergeReport:
@@ -114,69 +156,138 @@ class FunctionMergingPass:
 
     # -- one candidate --------------------------------------------------------------
     def _attempt(self, module, func, consumed, threshold):
-        """Returns ``(record, merged_function_or_None)``."""
+        """Returns ``(record, merged_function_or_None)``.
+
+        The whole attempt runs inside a :class:`MergeTransaction`; every
+        exit path either commits the transaction (successful merge) or
+        rolls it back, so the module is never left half-mutated.
+        """
+        txn = MergeTransaction(module)
+        ctx = _AttemptContext(record=AttemptRecord(func.name, None, 0.0, Outcome.NO_CANDIDATE))
+        try:
+            return self._attempt_stages(module, func, consumed, threshold, txn, ctx)
+        except (MergeError, VerificationError) as exc:
+            # Expected rejections from codegen/verification — and, via
+            # CommitError, structural failures while applying the commit.
+            txn.rollback()
+            outcome = (
+                Outcome.ROLLED_BACK
+                if ctx.stage == "commit"
+                else Outcome.CODEGEN_FAIL
+            )
+            return self._fail(ctx, exc, outcome), None
+        except RecursionError:
+            # Containing a blown interpreter/codegen stack is not safe —
+            # Python may be out of stack for the rollback itself.
+            raise
+        except Exception as exc:
+            mutated = txn.captured
+            txn.rollback()
+            if self.config.on_error == "raise":
+                raise
+            outcome = Outcome.ROLLED_BACK if mutated else Outcome.INTERNAL_ERROR
+            return self._fail(ctx, exc, outcome), None
+
+    @staticmethod
+    def _fail(ctx: "_AttemptContext", exc, outcome) -> AttemptRecord:
+        record = ctx.record
+        record.outcome = outcome
+        record.error = f"{ctx.stage}:{type(exc).__name__}"
+        return record
+
+    def _attempt_stages(
+        self,
+        module,
+        func,
+        consumed,
+        threshold,
+        txn: MergeTransaction,
+        ctx: "_AttemptContext",
+    ) -> Tuple[AttemptRecord, Optional[object]]:
+        """The happy path; any exception escapes to :meth:`_attempt`, which
+        reads the failure stage and partial timings back off *ctx.record*."""
+        record = ctx.record
+        ctx.stage = "rank"
         t0 = time.perf_counter()
+        if self.faults is not None:
+            self.faults.hit("rank")
         match = self.ranker.best_match(func)
-        ranking_time = time.perf_counter() - t0
+        record.ranking_time = time.perf_counter() - t0
 
         if match is None:
-            return (
-                AttemptRecord(
-                    func.name, None, 0.0, "no_candidate", ranking_time=ranking_time
-                ),
-                None,
-            )
+            return record, None
         other = match.function
-        record = AttemptRecord(
-            func.name, other.name, match.similarity, "", ranking_time=ranking_time
-        )
+        record.candidate = other.name
+        record.similarity = match.similarity
         if match.similarity < threshold:
-            record.outcome = "rejected_threshold"
+            record.outcome = Outcome.REJECTED_THRESHOLD
             return record, None
 
+        ctx.stage = "align"
         t0 = time.perf_counter()
-        if func.return_type is not other.return_type:
+        try:
+            if self.faults is not None:
+                self.faults.hit("align")
+            if func.return_type is not other.return_type:
+                record.outcome = Outcome.ALIGN_FAIL
+                return record, None
+            alignment = align_functions(func, other, strategy=self.config.alignment)
+        finally:
             record.align_time = time.perf_counter() - t0
-            record.outcome = "align_fail"
-            return record, None
-        alignment = align_functions(func, other, strategy=self.config.alignment)
-        record.align_time = time.perf_counter() - t0
         record.alignment_ratio = alignment.alignment_ratio
         if alignment.matched_instructions == 0:
-            record.outcome = "align_fail"
+            record.outcome = Outcome.ALIGN_FAIL
             return record, None
 
+        ctx.stage = "codegen"
         t0 = time.perf_counter()
-        result: Optional[MergeResult] = None
         try:
-            result = merge_functions(
+            if self.faults is not None:
+                self.faults.hit("codegen")
+            result: MergeResult = merge_functions(
                 alignment,
                 module,
                 options=MergeOptions(legacy_bugs=self.config.legacy_bugs),
             )
+            ctx.stage = "verify"
             if self.config.verify:
+                if self.faults is not None:
+                    self.faults.hit("verify")
                 verify_function(result.merged)
-        except (MergeError, VerificationError):
-            if result is not None and result.merged.parent is module:
-                result.merged.erase_from_parent()
+        finally:
             record.codegen_time = time.perf_counter() - t0
-            record.outcome = "codegen_fail"
-            return record, None
-        record.codegen_time = time.perf_counter() - t0
 
         benefit = self.profitability.evaluate(result)
         if not benefit.profitable:
-            result.merged.erase_from_parent()
-            record.outcome = "unprofitable"
+            txn.rollback()
+            record.outcome = Outcome.UNPROFITABLE
             return record, None
 
+        if self.oracle is not None:
+            ctx.stage = "oracle"
+            t0 = time.perf_counter()
+            try:
+                if self.faults is not None:
+                    self.faults.hit("oracle")
+                verdict = self.oracle.check(result)
+            finally:
+                record.oracle_time = time.perf_counter() - t0
+            if not verdict.equivalent:
+                txn.rollback()
+                record.outcome = Outcome.ORACLE_FAIL
+                record.error = f"oracle:{verdict.divergences[0]}"
+                return record, None
+
+        ctx.stage = "commit"
         t0 = time.perf_counter()
-        commit_merge(result)
+        txn.capture_commit_set(result.function_a, result.function_b)
+        commit_merge(result, faults=self.faults)
+        txn.commit()
         self.ranker.remove(func)
         self.ranker.remove(other)
         consumed.add(id(func))
         consumed.add(id(other))
         record.update_time = time.perf_counter() - t0
         record.saving = benefit.saving
-        record.outcome = "merged"
+        record.outcome = Outcome.MERGED
         return record, result.merged

@@ -4,24 +4,49 @@ The paper's Figures 3 and 13 break the pass runtime into preprocess /
 ranking / align / codegen stages, each split by whether the attempt
 ultimately succeeded.  :class:`MergeReport` collects exactly that, plus the
 pair-level records behind Figures 6, 9 and 14.
+
+Outcomes are a *closed* enum (:class:`Outcome`): every attempt ends in
+exactly one of these states, and constructing a record with anything else
+raises immediately instead of silently splitting the aggregation keyspace.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from enum import Enum
+from typing import Dict, List, Optional, Union
 
-__all__ = ["AttemptRecord", "MergeReport", "STAGES", "OUTCOMES"]
+__all__ = ["Outcome", "AttemptRecord", "MergeReport", "STAGES", "OUTCOMES"]
 
-STAGES = ("preprocess", "ranking", "align", "codegen", "update")
-OUTCOMES = (
-    "merged",
-    "unprofitable",
-    "codegen_fail",
-    "align_fail",
-    "rejected_threshold",
-    "no_candidate",
-)
+STAGES = ("preprocess", "ranking", "align", "codegen", "oracle", "update")
+
+
+class Outcome(str, Enum):
+    """Every way one candidate's trip through the pipeline can end.
+
+    The string values are the stable, externally visible names (reports,
+    tables, CLI output); the enum being a ``str`` subclass keeps existing
+    ``record.outcome == "merged"`` comparisons working.
+    """
+
+    MERGED = "merged"
+    UNPROFITABLE = "unprofitable"
+    CODEGEN_FAIL = "codegen_fail"
+    ALIGN_FAIL = "align_fail"
+    REJECTED_THRESHOLD = "rejected_threshold"
+    NO_CANDIDATE = "no_candidate"
+    # Robustness outcomes: the differential oracle vetoed the commit, an
+    # unexpected exception was contained before any module mutation, or a
+    # partially applied commit was undone by the transaction layer.
+    ORACLE_FAIL = "oracle_fail"
+    INTERNAL_ERROR = "internal_error"
+    ROLLED_BACK = "rolled_back"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+OUTCOMES = tuple(o.value for o in Outcome)
 
 
 @dataclass
@@ -31,17 +56,24 @@ class AttemptRecord:
     function: str
     candidate: Optional[str]
     similarity: float
-    outcome: str
+    outcome: Union[Outcome, str]
     alignment_ratio: float = 0.0
     saving: int = 0
     ranking_time: float = 0.0
     align_time: float = 0.0
     codegen_time: float = 0.0
+    oracle_time: float = 0.0
     update_time: float = 0.0
+    # Structured failure detail: "<stage>:<ExceptionType>" for contained
+    # faults, or the oracle's first divergence description.
+    error: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self.outcome = Outcome(self.outcome)
 
     @property
     def success(self) -> bool:
-        return self.outcome == "merged"
+        return self.outcome == Outcome.MERGED
 
 
 @dataclass
@@ -82,6 +114,7 @@ class MergeReport:
             "align_fail": 0.0,
             "codegen_success": 0.0,
             "codegen_fail": 0.0,
+            "oracle": 0.0,
             "update": 0.0,
         }
         for att in self.attempts:
@@ -89,18 +122,29 @@ class MergeReport:
             buckets[f"ranking_{key}"] += att.ranking_time
             buckets[f"align_{key}"] += att.align_time
             buckets[f"codegen_{key}"] += att.codegen_time
+            buckets["oracle"] += att.oracle_time
             buckets["update"] += att.update_time
         out.update(buckets)
         return out
 
     def outcome_counts(self) -> Dict[str, int]:
+        """Attempt count per outcome, keyed by the stable string values."""
         counts = {outcome: 0 for outcome in OUTCOMES}
         for att in self.attempts:
-            counts[att.outcome] = counts.get(att.outcome, 0) + 1
+            counts[Outcome(att.outcome).value] += 1
         return counts
 
     def successful_attempts(self) -> List[AttemptRecord]:
         return [a for a in self.attempts if a.success]
+
+    def contained_failures(self) -> List[AttemptRecord]:
+        """Attempts that failed unexpectedly but were contained (the pass
+        kept going and the module was restored)."""
+        return [
+            a
+            for a in self.attempts
+            if a.outcome in (Outcome.INTERNAL_ERROR, Outcome.ROLLED_BACK)
+        ]
 
     def summary(self) -> str:
         counts = self.outcome_counts()

@@ -9,13 +9,15 @@ everything else is deleted outright.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
+from ..faults import FaultInjector
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import Branch, Call, Instruction, Invoke, Ret
 from ..ir.types import I1
 from ..ir.values import ConstantInt, UndefValue, Value
+from .errors import CommitError
 from .merger import MergeResult
 
 __all__ = ["commit_merge", "rewrite_call_sites", "make_thunk"]
@@ -71,18 +73,31 @@ def make_thunk(original: Function, merged: Function, param_map: List[int], fid: 
     entry.append(Ret(None if original.return_type.is_void else call))
 
 
-def commit_merge(result: MergeResult) -> None:
-    """Apply a profitable merge to the module: redirect, thunk or delete."""
+def commit_merge(result: MergeResult, faults: Optional[FaultInjector] = None) -> None:
+    """Apply a profitable merge to the module: redirect, thunk or delete.
+
+    Not atomic on its own — a failure part-way (including one injected via
+    *faults*, which fires between the two originals so the module is
+    genuinely half-rewritten) leaves the module inconsistent.  The pass
+    wraps this call in a :class:`~repro.merge.transaction.MergeTransaction`
+    that restores the pre-attempt state on any escape.
+    """
     merged = result.merged
     module = merged.parent
-    assert module is not None, "merged function must be in a module"
-    for func, param_map, fid in (
-        (result.function_a, result.param_map_a, 0),
-        (result.function_b, result.param_map_b, 1),
+    if module is None:
+        raise CommitError("merged function must be in a module")
+    for index, (func, param_map, fid) in enumerate(
+        (
+            (result.function_a, result.param_map_a, 0),
+            (result.function_b, result.param_map_b, 1),
+        )
     ):
+        if index == 1 and faults is not None:
+            faults.hit("commit")
         rewrite_call_sites(func, merged, param_map, fid)
         if func.address_taken or not func.internal:
             make_thunk(func, merged, param_map, fid)
         else:
-            assert func.num_uses == 0, f"dangling uses of @{func.name}"
+            if func.num_uses != 0:
+                raise CommitError(f"dangling uses of @{func.name}")
             func.erase_from_parent()

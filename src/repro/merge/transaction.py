@@ -1,0 +1,149 @@
+"""Transactional protection for merge attempts.
+
+Committing a merge is a multi-step module mutation — rewrite every call
+site of both originals, thunk or delete the originals — and any failure
+part-way through (a codegen bug, a vetoed oracle check, an injected
+fault) would otherwise leave the module half-rewritten.  A
+:class:`MergeTransaction` brackets one attempt:
+
+* at construction it records the module's function table (names, order);
+* :meth:`capture` snapshots the bodies of functions about to be mutated
+  (the two originals plus every function containing a call site of
+  either) as *detached* clones whose operand uses are unregistered, so
+  the snapshot is invisible to use-count queries on the live module;
+* :meth:`rollback` restores captured bodies onto the *same* function
+  objects (identity is preserved — rankers and worklists keep working),
+  re-adds any function the commit deleted, erases any function the
+  attempt created, and restores the original function-table order so the
+  module prints bit-identically to its pre-attempt snapshot;
+* :meth:`commit` discards the snapshots.
+
+The snapshot cost is proportional to the functions actually touched by
+the attempt, not to the module, so the common failure paths (rejected
+threshold, failed alignment) pay nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..ir.clone import clone_function_into
+from ..ir.function import Function
+from ..ir.module import Module
+
+__all__ = ["MergeTransaction"]
+
+
+@dataclass
+class _FunctionBackup:
+    """Detached body clone plus the mutable attributes of one function."""
+
+    function: Function
+    body: Function
+    internal: bool
+    name: str
+    name_counter: int
+
+
+def _unlink_uses(func: Function) -> None:
+    """Unregister every operand use in *func* while keeping operand lists.
+
+    Backup clones are templates, never executed or traversed through
+    use-def chains; leaving their uses registered would inflate
+    ``num_uses``/``callers()`` on live functions and break the dangling-use
+    check during commit.
+    """
+    for block in func.blocks:
+        for inst in block.instructions:
+            for idx, op in enumerate(inst._operands):
+                op._remove_use(inst, idx)
+
+
+class MergeTransaction:
+    """All-or-nothing bracket around one merge attempt on *module*."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self._baseline_order: List[str] = list(module._functions.keys())
+        self._baseline_names = set(self._baseline_order)
+        self._backups: Dict[int, _FunctionBackup] = {}
+        self._closed = False
+
+    # -- snapshotting ------------------------------------------------------------
+    @property
+    def captured(self) -> bool:
+        """True once any function body has been snapshotted."""
+        return bool(self._backups)
+
+    def capture(self, *functions: Function) -> None:
+        """Snapshot *functions* (idempotent per function)."""
+        if self._closed:
+            raise RuntimeError("transaction already closed")
+        for func in functions:
+            if func is None or id(func) in self._backups:
+                continue
+            backup = Function(func.ftype, func.name)
+            for src, dst in zip(func.args, backup.args):
+                dst.name = src.name
+            clone_function_into(func, backup)
+            _unlink_uses(backup)
+            self._backups[id(func)] = _FunctionBackup(
+                func, backup, func.internal, func.name, func._name_counter
+            )
+
+    def capture_commit_set(self, *originals: Function) -> None:
+        """Snapshot *originals* plus every function calling into them."""
+        affected = list(originals)
+        for func in originals:
+            for site in func.callers():
+                block = site.parent
+                caller = block.parent if block is not None else None
+                if caller is not None:
+                    affected.append(caller)
+        self.capture(*affected)
+
+    # -- resolution --------------------------------------------------------------
+    def commit(self) -> None:
+        """Keep the mutations; drop the snapshots."""
+        self._backups.clear()
+        self._closed = True
+
+    def rollback(self) -> None:
+        """Restore the module to its state at transaction start.
+
+        Idempotent: a second call (or a call after :meth:`commit`) is a
+        no-op so failure-path cleanup can never mask the original error.
+        """
+        if self._closed:
+            return
+        module = self.module
+        # 1. Restore captured bodies onto the original function objects.
+        for backup in self._backups.values():
+            func = backup.function
+            func.drop_body()
+            vmap = {
+                id(src): dst for src, dst in zip(backup.body.args, func.args)
+            }
+            clone_function_into(backup.body, func, vmap)
+            func.internal = backup.internal
+            func.name = backup.name
+            func._name_counter = backup.name_counter
+            if module._functions.get(func.name) is not func:
+                func.parent = module
+                module._functions[func.name] = func
+        # 2. Erase anything the attempt added (e.g. the merged function).
+        for func in list(module._functions.values()):
+            if func.name not in self._baseline_names:
+                func.erase_from_parent()
+        # 3. Restore the function-table order so printing is bit-identical.
+        #    Only needed when membership changed; plain deletions above keep
+        #    the relative order of survivors.
+        if self._backups:
+            module._functions = {
+                name: module._functions[name]
+                for name in self._baseline_order
+                if name in module._functions
+            }
+        self._backups.clear()
+        self._closed = True

@@ -1,0 +1,27 @@
+"""Differential-execution oracle gating merge commits.
+
+Runs each original function against the merged function (called the way
+its thunk would call it) on auto-generated inputs through the reference
+interpreter, and vetoes the commit on any observable divergence.  This is
+the `ir/interp.py` differential-testing purpose wired directly into the
+pass: with ``legacy_bugs=True`` the §III-E miscompilations are caught
+*before* they are committed instead of surfacing as wrong program output.
+"""
+
+from .differential import (
+    DifferentialOracle,
+    Divergence,
+    OracleConfig,
+    OracleVerdict,
+)
+from .inputs import ArgSpec, BufferSpec, synthesize_inputs
+
+__all__ = [
+    "ArgSpec",
+    "BufferSpec",
+    "DifferentialOracle",
+    "Divergence",
+    "OracleConfig",
+    "OracleVerdict",
+    "synthesize_inputs",
+]

@@ -1,0 +1,220 @@
+"""The differential-execution check behind the ``--oracle`` gate.
+
+For a candidate :class:`~repro.merge.merger.MergeResult`, each original
+function is executed side by side with the merged function called the
+way its thunk would call it (function id constant, parameters routed
+through the param map, ``undef`` slots defaulted to zero).  Any
+observable divergence — different return value, different trap
+behaviour, different bytes left in pointed-to buffers — vetoes the
+commit.
+
+The comparison is deliberately conservative in what it *vetoes*:
+executions the interpreter cannot complete for environmental reasons
+(unresolved externals, exhausted fuel on the original, unsupported
+constructs) are counted as *skipped*, never as divergences, so the
+oracle cannot reject a merge it could not actually test.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from ..ir.function import Function
+from ..ir.interp import InterpError, Interpreter, Trap
+from ..ir.types import FloatType, PointerType
+from .inputs import ArgSpec, BufferSpec, materialize, synthesize_inputs
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import avoids a cycle
+    from ..merge.merger import MergeResult
+
+__all__ = ["OracleConfig", "Divergence", "OracleVerdict", "DifferentialOracle"]
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """Differential-check knobs.
+
+    ``merged_fuel_factor`` gives the merged side headroom for its guard
+    branches and selects so a slower-but-correct merge is never mistaken
+    for a hang; a merge that needs more than that is not equivalent in
+    any practical sense and is vetoed.
+    """
+
+    inputs_per_function: int = 5
+    fuel: int = 50_000
+    merged_fuel_factor: int = 4
+    seed: int = 0xD1FF
+    compare_memory: bool = True
+
+
+@dataclass
+class Divergence:
+    """One input on which original and merged behaviour differ."""
+
+    function: str
+    fid: int
+    args: Tuple[ArgSpec, ...]
+    expected: object
+    actual: object
+    kind: str  # "value" | "trap" | "memory"
+
+    def __str__(self) -> str:
+        return (
+            f"@{self.function} (fid={self.fid}) on {list(self.args)}: "
+            f"{self.kind} divergence, original={self.expected!r} "
+            f"merged={self.actual!r}"
+        )
+
+
+@dataclass
+class OracleVerdict:
+    """Aggregate outcome of one differential check."""
+
+    checked: int = 0
+    skipped: int = 0
+    divergences: List[Divergence] = field(default_factory=list)
+
+    @property
+    def equivalent(self) -> bool:
+        return not self.divergences
+
+
+class _Skip(Exception):
+    """Internal: this input cannot be judged (environmental limitation)."""
+
+
+def _default_for(type_) -> object:
+    """The thunk passes ``undef`` for unmapped slots; the interpreter
+    evaluates ``undef`` to zero, so zero is the faithful default."""
+    if isinstance(type_, FloatType):
+        return 0.0
+    return 0
+
+
+def _values_equal(a: object, b: object) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+        return a == b
+    return a == b
+
+
+class DifferentialOracle:
+    """Gate merges on observable input/output equivalence."""
+
+    def __init__(self, config: OracleConfig = OracleConfig()) -> None:
+        self.config = config
+
+    # -- public API ----------------------------------------------------------------
+    def check(self, result: "MergeResult") -> OracleVerdict:
+        """Differentially test both originals against *result.merged*."""
+        verdict = OracleVerdict()
+        sides = (
+            (result.function_a, result.param_map_a, 0),
+            (result.function_b, result.param_map_b, 1),
+        )
+        for func, param_map, fid in sides:
+            vectors = synthesize_inputs(
+                func, self.config.inputs_per_function, self.config.seed
+            )
+            if vectors is None:
+                verdict.skipped += self.config.inputs_per_function
+                continue
+            for specs in vectors:
+                try:
+                    divergence = self._compare(
+                        func, result.merged, param_map, fid, specs
+                    )
+                except _Skip:
+                    verdict.skipped += 1
+                    continue
+                verdict.checked += 1
+                if divergence is not None:
+                    verdict.divergences.append(divergence)
+        return verdict
+
+    # -- one execution pair ----------------------------------------------------------
+    def _run(
+        self, func: Function, specs: Sequence[ArgSpec], fuel: int, fuel_traps: bool
+    ) -> Tuple[object, Optional[str], List[object], Interpreter]:
+        """Returns ``(value, trap_kind, concrete_args, interpreter)``.
+
+        ``fuel_traps`` selects how fuel exhaustion is reported: the original
+        side *skips* (we could not observe its behaviour), the merged side —
+        whose budget already includes guard/select headroom — counts it as a
+        trap, i.e. a behavioural divergence from a terminating original.
+        """
+        interp = Interpreter(fuel=fuel)
+        args = materialize(specs, interp)
+        try:
+            value = interp.run(func, args).value
+            return value, None, args, interp
+        except Trap as trap:
+            if "out of fuel" in str(trap) and not fuel_traps:
+                raise _Skip from trap
+            return None, str(trap) or "trap", args, interp
+        except InterpError as exc:
+            raise _Skip from exc
+        except RecursionError as exc:  # deep interpreter stacks on hostile inputs
+            raise _Skip from exc
+
+    def _compare(
+        self,
+        func: Function,
+        merged: Function,
+        param_map: Sequence[int],
+        fid: int,
+        specs: Sequence[ArgSpec],
+    ) -> Optional[Divergence]:
+        merged_specs: List[ArgSpec] = [
+            _default_for(param) for param in merged.ftype.params
+        ]
+        merged_specs[0] = fid
+        for spec, slot in zip(specs, param_map):
+            merged_specs[slot] = spec
+
+        value_o, trap_o, args_o, interp_o = self._run(
+            func, specs, self.config.fuel, fuel_traps=False
+        )
+        merged_fuel = self.config.fuel * self.config.merged_fuel_factor
+        value_m, trap_m, args_m, interp_m = self._run(
+            merged, merged_specs, merged_fuel, fuel_traps=True
+        )
+
+        if (trap_o is None) != (trap_m is None):
+            return Divergence(
+                func.name, fid, tuple(specs),
+                trap_o if trap_o is not None else value_o,
+                trap_m if trap_m is not None else value_m,
+                "trap",
+            )
+        if trap_o is not None:
+            # Both sides trapped; the merged trap may fire from a different
+            # (guarded) block, so trap *kinds* are not compared.
+            return None
+        if not func.return_type.is_void and not isinstance(
+            func.return_type, PointerType
+        ):
+            if not _values_equal(value_o, value_m):
+                return Divergence(
+                    func.name, fid, tuple(specs), value_o, value_m, "value"
+                )
+        if self.config.compare_memory:
+            # Pair each pointer argument with its merged slot through the
+            # param map (slots are not necessarily in parameter order for
+            # the second function).
+            for idx, spec in enumerate(specs):
+                if not isinstance(spec, BufferSpec):
+                    continue
+                addr_o, addr_m = args_o[idx], args_m[param_map[idx]]
+                if not isinstance(addr_o, int) or not isinstance(addr_m, int):
+                    continue
+                bytes_o = [interp_o.memory.get(addr_o + i) for i in range(spec.size)]
+                bytes_m = [interp_m.memory.get(addr_m + i) for i in range(spec.size)]
+                if bytes_o != bytes_m:
+                    return Divergence(
+                        func.name, fid, tuple(specs), bytes_o, bytes_m, "memory"
+                    )
+        return None

@@ -1,0 +1,94 @@
+"""Deterministic argument synthesis for the differential oracle.
+
+Inputs are *specs*, not raw values: scalar params map to concrete
+numbers, pointer params to a :class:`BufferSpec` that each interpreter
+materializes into its own freshly allocated memory.  Both sides of a
+differential run materialize buffers in the same order, so the runs stay
+internally consistent even though absolute addresses are run-local.
+
+Synthesis is seeded from the function's name and signature, so two runs
+of the oracle over the same module produce identical input sets —
+required by the pass-level determinism guarantee.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..fingerprint.fnv import fnv1a_32
+from ..ir.function import Function
+from ..ir.interp import Interpreter, type_size
+from ..ir.types import FloatType, IntType, PointerType, Type
+
+__all__ = ["ArgSpec", "BufferSpec", "synthesize_inputs", "materialize"]
+
+
+@dataclass(frozen=True)
+class BufferSpec:
+    """A pointer argument: *size* zeroed bytes with *fill* stored first."""
+
+    size: int
+    fill: Tuple[int, ...] = ()
+
+    def materialize(self, interp: Interpreter) -> int:
+        base = interp.alloc(self.size)
+        for off, byte in enumerate(self.fill):
+            interp.memory[base + off] = byte
+        return base
+
+
+ArgSpec = Union[int, float, BufferSpec]
+
+
+def _int_pool(bits: int) -> List[int]:
+    if bits == 1:
+        return [0, 1]
+    top = (1 << bits) - 1
+    half = 1 << (bits - 1)
+    return [0, 1, 2, 3, top, half - 1, half, 7 % (top or 1)]
+
+
+def _spec_for(type_: Type, rng: random.Random) -> Optional[ArgSpec]:
+    if isinstance(type_, IntType):
+        pool = _int_pool(type_.bits)
+        return rng.choice(pool) if rng.random() < 0.7 else rng.randrange(0, 1 << min(type_.bits, 16))
+    if isinstance(type_, FloatType):
+        pool = [0.0, 1.0, -1.0, 2.5, 0.5, 100.0]
+        return rng.choice(pool) if rng.random() < 0.7 else round(rng.uniform(-8.0, 8.0), 3)
+    if isinstance(type_, PointerType):
+        try:
+            size = max(1, type_size(type_.pointee))
+        except Exception:
+            return None
+        fill = tuple(rng.randrange(0, 8) for _ in range(min(size, 8)))
+        return BufferSpec(size, fill)
+    return None
+
+
+def synthesize_inputs(
+    func: Function, count: int, seed: int = 0xD1FF
+) -> Optional[List[List[ArgSpec]]]:
+    """*count* argument vectors for *func*, or None if a param type is
+    outside the oracle's vocabulary (the check is then inconclusive)."""
+    key = fnv1a_32(f"{func.name}/{func.ftype}".encode()) ^ seed
+    rng = random.Random(key)
+    vectors: List[List[ArgSpec]] = []
+    for _ in range(count):
+        vector: List[ArgSpec] = []
+        for param in func.ftype.params:
+            spec = _spec_for(param, rng)
+            if spec is None:
+                return None
+            vector.append(spec)
+        vectors.append(vector)
+    return vectors
+
+
+def materialize(specs: Sequence[ArgSpec], interp: Interpreter) -> List[object]:
+    """Resolve *specs* into concrete interpreter arguments."""
+    return [
+        spec.materialize(interp) if isinstance(spec, BufferSpec) else spec
+        for spec in specs
+    ]

@@ -1,0 +1,150 @@
+"""Graceful-degradation tests: injected faults at every pipeline stage.
+
+The containment property under test: a failure anywhere in a merge
+attempt — including half-way through call-site rewriting — leaves the
+module bit-identical to its pre-attempt state, records a structured
+outcome, and (under the default ``on_error="skip"``) lets the pass
+continue with the remaining candidates.
+"""
+
+import pytest
+
+from repro.faults import FAULT_STAGES, FaultInjector, InjectedFault
+from repro.ir import parse_module, print_module, verify_module
+from repro.merge import FunctionMergingPass, PassConfig
+from repro.search import ExhaustiveRanker
+from repro.workloads import build_workload
+
+
+def _mergeable_module():
+    """Two profitably-mergeable functions plus a caller of both."""
+    text = """
+define i32 @f1(i32 %x, i32 %y) {
+entry:
+  %a = add i32 %x, %y
+  %b = mul i32 %a, 3
+  %c = xor i32 %b, 21
+  %d = sub i32 %c, %y
+  ret i32 %d
+}
+define i32 @f2(i32 %x, i32 %y) {
+entry:
+  %a = add i32 %x, %y
+  %b = mul i32 %a, 7
+  %c = xor i32 %b, 21
+  %d = sub i32 %c, %y
+  ret i32 %d
+}
+define i32 @main(i32 %x) {
+entry:
+  %r1 = call i32 @f1(i32 %x, i32 2)
+  %r2 = call i32 @f2(i32 %x, i32 3)
+  %s = add i32 %r1, %r2
+  ret i32 %s
+}
+"""
+    return parse_module(text)
+
+
+class TestStageContainment:
+    @pytest.mark.parametrize("stage", FAULT_STAGES)
+    def test_fault_contained_and_module_restored(self, stage):
+        module = _mergeable_module()
+        before = print_module(module)
+        faults = FaultInjector(stage)  # fire on every hit
+        config = PassConfig(oracle=True)  # all six stages are exercised
+        report = FunctionMergingPass(
+            ExhaustiveRanker(), config, faults=faults
+        ).run(module)
+
+        assert faults.fired >= 1
+        assert report.merges == 0
+        # The module is exactly what it was before the pass ran.
+        assert print_module(module) == before
+        verify_module(module)
+        # Every fault became a structured record, not a crash.
+        expected = "rolled_back" if stage == "commit" else "internal_error"
+        failed = [a for a in report.attempts if a.outcome == expected]
+        assert failed, f"no {expected} outcome for stage {stage}"
+        assert all(a.error == f"{stage}:InjectedFault" for a in failed)
+
+    @pytest.mark.parametrize("stage", FAULT_STAGES)
+    def test_on_error_raise_propagates(self, stage):
+        module = _mergeable_module()
+        before = print_module(module)
+        faults = FaultInjector(stage)
+        config = PassConfig(oracle=True, on_error="raise")
+        with pytest.raises(InjectedFault):
+            FunctionMergingPass(ExhaustiveRanker(), config, faults=faults).run(module)
+        # The rollback runs before the re-raise.
+        assert print_module(module) == before
+        verify_module(module)
+
+    def test_contained_failures_listed(self):
+        module = _mergeable_module()
+        faults = FaultInjector("codegen")
+        report = FunctionMergingPass(
+            ExhaustiveRanker(), PassConfig(), faults=faults
+        ).run(module)
+        contained = report.contained_failures()
+        assert contained
+        assert all(a.outcome == "internal_error" for a in contained)
+
+
+class TestSkipAndContinue:
+    def test_single_fault_does_not_stop_the_pass(self):
+        # Fault only the first codegen attempt of a real workload: that pair
+        # is skipped with a structured outcome and later merges still land.
+        module = build_workload(60, "faultcheck")
+        faults = FaultInjector("codegen", at=1)
+        report = FunctionMergingPass(
+            ExhaustiveRanker(), PassConfig(), faults=faults
+        ).run(module)
+        verify_module(module)
+        assert faults.fired == 1
+        errors = [a for a in report.attempts if a.outcome == "internal_error"]
+        assert len(errors) == 1
+        assert errors[0].error == "codegen:InjectedFault"
+        assert report.merges > 0
+
+    def test_outcome_counts_include_contained_failures(self):
+        module = _mergeable_module()
+        faults = FaultInjector("align")
+        report = FunctionMergingPass(
+            ExhaustiveRanker(), PassConfig(), faults=faults
+        ).run(module)
+        counts = report.outcome_counts()
+        assert counts["internal_error"] >= 1
+        assert sum(counts.values()) == len(report.attempts)
+
+
+class TestFaultInjector:
+    def test_parse_spec(self):
+        fi = FaultInjector.parse("verify:3")
+        assert fi.stage == "verify" and fi.at == 3
+        fi = FaultInjector.parse("rank")
+        assert fi.stage == "rank" and fi.at is None
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector("linker")
+
+    def test_ordinal_is_one_based(self):
+        with pytest.raises(ValueError):
+            FaultInjector("rank", at=0)
+
+    def test_fires_only_at_ordinal(self):
+        fi = FaultInjector("codegen", at=2)
+        fi.hit("codegen")
+        with pytest.raises(InjectedFault):
+            fi.hit("codegen")
+        fi.hit("codegen")  # past the ordinal: silent
+        assert fi.fired == 1
+        assert fi.hits["codegen"] == 3
+
+    def test_other_stages_counted_not_fired(self):
+        fi = FaultInjector("commit")
+        fi.hit("rank")
+        fi.hit("align")
+        assert fi.fired == 0
+        assert fi.hits["rank"] == 1

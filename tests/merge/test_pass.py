@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.analysis import module_size
-from repro.ir import Interpreter, Module, verify_module
+from repro.ir import Interpreter, Module, print_module, verify_module
 from repro.merge import FunctionMergingPass, PassConfig
 from repro.search import ExhaustiveRanker, MinHashLSHRanker
 from repro.workloads import build_workload, make_variant
@@ -110,6 +110,29 @@ class TestDeterminism:
         assert r1.merges == r2.merges
         assert r1.size_after == r2.size_after
         assert [a.outcome for a in r1.attempts] == [a.outcome for a in r2.attempts]
+
+    def test_same_seed_same_module_text(self):
+        # Bit-level regression: beyond matching outcome sequences, two
+        # same-seed runs must print byte-identical modules.
+        m1 = build_workload(80, "dettext")
+        m2 = build_workload(80, "dettext")
+        r1 = FunctionMergingPass(MinHashLSHRanker()).run(m1)
+        r2 = FunctionMergingPass(MinHashLSHRanker()).run(m2)
+        assert [(a.function, a.candidate, str(a.outcome)) for a in r1.attempts] == [
+            (a.function, a.candidate, str(a.outcome)) for a in r2.attempts
+        ]
+        assert print_module(m1) == print_module(m2)
+
+    def test_oracle_gate_is_deterministic(self):
+        # The oracle synthesizes inputs from function identity, so enabling
+        # it must not introduce run-to-run variation.
+        config = PassConfig(oracle=True)
+        m1 = build_workload(60, "detoracle")
+        m2 = build_workload(60, "detoracle")
+        r1 = FunctionMergingPass(ExhaustiveRanker(), config).run(m1)
+        r2 = FunctionMergingPass(ExhaustiveRanker(), config).run(m2)
+        assert [a.outcome for a in r1.attempts] == [a.outcome for a in r2.attempts]
+        assert print_module(m1) == print_module(m2)
 
 
 class TestAdaptiveVariant:

@@ -1,7 +1,10 @@
 """Tests for the pass report accounting (drives Figures 3 and 13)."""
 
-from repro.merge import MergeReport
-from repro.merge.report import AttemptRecord
+import pytest
+
+from repro.harness import format_outcome_table
+from repro.merge import MergeReport, Outcome
+from repro.merge.report import OUTCOMES, AttemptRecord
 
 
 def _attempt(outcome, **times):
@@ -58,3 +61,51 @@ class TestStageBreakdown:
         report.attempts = [_attempt("merged"), _attempt("merged")]
         text = report.summary()
         assert "f3m" in text and "10 functions" in text and "2 merges" in text
+
+
+class TestOutcomeEnum:
+    def test_outcomes_are_closed(self):
+        # Free-form outcome strings silently fork the aggregation keys;
+        # records must be coerced into the closed enum at construction.
+        with pytest.raises(ValueError):
+            AttemptRecord("f", "g", 0.5, "mergd")
+
+    def test_strings_coerce_and_compare(self):
+        record = AttemptRecord("f", "g", 0.5, "merged")
+        assert record.outcome is Outcome.MERGED
+        assert record.outcome == "merged"
+        assert str(record.outcome) == "merged"
+
+    def test_every_outcome_is_countable(self):
+        report = MergeReport()
+        report.attempts = [_attempt(o) for o in OUTCOMES]
+        counts = report.outcome_counts()
+        assert set(counts) == set(OUTCOMES)
+        assert all(v == 1 for v in counts.values())
+
+    def test_contained_failures_filter(self):
+        report = MergeReport()
+        report.attempts = [
+            _attempt("merged"),
+            _attempt("internal_error"),
+            _attempt("rolled_back"),
+            _attempt("oracle_fail"),
+        ]
+        contained = report.contained_failures()
+        assert [str(a.outcome) for a in contained] == ["internal_error", "rolled_back"]
+
+
+class TestOutcomeTable:
+    def test_zero_counts_hidden_by_default(self):
+        report = MergeReport()
+        report.attempts = [_attempt("merged"), _attempt("oracle_fail")]
+        text = format_outcome_table(report.outcome_counts())
+        assert "merged" in text and "oracle_fail" in text
+        assert "internal_error" not in text
+
+    def test_include_zero_lists_everything(self):
+        report = MergeReport()
+        report.attempts = [_attempt("merged")]
+        text = format_outcome_table(report.outcome_counts(), include_zero=True)
+        for outcome in OUTCOMES:
+            assert outcome in text

@@ -1,0 +1,148 @@
+"""Tests for the transactional merge-attempt bracket."""
+
+import pytest
+
+from repro.alignment import align_functions
+from repro.ir import Interpreter, parse_module, print_module, verify_module
+from repro.merge import MergeTransaction, commit_merge, merge_functions
+
+
+def _module_with_callers():
+    text = """
+define i32 @f1(i32 %x, i32 %y) {
+entry:
+  %a = add i32 %x, %y
+  %b = mul i32 %a, 3
+  ret i32 %b
+}
+define i32 @f2(i32 %x, i32 %y) {
+entry:
+  %a = add i32 %x, %y
+  %b = mul i32 %a, 7
+  ret i32 %b
+}
+define i32 @main(i32 %x) {
+entry:
+  %r1 = call i32 @f1(i32 %x, i32 2)
+  %r2 = call i32 @f2(i32 %x, i32 3)
+  %s = add i32 %r1, %r2
+  ret i32 %s
+}
+"""
+    return parse_module(text)
+
+
+def _merge_pair(module):
+    f1, f2 = module.get_function("f1"), module.get_function("f2")
+    return merge_functions(align_functions(f1, f2), module)
+
+
+class TestRollback:
+    def test_rollback_after_codegen_restores_module_text(self):
+        module = _module_with_callers()
+        before = print_module(module)
+        txn = MergeTransaction(module)
+        _merge_pair(module)  # adds @merged.f1.f2 to the module
+        assert print_module(module) != before
+        txn.rollback()
+        assert print_module(module) == before
+        verify_module(module)
+
+    def test_rollback_after_commit_restores_module_text(self):
+        module = _module_with_callers()
+        before = print_module(module)
+        f1, f2 = module.get_function("f1"), module.get_function("f2")
+        txn = MergeTransaction(module)
+        result = _merge_pair(module)
+        txn.capture_commit_set(result.function_a, result.function_b)
+        commit_merge(result)
+        # Originals gone, merged function live, caller rewritten.
+        assert module.get_function("f1") is None
+        txn.rollback()
+        assert print_module(module) == before
+        verify_module(module)
+        # Identity is preserved: the restored functions are the same objects.
+        assert module.get_function("f1") is f1
+        assert module.get_function("f2") is f2
+
+    def test_rollback_preserves_semantics(self):
+        module = _module_with_callers()
+        main = module.get_function("main")
+        ref = {x: Interpreter().run(main, [x]).value for x in (0, 4, 9)}
+        txn = MergeTransaction(module)
+        result = _merge_pair(module)
+        txn.capture_commit_set(result.function_a, result.function_b)
+        commit_merge(result)
+        txn.rollback()
+        for x, expected in ref.items():
+            assert Interpreter().run(module.get_function("main"), [x]).value == expected
+
+    def test_rollback_is_idempotent(self):
+        module = _module_with_callers()
+        before = print_module(module)
+        txn = MergeTransaction(module)
+        txn.capture(module.get_function("f1"))
+        txn.rollback()
+        txn.rollback()  # second call must be a silent no-op
+        assert print_module(module) == before
+
+    def test_rollback_after_commit_is_noop(self):
+        module = _module_with_callers()
+        txn = MergeTransaction(module)
+        result = _merge_pair(module)
+        txn.capture_commit_set(result.function_a, result.function_b)
+        commit_merge(result)
+        txn.commit()
+        after = print_module(module)
+        txn.rollback()  # must not undo a committed merge
+        assert print_module(module) == after
+        assert module.get_function("merged.f1.f2") is not None
+
+
+class TestCapture:
+    def test_captured_flag(self):
+        module = _module_with_callers()
+        txn = MergeTransaction(module)
+        assert not txn.captured
+        txn.capture(module.get_function("f1"))
+        assert txn.captured
+
+    def test_capture_after_close_raises(self):
+        module = _module_with_callers()
+        txn = MergeTransaction(module)
+        txn.commit()
+        with pytest.raises(RuntimeError):
+            txn.capture(module.get_function("f1"))
+
+    def test_commit_set_includes_callers(self):
+        module = _module_with_callers()
+        f1, f2 = module.get_function("f1"), module.get_function("f2")
+        txn = MergeTransaction(module)
+        txn.capture_commit_set(f1, f2)
+        captured = {b.function.name for b in txn._backups.values()}
+        assert captured == {"f1", "f2", "main"}
+
+    def test_backups_do_not_inflate_use_counts(self):
+        # The snapshot must be invisible to use-count queries: a clone with
+        # registered uses would double @f1's caller count and trip the
+        # dangling-use check during a later commit.
+        module = _module_with_callers()
+        f1 = module.get_function("f1")
+        callers_before = len(f1.callers())
+        uses_before = f1.num_uses
+        txn = MergeTransaction(module)
+        txn.capture_commit_set(f1, module.get_function("f2"))
+        assert len(f1.callers()) == callers_before
+        assert f1.num_uses == uses_before
+        txn.rollback()
+        assert len(f1.callers()) == callers_before
+        assert f1.num_uses == uses_before
+
+    def test_empty_rollback_is_free(self):
+        # Attempts that fail before codegen captured nothing; rollback must
+        # still leave the module untouched.
+        module = _module_with_callers()
+        before = print_module(module)
+        txn = MergeTransaction(module)
+        txn.rollback()
+        assert print_module(module) == before

@@ -73,6 +73,86 @@ class TestMerge:
         )
 
 
+class TestMergeRobustnessFlags:
+    def test_oracle_flag_preserves_semantics(self, module_file, tmp_path, capsys):
+        out = tmp_path / "merged.ll"
+        assert (
+            main(["merge", str(module_file), "-s", "hyfm", "--oracle", "-o", str(out)])
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "outcome" in err  # the per-outcome table is printed
+        assert main(["run", str(module_file), "--entry", "driver", "-a", "7"]) == 0
+        ref = capsys.readouterr().out
+        assert main(["run", str(out), "--entry", "driver", "-a", "7"]) == 0
+        assert capsys.readouterr().out == ref
+
+    def test_inject_fault_is_contained_by_default(self, module_file, tmp_path, capsys):
+        out = tmp_path / "merged.ll"
+        assert (
+            main(
+                [
+                    "merge",
+                    str(module_file),
+                    "-s",
+                    "hyfm",
+                    "--inject-fault",
+                    "codegen:1",
+                    "-o",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "contained failure" in err
+        assert "codegen:InjectedFault" in err
+        from repro.ir import parse_module, verify_module
+
+        verify_module(parse_module(out.read_text()))
+
+    def test_inject_fault_with_on_error_raise(self, module_file, tmp_path):
+        from repro.faults import InjectedFault
+
+        with pytest.raises(InjectedFault):
+            main(
+                [
+                    "merge",
+                    str(module_file),
+                    "-s",
+                    "hyfm",
+                    "--inject-fault",
+                    "codegen:1",
+                    "--on-error",
+                    "raise",
+                    "-o",
+                    str(tmp_path / "x.ll"),
+                ]
+            )
+
+    def test_fault_every_commit_yields_identity(self, module_file, tmp_path, capsys):
+        # Failing every commit means no merge can land; the output module
+        # must equal the input byte for byte.
+        out = tmp_path / "merged.ll"
+        assert (
+            main(
+                [
+                    "merge",
+                    str(module_file),
+                    "-s",
+                    "hyfm",
+                    "--inject-fault",
+                    "commit",
+                    "-o",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert out.read_text() == module_file.read_text()
+
+
 class TestRun:
     def test_missing_entry_fails(self, module_file):
         assert main(["run", str(module_file), "--entry", "nope"]) == 1
