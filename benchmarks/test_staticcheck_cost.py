@@ -1,0 +1,69 @@
+"""Commit-gate cost: static merge-safety linter vs differential oracle.
+
+The §III-E invariants can be enforced two ways — statically (the
+``staticcheck`` merge-safety linter) or dynamically (the differential-
+execution oracle).  This suite measures both gates per module over the
+generated workloads, prints the side-by-side table, and emits
+``BENCH_staticcheck.json`` so the static-vs-dynamic cost ratio is tracked
+in the perf trajectory.
+
+The qualitative claim under test: the static gate costs a small fraction
+of the oracle gate (no interpretation, no input generation) while agreeing
+with it on every fixed-pipeline merge (zero vetoes from either).
+"""
+
+import os
+
+from repro.harness import (
+    format_gate_cost_table,
+    gate_cost_row,
+    load_bench_json,
+    write_bench_json,
+)
+from repro.merge import FunctionMergingPass, PassConfig
+from repro.search import ExhaustiveRanker
+
+from conftest import header, workload
+
+_SIZES = (60, 120, 200)
+_BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_staticcheck.json")
+
+
+def _run(n, tag, **config):
+    module = workload(n, tag)
+    report = FunctionMergingPass(
+        ExhaustiveRanker(), PassConfig(verify=False, **config)
+    ).run(module)
+    return gate_cost_row(f"{tag}{n}", report)
+
+
+class TestGateCost:
+    def test_static_gate_cheaper_than_oracle_gate(self):
+        header("Commit-gate cost: staticcheck vs oracle (per module)")
+        rows = []
+        for n in _SIZES:
+            row = _run(n, "gatecost", static_check=True, oracle=True)
+            rows.append(row)
+            # Neither gate vetoes a fixed-pipeline merge...
+            assert row["static_fails"] == 0
+            assert row["oracle_fails"] == 0
+            assert row["merges"] > 0
+            # ...and the static screen is the cheap one by a wide margin.
+            assert row["static_time"] < row["oracle_time"]
+        print(format_gate_cost_table(rows))
+        write_bench_json(
+            _BENCH_PATH,
+            "staticcheck",
+            rows,
+            metadata={"sizes": list(_SIZES), "ranker": "exhaustive"},
+        )
+        payload = load_bench_json(_BENCH_PATH)
+        assert payload["bench"] == "staticcheck"
+        assert len(payload["rows"]) == len(_SIZES)
+
+    def test_static_gate_alone_overhead_is_small(self):
+        # The static gate on its own should not dominate the pass: its
+        # summed per-attempt cost stays within half the total pass time.
+        row = _run(120, "gateonly", static_check=True)
+        assert row["static_fails"] == 0
+        assert row["static_time"] < 0.5 * row["total_time"]

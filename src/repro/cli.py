@@ -6,6 +6,7 @@ Drives the library end to end from a shell::
     python -m repro generate -n 500 -o prog.ll      # synthetic workload
     python -m repro stats prog.ll                   # module statistics
     python -m repro merge prog.ll -s f3m -o out.ll  # run function merging
+    python -m repro lint prog.ll --json             # static analysis report
     python -m repro run out.ll --entry driver -a 5  # interpret an entry
     python -m repro compare -n 800                  # HyFM vs F3M shootout
 """
@@ -13,10 +14,12 @@ Drives the library end to end from a shell::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from .analysis.size import module_size
+from .diagnostics import Severity, has_errors
 from .faults import FAULT_STAGES, FaultInjector
 from .harness.experiments import make_ranker
 from .harness.table import format_outcome_table, format_table
@@ -27,10 +30,12 @@ from .ir.printer import print_module
 from .ir.verifier import verify_module
 from .merge.pass_ import FunctionMergingPass, PassConfig
 from .merge.identical import merge_identical_functions
+from .staticcheck.checkers import all_checkers
+from .staticcheck.lint import lint_module
 from .transforms.pipeline import optimize_module
 from .workloads.suites import build_workload
 
-__all__ = ["main"]
+__all__ = ["main", "lint_main"]
 
 
 def _load(path: str) -> Module:
@@ -112,6 +117,7 @@ def _cmd_merge(args: argparse.Namespace) -> int:
         config = PassConfig(
             threshold=args.threshold,
             verify=not args.no_verify,
+            static_check=args.static_check,
             oracle=args.oracle,
             on_error=args.on_error,
         )
@@ -128,6 +134,47 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     verify_module(module)
     _save(module, args.output)
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_checkers:
+        rows = [(c.name, c.scope, c.description) for c in all_checkers()]
+        print(format_table(["checker", "scope", "description"], rows))
+        return 0
+    if args.module is None:
+        print("error: module path required (or --list-checkers)", file=sys.stderr)
+        return 2
+    # Parse without verifying: the linter is the judge here, and it must be
+    # able to report on modules the verifier would reject.
+    with open(args.module, "r", encoding="utf-8") as handle:
+        module = parse_module(handle.read(), name=args.module)
+    checkers = args.checkers.split(",") if args.checkers else None
+    diagnostics = lint_module(module, checkers)
+    if args.min_severity is not None:
+        floor = Severity.parse(args.min_severity)
+        diagnostics = [d for d in diagnostics if d.severity >= floor]
+    if args.json:
+        payload = {
+            "module": args.module,
+            "checkers": checkers or [c.name for c in all_checkers()],
+            "diagnostics": [d.to_dict() for d in diagnostics],
+            "counts": {
+                str(severity): sum(1 for d in diagnostics if d.severity is severity)
+                for severity in Severity
+            },
+        }
+        json.dump(payload, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        for diag in diagnostics:
+            print(str(diag))
+        errors = sum(1 for d in diagnostics if d.severity >= Severity.ERROR)
+        warnings = sum(1 for d in diagnostics if d.severity == Severity.WARNING)
+        print(
+            f"{len(diagnostics)} diagnostics ({errors} errors, {warnings} warnings)",
+            file=sys.stderr,
+        )
+    return 1 if has_errors(diagnostics) else 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -211,6 +258,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_merge.add_argument("--optimize", action="store_true", help="run clean-up passes after merging")
     p_merge.add_argument("--no-verify", action="store_true")
     p_merge.add_argument(
+        "--static-check",
+        action="store_true",
+        help="gate every commit with the static merge-safety linter",
+    )
+    p_merge.add_argument(
         "--oracle",
         action="store_true",
         help="gate every commit with the differential-execution oracle",
@@ -231,6 +283,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_merge.set_defaults(func=_cmd_merge)
 
+    p_lint = sub.add_parser("lint", help="run the static checkers on a module")
+    p_lint.add_argument("module", nargs="?")
+    p_lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable diagnostics on stdout",
+    )
+    p_lint.add_argument(
+        "--checkers",
+        metavar="A,B,...",
+        help="comma-separated checker ids to run (default: all)",
+    )
+    p_lint.add_argument(
+        "--min-severity",
+        choices=["info", "warning", "error"],
+        help="drop diagnostics below this severity",
+    )
+    p_lint.add_argument(
+        "--list-checkers",
+        action="store_true",
+        help="list the registered checkers and exit",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
+
     p_run = sub.add_parser("run", help="interpret a function in a module")
     p_run.add_argument("module")
     p_run.add_argument("--entry", default="driver")
@@ -249,6 +325,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)
+
+
+def lint_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro-lint`` console script."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    return main(["lint"] + args)
 
 
 if __name__ == "__main__":  # pragma: no cover

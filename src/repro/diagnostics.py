@@ -1,0 +1,118 @@
+"""Structured diagnostics shared by the verifier and the static analyzer.
+
+One :class:`Diagnostic` pinpoints one finding: which checker produced it,
+how severe it is, and where in the IR it lives (function / block /
+instruction, all by *name* so a diagnostic stays valid after the IR object
+it described has been mutated or rolled back).  The verifier
+(:class:`repro.ir.verifier.VerificationError`) and every checker in
+:mod:`repro.staticcheck` speak this one type, which is what lets
+``repro lint --json`` emit machine-readable output for all of them.
+
+This module deliberately imports nothing from the rest of the package so
+that the lowest layers (``repro.ir``) can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "as_diagnostic",
+    "errors_only",
+    "has_errors",
+    "max_severity",
+    "format_diagnostics",
+]
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity levels (comparable: ``ERROR > WARNING > INFO``)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(f"unknown severity {text!r}") from None
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding from one checker, locatable in the IR by name."""
+
+    checker: str
+    severity: Severity
+    message: str
+    function: Optional[str] = None
+    block: Optional[str] = None
+    instruction: Optional[str] = None
+
+    @property
+    def location(self) -> str:
+        """``@func:%block:%inst`` with absent parts omitted."""
+        parts: List[str] = []
+        if self.function is not None:
+            parts.append(f"@{self.function}")
+        if self.block is not None:
+            parts.append(f"%{self.block}")
+        if self.instruction is not None:
+            parts.append(f"%{self.instruction}")
+        return ":".join(parts)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (stable keys, severity by name)."""
+        return {
+            "checker": self.checker,
+            "severity": str(self.severity),
+            "message": self.message,
+            "function": self.function,
+            "block": self.block,
+            "instruction": self.instruction,
+        }
+
+    def __str__(self) -> str:
+        loc = self.location
+        prefix = f"{self.severity}[{self.checker}]"
+        if loc:
+            return f"{prefix} {loc}: {self.message}"
+        return f"{prefix}: {self.message}"
+
+
+def as_diagnostic(
+    item: Union[str, Diagnostic],
+    checker: str = "verifier",
+    severity: Severity = Severity.ERROR,
+) -> Diagnostic:
+    """Wrap a plain string into a :class:`Diagnostic` (pass-through otherwise)."""
+    if isinstance(item, Diagnostic):
+        return item
+    return Diagnostic(checker=checker, severity=severity, message=item)
+
+
+def errors_only(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    return [d for d in diagnostics if d.severity >= Severity.ERROR]
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    return any(d.severity >= Severity.ERROR for d in diagnostics)
+
+
+def max_severity(diagnostics: Sequence[Diagnostic]) -> Optional[Severity]:
+    if not diagnostics:
+        return None
+    return max(d.severity for d in diagnostics)
+
+
+def format_diagnostics(diagnostics: Iterable[Diagnostic]) -> str:
+    return "\n".join(str(d) for d in diagnostics)

@@ -10,6 +10,7 @@ stage so tests can prove the containment property for every stage:
 * ``align``   — before block alignment;
 * ``codegen`` — before merged-function code generation;
 * ``verify``  — before the IR verifier runs on the merged function;
+* ``staticcheck`` — before the merge-safety linter (if enabled);
 * ``oracle``  — before the differential-execution oracle (if enabled);
 * ``commit``  — *in the middle of* call-site rewriting, after the first
   original has already been redirected, so a commit-stage fault leaves
@@ -25,7 +26,7 @@ from typing import Dict, Optional, Type
 
 __all__ = ["FAULT_STAGES", "InjectedFault", "FaultInjector"]
 
-FAULT_STAGES = ("rank", "align", "codegen", "verify", "oracle", "commit")
+FAULT_STAGES = ("rank", "align", "codegen", "verify", "staticcheck", "oracle", "commit")
 
 
 class InjectedFault(RuntimeError):

@@ -1,5 +1,6 @@
 """Experiment harness: drivers and helpers for the paper's tables/figures."""
 
+from .bench import gate_cost_row, load_bench_json, write_bench_json
 from .experiments import (
     CompileTimeModel,
     CorrelationResult,
@@ -10,9 +11,12 @@ from .experiments import (
     selected_pairs_experiment,
 )
 from .stats import binned_sums, histogram2d, mean_ci95, pearson
-from .table import format_outcome_table, format_table
+from .table import format_gate_cost_table, format_outcome_table, format_table
 
 __all__ = [
+    "gate_cost_row",
+    "load_bench_json",
+    "write_bench_json",
     "CompileTimeModel",
     "CorrelationResult",
     "correlation_experiment",
@@ -24,6 +28,7 @@ __all__ = [
     "histogram2d",
     "mean_ci95",
     "pearson",
+    "format_gate_cost_table",
     "format_outcome_table",
     "format_table",
 ]

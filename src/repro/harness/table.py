@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import List, Mapping, Sequence
 
-__all__ = ["format_table", "format_outcome_table"]
+__all__ = ["format_table", "format_outcome_table", "format_gate_cost_table"]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -34,3 +34,24 @@ def format_outcome_table(
         if count or include_zero
     ]
     return format_table(["outcome", "attempts"], rows)
+
+
+def format_gate_cost_table(rows: Sequence[Mapping[str, object]]) -> str:
+    """Per-module commit-gate costs (``harness.bench.gate_cost_row``):
+    staticcheck vs oracle wall-time side by side."""
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            (
+                row["module"],
+                row["functions"],
+                row["attempts"],
+                f"{float(row['static_time']) * 1e3:.1f}ms",
+                f"{float(row['oracle_time']) * 1e3:.1f}ms",
+                f"{float(row['total_time']):.3f}s",
+            )
+        )
+    return format_table(
+        ["module", "functions", "attempts", "staticcheck", "oracle", "pass total"],
+        table_rows,
+    )

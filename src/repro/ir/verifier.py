@@ -5,12 +5,21 @@ HyFM bugs described in F3M Section III-E are exactly dominance violations
 that LLVM's verifier misses post-repair; ours checks the same properties, and
 the interpreter-based differential tests catch the miscompiles the paper
 describes.
+
+Findings are structured :class:`~repro.diagnostics.Diagnostic` objects —
+the same type the checkers in :mod:`repro.staticcheck` emit — and the
+dominance phase *is* the staticcheck ``ssa-dominance`` checker, so the
+verifier and the linter can never disagree about SSA validity.
+:class:`VerificationError` keeps its historical string surface: ``str()``
+joins the rendered diagnostics and ``.errors`` is the list of rendered
+strings.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence, Union
 
+from ..diagnostics import Diagnostic, Severity
 from .basicblock import BasicBlock
 from .function import Function
 from .instructions import Instruction, Phi
@@ -21,150 +30,232 @@ __all__ = ["VerificationError", "verify_function", "verify_module"]
 
 
 class VerificationError(Exception):
-    """Raised when an IR unit violates a well-formedness rule."""
+    """Raised when an IR unit violates a well-formedness rule.
 
-    def __init__(self, errors: List[str]) -> None:
-        super().__init__("\n".join(errors))
-        self.errors = errors
+    Carries structured :class:`Diagnostic` objects in ``.diagnostics``;
+    plain strings passed by older call sites are wrapped on the fly.  The
+    legacy ``.errors`` list-of-strings and the joined ``str()`` message are
+    preserved for backward compatibility.
+    """
+
+    def __init__(self, errors: Sequence[Union[str, Diagnostic]]) -> None:
+        self.diagnostics: List[Diagnostic] = [
+            e
+            if isinstance(e, Diagnostic)
+            else Diagnostic(checker="verifier", severity=Severity.ERROR, message=e)
+            for e in errors
+        ]
+        super().__init__("\n".join(str(d) for d in self.diagnostics))
+
+    @property
+    def errors(self) -> List[str]:
+        return [str(d) for d in self.diagnostics]
 
 
-def _check_operand_scope(func: Function, inst: Instruction, errors: List[str]) -> None:
+def _diag(func: Function, message: str, block=None, inst=None) -> Diagnostic:
+    return Diagnostic(
+        checker="verifier",
+        severity=Severity.ERROR,
+        message=message,
+        function=func.name,
+        block=block.name if block is not None else None,
+        instruction=(inst.name or None) if inst is not None else None,
+    )
+
+
+def _check_operand_scope(
+    func: Function, inst: Instruction, errors: List[Diagnostic]
+) -> None:
+    block = inst.parent
     for op in inst.operands:
-        if isinstance(op, Constant):
+        if isinstance(op, Function):
+            # Direct callee / function reference: fine only when the callee
+            # lives in the same module (a cross-module reference would
+            # dangle after the foreign module is mutated or dropped).
+            if func.parent is not None and op.parent is not func.parent:
+                errors.append(
+                    _diag(
+                        func,
+                        f"instruction references function @{op.name} "
+                        "from another module",
+                        block,
+                        inst,
+                    )
+                )
+        elif isinstance(op, Constant):
             continue
-        if isinstance(op, Argument):
+        elif isinstance(op, Argument):
             if op.parent is not func:
                 errors.append(
-                    f"{func.name}: instruction uses argument %{op.name} of another function"
+                    _diag(
+                        func,
+                        f"instruction uses argument %{op.name} of another function",
+                        block,
+                        inst,
+                    )
                 )
         elif isinstance(op, BasicBlock):
             if op.parent is not func:
                 errors.append(
-                    f"{func.name}: instruction references block %{op.name} of another function"
+                    _diag(
+                        func,
+                        f"instruction references block %{op.name} of another function",
+                        block,
+                        inst,
+                    )
                 )
         elif isinstance(op, Instruction):
             if op.function is not func:
                 errors.append(
-                    f"{func.name}: instruction uses value %{op.name} defined outside the function"
+                    _diag(
+                        func,
+                        f"instruction uses value %{op.name} defined outside the function",
+                        block,
+                        inst,
+                    )
                 )
-        elif isinstance(op, Function):
-            pass  # global references are always fine
         else:
-            errors.append(f"{func.name}: unknown operand kind {type(op).__name__}")
+            errors.append(
+                _diag(func, f"unknown operand kind {type(op).__name__}", block, inst)
+            )
 
 
-def _check_block(func: Function, block: BasicBlock, errors: List[str]) -> None:
+def _check_block(func: Function, block: BasicBlock, errors: List[Diagnostic]) -> None:
     if not block.instructions:
-        errors.append(f"{func.name}: block %{block.name} is empty")
+        errors.append(_diag(func, f"block %{block.name} is empty", block))
         return
     term = block.instructions[-1]
     if not term.is_terminator:
-        errors.append(f"{func.name}: block %{block.name} does not end in a terminator")
+        errors.append(
+            _diag(func, f"block %{block.name} does not end in a terminator", block)
+        )
     for inst in block.instructions[:-1]:
         if inst.is_terminator:
             errors.append(
-                f"{func.name}: terminator in the middle of block %{block.name}"
+                _diag(
+                    func,
+                    f"terminator in the middle of block %{block.name}",
+                    block,
+                    inst,
+                )
             )
     seen_non_phi = False
     for inst in block.instructions:
         if inst.parent is not block:
             errors.append(
-                f"{func.name}: instruction parent pointer broken in %{block.name}"
+                _diag(
+                    func,
+                    f"instruction parent pointer broken in %{block.name}",
+                    block,
+                    inst,
+                )
             )
         if inst.is_phi:
             if seen_non_phi:
                 errors.append(
-                    f"{func.name}: phi after non-phi instruction in %{block.name}"
+                    _diag(
+                        func,
+                        f"phi after non-phi instruction in %{block.name}",
+                        block,
+                        inst,
+                    )
                 )
         else:
             seen_non_phi = True
 
 
-def _check_phis(func: Function, block: BasicBlock, errors: List[str]) -> None:
+def _check_phis(func: Function, block: BasicBlock, errors: List[Diagnostic]) -> None:
     preds = block.predecessors()
     pred_ids = {id(p) for p in preds}
     for phi in block.phis():
         inc_ids = [id(b) for _, b in phi.incoming]
         if len(set(inc_ids)) != len(inc_ids):
             errors.append(
-                f"{func.name}: phi %{phi.name} has duplicate incoming blocks"
+                _diag(
+                    func,
+                    f"phi %{phi.name} has duplicate incoming blocks",
+                    block,
+                    phi,
+                )
             )
         if set(inc_ids) != pred_ids:
             errors.append(
-                f"{func.name}: phi %{phi.name} incoming blocks do not match the "
-                f"predecessors of %{block.name}"
+                _diag(
+                    func,
+                    f"phi %{phi.name} incoming blocks do not match the "
+                    f"predecessors of %{block.name}",
+                    block,
+                    phi,
+                )
             )
 
 
 def verify_function(func: Function) -> None:
     """Raise :class:`VerificationError` if *func* is malformed."""
-    errors: List[str] = []
+    errors: List[Diagnostic] = []
     if func.is_declaration:
         return
     entry = func.entry
     if entry.predecessors():
-        errors.append(f"{func.name}: entry block has predecessors")
+        errors.append(_diag(func, "entry block has predecessors", entry))
     if entry.phis():
-        errors.append(f"{func.name}: entry block contains phi nodes")
+        errors.append(_diag(func, "entry block contains phi nodes", entry))
 
     for block in func.blocks:
         if block.parent is not func:
-            errors.append(f"{func.name}: block %{block.name} parent pointer broken")
+            errors.append(
+                _diag(func, f"block %{block.name} parent pointer broken", block)
+            )
         _check_block(func, block, errors)
         _check_phis(func, block, errors)
         for inst in block.instructions:
             _check_operand_scope(func, inst, errors)
 
     # Return type agreement.
-    from .instructions import Opcode, Ret
+    from .instructions import Ret
 
     for block in func.blocks:
         term = block.terminator
         if isinstance(term, Ret):
             if func.return_type.is_void:
                 if term.value is not None:
-                    errors.append(f"{func.name}: ret with value in void function")
+                    errors.append(
+                        _diag(func, "ret with value in void function", block, term)
+                    )
             elif term.value is None:
-                errors.append(f"{func.name}: ret void in non-void function")
+                errors.append(
+                    _diag(func, "ret void in non-void function", block, term)
+                )
             elif term.value.type is not func.return_type:
                 errors.append(
-                    f"{func.name}: ret type {term.value.type} != {func.return_type}"
+                    _diag(
+                        func,
+                        f"ret type {term.value.type} != {func.return_type}",
+                        block,
+                        term,
+                    )
                 )
 
     if errors:
         raise VerificationError(errors)
 
-    # Dominance checks only make sense on structurally sound IR.  Imported
-    # lazily: repro.analysis itself depends on repro.ir.
-    from ..analysis.dominators import DominatorTree
+    # Dominance checks only make sense on structurally sound IR.  The rule
+    # is the staticcheck ``ssa-dominance`` checker — imported lazily because
+    # repro.staticcheck depends on repro.ir and repro.analysis.
+    from ..staticcheck.checkers import dominance_diagnostics
 
-    dt = DominatorTree(func)
-    for block in func.blocks:
-        if not dt.is_reachable(block):
-            continue  # unreachable code is exempt from dominance rules
-        for inst in block.instructions:
-            for idx, op in enumerate(inst.operands):
-                if inst.is_phi and idx % 2 == 1:
-                    continue  # incoming-block slots
-                if isinstance(op, Instruction):
-                    if op.parent is not None and not dt.is_reachable(op.parent):
-                        continue
-                    if not dt.dominates(op, inst, idx):
-                        errors.append(
-                            f"{func.name}: use of %{op.name} in block "
-                            f"%{block.name} is not dominated by its definition"
-                        )
+    errors = dominance_diagnostics(func)
     if errors:
         raise VerificationError(errors)
 
 
 def verify_module(module: Module) -> None:
     """Verify every function in *module*."""
-    errors: List[str] = []
+    errors: List[Diagnostic] = []
     for func in module.functions:
         try:
             verify_function(func)
         except VerificationError as exc:
-            errors.extend(exc.errors)
+            errors.extend(exc.diagnostics)
     if errors:
         raise VerificationError(errors)

@@ -33,8 +33,10 @@ from ..analysis.size import module_size
 from ..faults import FaultInjector, InjectedFault
 from ..ir.module import Module
 from ..ir.verifier import VerificationError, verify_function
+from ..diagnostics import errors_only
 from ..oracle.differential import DifferentialOracle, OracleConfig
 from ..search.pairing import Ranker
+from ..staticcheck.lint import lint_commit, lint_merge
 from .errors import MergeError
 from .merger import MergeOptions, MergeResult, merge_functions
 from .profitability import ProfitabilityModel
@@ -61,6 +63,12 @@ class PassConfig:
     families collapse into one function across successive merges (the
     paper's Fig. 1 workflow replaces the pair with the merged function in
     the module being optimized).
+    ``static_check`` — gate every profitable merge with the static
+    merge-safety linter (:func:`repro.staticcheck.lint.lint_merge`): an
+    error-severity diagnostic vetoes the commit with a ``static_fail``
+    outcome, exactly like the oracle but at zero execution cost.  The
+    applied commit (thunks, call-site rewrites) is re-linted before the
+    transaction is finalized.
     ``oracle`` — gate every profitable merge with the differential-execution
     oracle; divergence vetoes the commit with an ``oracle_fail`` outcome.
     ``on_error`` — ``"skip"`` (default) contains unexpected exceptions:
@@ -74,6 +82,7 @@ class PassConfig:
     verify: bool = True
     min_instructions: int = 1
     remerge: bool = True
+    static_check: bool = False
     oracle: bool = False
     on_error: str = "skip"
 
@@ -263,6 +272,22 @@ class FunctionMergingPass:
             record.outcome = Outcome.UNPROFITABLE
             return record, None
 
+        if self.config.static_check:
+            ctx.stage = "staticcheck"
+            t0 = time.perf_counter()
+            try:
+                if self.faults is not None:
+                    self.faults.hit("staticcheck")
+                static_errors = errors_only(lint_merge(result, module))
+            finally:
+                record.static_time = time.perf_counter() - t0
+            if static_errors:
+                txn.rollback()
+                record.outcome = Outcome.STATIC_FAIL
+                first = static_errors[0]
+                record.error = f"static:{first.checker}:{first.message}"
+                return record, None
+
         if self.oracle is not None:
             ctx.stage = "oracle"
             t0 = time.perf_counter()
@@ -282,6 +307,18 @@ class FunctionMergingPass:
         t0 = time.perf_counter()
         txn.capture_commit_set(result.function_a, result.function_b)
         commit_merge(result, faults=self.faults)
+        if self.config.static_check:
+            # Re-lint the *applied* commit (thunk shape, call-site rewrites,
+            # dangling references) while the transaction can still undo it.
+            t1 = time.perf_counter()
+            commit_errors = errors_only(lint_commit(result, module))
+            record.static_time += time.perf_counter() - t1
+            if commit_errors:
+                txn.rollback()
+                record.outcome = Outcome.STATIC_FAIL
+                first = commit_errors[0]
+                record.error = f"static:{first.checker}:{first.message}"
+                return record, None
         txn.commit()
         self.ranker.remove(func)
         self.ranker.remove(other)

@@ -18,7 +18,15 @@ from typing import Dict, List, Optional, Union
 
 __all__ = ["Outcome", "AttemptRecord", "MergeReport", "STAGES", "OUTCOMES"]
 
-STAGES = ("preprocess", "ranking", "align", "codegen", "oracle", "update")
+STAGES = (
+    "preprocess",
+    "ranking",
+    "align",
+    "codegen",
+    "staticcheck",
+    "oracle",
+    "update",
+)
 
 
 class Outcome(str, Enum):
@@ -35,9 +43,11 @@ class Outcome(str, Enum):
     ALIGN_FAIL = "align_fail"
     REJECTED_THRESHOLD = "rejected_threshold"
     NO_CANDIDATE = "no_candidate"
-    # Robustness outcomes: the differential oracle vetoed the commit, an
-    # unexpected exception was contained before any module mutation, or a
-    # partially applied commit was undone by the transaction layer.
+    # Robustness outcomes: the static merge-safety linter or the
+    # differential oracle vetoed the commit, an unexpected exception was
+    # contained before any module mutation, or a partially applied commit
+    # was undone by the transaction layer.
+    STATIC_FAIL = "static_fail"
     ORACLE_FAIL = "oracle_fail"
     INTERNAL_ERROR = "internal_error"
     ROLLED_BACK = "rolled_back"
@@ -62,6 +72,7 @@ class AttemptRecord:
     ranking_time: float = 0.0
     align_time: float = 0.0
     codegen_time: float = 0.0
+    static_time: float = 0.0
     oracle_time: float = 0.0
     update_time: float = 0.0
     # Structured failure detail: "<stage>:<ExceptionType>" for contained
@@ -114,6 +125,7 @@ class MergeReport:
             "align_fail": 0.0,
             "codegen_success": 0.0,
             "codegen_fail": 0.0,
+            "staticcheck": 0.0,
             "oracle": 0.0,
             "update": 0.0,
         }
@@ -122,6 +134,7 @@ class MergeReport:
             buckets[f"ranking_{key}"] += att.ranking_time
             buckets[f"align_{key}"] += att.align_time
             buckets[f"codegen_{key}"] += att.codegen_time
+            buckets["staticcheck"] += att.static_time
             buckets["oracle"] += att.oracle_time
             buckets["update"] += att.update_time
         out.update(buckets)

@@ -33,7 +33,12 @@ from ..ir.function import Function
 from ..ir.instructions import Alloca, Instruction, Invoke, Load, Phi, Store
 from .errors import MergeError
 
-__all__ = ["repair_ssa", "find_dominance_violations"]
+__all__ = ["repair_ssa", "find_dominance_violations", "DEMOTE_PREFIX"]
+
+# Name prefix of the stack slots introduced by :func:`_demote_to_stack`.
+# The merge-safety linter keys on it: a load from a demotion slot that no
+# store reaches is precisely a §III-E placement bug.
+DEMOTE_PREFIX = "demote."
 
 
 def find_dominance_violations(
@@ -106,7 +111,7 @@ def _store_insertion_point(value: Instruction, legacy_bugs: bool) -> Tuple[Basic
 def _demote_to_stack(func: Function, value: Instruction, legacy_bugs: bool) -> None:
     """Replace all uses of *value* with loads from a dedicated stack slot."""
     slot = Alloca(value.type)
-    slot.name = func.next_name(f"demote.{value.name or 'v'}")
+    slot.name = func.next_name(f"{DEMOTE_PREFIX}{value.name or 'v'}")
     func.entry.insert(0, slot)
 
     uses = list(value.uses())  # snapshot before we add the store

@@ -1,0 +1,75 @@
+"""Static analysis over the repro IR: dataflow engine, checkers, linter.
+
+The subsystem proves the §III-E merge invariants from the IR alone — no
+interpreter, no inputs, no fuel — complementing the differential-execution
+oracle (:mod:`repro.oracle`), which catches the same bugs dynamically.
+
+Layers:
+
+* :mod:`repro.staticcheck.dataflow` — generic worklist engine with
+  reaching-stores and liveness instances.
+* :mod:`repro.staticcheck.callgraph` — direct-call graph, SCCs, arity.
+* :mod:`repro.staticcheck.checkers` — the checker registry
+  (``ssa-dominance``, ``maybe-uninit``, ``unreachable-block``,
+  ``dead-store``, ``type-consistency``, ``callgraph``).
+* :mod:`repro.staticcheck.lint` — module/function linting plus the
+  merge-safety linter used by the pass's ``--static-check`` gate.
+
+Diagnostics are :class:`repro.diagnostics.Diagnostic` objects — the same
+type the IR verifier raises — so ``repro lint --json`` serializes all of
+them uniformly.
+"""
+
+from ..diagnostics import Diagnostic, Severity
+from .callgraph import CallGraph, CallSite
+from .checkers import (
+    CheckerInfo,
+    all_checkers,
+    checker,
+    dominance_diagnostics,
+    get_checker,
+    run_function_checks,
+    run_module_checks,
+)
+from .dataflow import (
+    DataflowProblem,
+    DataflowResult,
+    Liveness,
+    ReachingStores,
+    SlotLiveness,
+    solve,
+    tracked_slots,
+)
+from .lint import (
+    lint_commit,
+    lint_function,
+    lint_merge,
+    lint_merged_function,
+    lint_module,
+)
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "CallGraph",
+    "CallSite",
+    "CheckerInfo",
+    "all_checkers",
+    "checker",
+    "get_checker",
+    "dominance_diagnostics",
+    "run_function_checks",
+    "run_module_checks",
+    "DataflowProblem",
+    "DataflowResult",
+    "Liveness",
+    "ReachingStores",
+    "SlotLiveness",
+    "solve",
+    "tracked_slots",
+    "lint_commit",
+    "lint_function",
+    "lint_merge",
+    "lint_merged_function",
+    "lint_module",
+]

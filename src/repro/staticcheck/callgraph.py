@@ -1,0 +1,138 @@
+"""Module call graph: direct call edges, recursion cycles, arity checks.
+
+The graph is built once per module from ``call``/``invoke`` sites whose
+callee operand is a :class:`~repro.ir.function.Function` (indirect calls
+through non-function values have no static edge).  Strongly connected
+components come from Tarjan's algorithm, iteratively, so deep thunk chains
+cannot blow the Python stack; a function is *recursive* when its SCC has
+more than one member or it calls itself directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.function import Function
+from ..ir.instructions import Call, Instruction, Invoke
+from ..ir.module import Module
+
+__all__ = ["CallSite", "CallGraph"]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One direct call edge: *caller* invokes *callee* at *inst*."""
+
+    caller: Function
+    callee: Function
+    inst: Instruction
+
+    @property
+    def num_args(self) -> int:
+        return len(self.inst.args)  # type: ignore[attr-defined]
+
+
+@dataclass
+class CallGraph:
+    """Direct-call graph over the functions of one module."""
+
+    module: Module
+    sites: List[CallSite] = field(default_factory=list)
+    _callees: Dict[int, List[Function]] = field(default_factory=dict)
+    _funcs: Dict[int, Function] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for func in self.module.functions:
+            self._funcs[id(func)] = func
+            self._callees.setdefault(id(func), [])
+        for func in self.module.defined_functions():
+            for block in func.blocks:
+                for inst in block.instructions:
+                    if not isinstance(inst, (Call, Invoke)):
+                        continue
+                    callee = inst.callee
+                    if isinstance(callee, Function):
+                        self.sites.append(CallSite(func, callee, inst))
+                        self._callees[id(func)].append(callee)
+                        self._funcs.setdefault(id(callee), callee)
+
+    # -- queries -----------------------------------------------------------------
+    def callees(self, func: Function) -> List[Function]:
+        return list(self._callees.get(id(func), []))
+
+    def call_sites_of(self, func: Function) -> List[CallSite]:
+        return [s for s in self.sites if s.caller is func]
+
+    def sccs(self) -> List[List[Function]]:
+        """Strongly connected components, callees-first (reverse topological)."""
+        index: Dict[int, int] = {}
+        lowlink: Dict[int, int] = {}
+        on_stack: Dict[int, bool] = {}
+        stack: List[Function] = []
+        counter = [0]
+        out: List[List[Function]] = []
+
+        for root_id, root in self._funcs.items():
+            if root_id in index:
+                continue
+            # Iterative Tarjan: (node, iterator-position) frames.
+            work: List[Tuple[Function, int]] = [(root, 0)]
+            while work:
+                node, pos = work.pop()
+                nid = id(node)
+                if pos == 0:
+                    index[nid] = lowlink[nid] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack[nid] = True
+                succs = self._callees.get(nid, [])
+                recursed = False
+                for i in range(pos, len(succs)):
+                    succ = succs[i]
+                    sid = id(succ)
+                    if sid not in index:
+                        work.append((node, i + 1))
+                        work.append((succ, 0))
+                        recursed = True
+                        break
+                    if on_stack.get(sid):
+                        lowlink[nid] = min(lowlink[nid], index[sid])
+                if recursed:
+                    continue
+                if lowlink[nid] == index[nid]:
+                    scc: List[Function] = []
+                    while True:
+                        top = stack.pop()
+                        on_stack[id(top)] = False
+                        scc.append(top)
+                        if top is node:
+                            break
+                    out.append(scc)
+                if work:
+                    parent = work[-1][0]
+                    lowlink[id(parent)] = min(lowlink[id(parent)], lowlink[nid])
+        return out
+
+    def recursive_groups(self) -> List[List[Function]]:
+        """SCCs involved in recursion: size > 1, or a direct self-call."""
+        groups = []
+        for scc in self.sccs():
+            if len(scc) > 1:
+                groups.append(scc)
+            else:
+                only = scc[0]
+                if any(c is only for c in self._callees.get(id(only), [])):
+                    groups.append(scc)
+        return groups
+
+    def arity_mismatches(self) -> List[CallSite]:
+        """Call sites whose argument count disagrees with the callee's type.
+
+        Instruction constructors enforce this, but operand mutation (the
+        thunk layer's call-site rewriting in particular) can break it after
+        the fact — which is exactly when a static re-check earns its keep.
+        """
+        return [
+            s for s in self.sites if s.num_args != len(s.callee.ftype.params)
+        ]

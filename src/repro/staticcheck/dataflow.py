@@ -1,0 +1,352 @@
+"""Generic forward/backward dataflow engine over ``analysis.cfg`` CFGs.
+
+A :class:`DataflowProblem` supplies the lattice (``bottom`` / ``join``),
+the per-instruction ``transfer`` function, the ``direction``, and an
+optional per-edge hook (``edge``) for facts that live on CFG edges — the
+SSA liveness of phi operands being the canonical example.  :func:`solve`
+runs a deterministic worklist to the fixpoint over the *reachable* blocks
+of a function and returns per-block in/out states, from which
+:class:`DataflowResult` can reconstruct the state before or after any
+single instruction.
+
+Two classic instances are provided and unit-tested directly:
+
+* :class:`ReachingStores` — forward may-analysis of which ``store``
+  instructions reach each point, per non-escaping ``alloca`` slot.  This
+  is the reaching-definitions instance that powers the
+  maybe-uninitialized checker and the §III-E merge-safety linter.
+* :class:`Liveness` — backward may-analysis of live SSA values, with phi
+  uses attributed to the incoming edge (standard SSA liveness).
+
+States are immutable ``frozenset`` values; the engine relies only on
+``==`` to detect the fixpoint, so custom problems may use any hashable,
+comparable state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..analysis.cfg import reverse_postorder
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Alloca, Instruction, Load, Store
+from ..ir.values import Argument, Value
+
+__all__ = [
+    "DataflowProblem",
+    "DataflowResult",
+    "solve",
+    "ReachingStores",
+    "Liveness",
+    "SlotLiveness",
+    "tracked_slots",
+]
+
+
+class DataflowProblem:
+    """Base class for dataflow problem definitions.
+
+    Subclasses set ``direction`` to ``"forward"`` or ``"backward"`` and
+    implement ``bottom``, ``join`` and ``transfer``.  ``boundary`` is the
+    state at the entry (forward) or at every exit block (backward);
+    ``edge`` transforms a state as it flows along one CFG edge.
+    """
+
+    direction: str = "forward"
+
+    # -- lattice ----------------------------------------------------------------
+    def bottom(self, func: Function) -> object:
+        return frozenset()
+
+    def boundary(self, func: Function) -> object:
+        return self.bottom(func)
+
+    def join(self, a: object, b: object) -> object:
+        return a | b  # type: ignore[operator]
+
+    # -- flow -------------------------------------------------------------------
+    def transfer(self, inst: Instruction, state: object) -> object:
+        raise NotImplementedError
+
+    def edge(self, pred: BasicBlock, succ: BasicBlock, state: object) -> object:
+        """State flowing along the edge ``pred -> succ``.
+
+        Forward problems receive ``out[pred]``; backward problems receive
+        ``in[succ]``.  The default is the identity.
+        """
+        return state
+
+    # -- block-level folding ------------------------------------------------------
+    def transfer_block(self, block: BasicBlock, state: object) -> object:
+        insts = (
+            block.instructions
+            if self.direction == "forward"
+            else reversed(block.instructions)
+        )
+        for inst in insts:
+            state = self.transfer(inst, state)
+        return state
+
+
+@dataclass
+class DataflowResult:
+    """Fixpoint states of one :func:`solve` run."""
+
+    problem: DataflowProblem
+    function: Function
+    in_states: Dict[int, object] = field(default_factory=dict)
+    out_states: Dict[int, object] = field(default_factory=dict)
+    iterations: int = 0
+
+    def state_in(self, block: BasicBlock) -> object:
+        """State at block entry (empty bottom for unreachable blocks)."""
+        return self.in_states.get(id(block), self.problem.bottom(self.function))
+
+    def state_out(self, block: BasicBlock) -> object:
+        return self.out_states.get(id(block), self.problem.bottom(self.function))
+
+    def state_before(self, inst: Instruction) -> object:
+        """The state holding immediately before *inst* executes."""
+        block = inst.parent
+        assert block is not None
+        if self.problem.direction == "forward":
+            state = self.state_in(block)
+            for other in block.instructions:
+                if other is inst:
+                    return state
+                state = self.problem.transfer(other, state)
+            raise ValueError("instruction not in its parent block")
+        state = self.state_after(inst)
+        return self.problem.transfer(inst, state)
+
+    def state_after(self, inst: Instruction) -> object:
+        """The state holding immediately after *inst* executes."""
+        block = inst.parent
+        assert block is not None
+        if self.problem.direction == "forward":
+            return self.problem.transfer(inst, self.state_before(inst))
+        state = self.state_out(block)
+        for other in reversed(block.instructions):
+            if other is inst:
+                return state
+            state = self.problem.transfer(other, state)
+        raise ValueError("instruction not in its parent block")
+
+
+def solve(problem: DataflowProblem, func: Function) -> DataflowResult:
+    """Worklist fixpoint of *problem* over the reachable blocks of *func*."""
+    result = DataflowResult(problem, func)
+    rpo = reverse_postorder(func)
+    if not rpo:
+        return result
+    if problem.direction not in ("forward", "backward"):
+        raise ValueError(f"unknown dataflow direction {problem.direction!r}")
+    forward = problem.direction == "forward"
+    reachable = {id(b) for b in rpo}
+    order = rpo if forward else list(reversed(rpo))
+    index = {id(b): i for i, b in enumerate(order)}
+
+    bottom = problem.bottom(func)
+    for block in order:
+        result.in_states[id(block)] = bottom
+        result.out_states[id(block)] = bottom
+
+    entry = func.entry
+    # Deterministic worklist: seeded in processing order, re-queued on change.
+    work = deque(order)
+    queued = {id(b) for b in order}
+    iterations = 0
+    while work:
+        block = work.popleft()
+        queued.discard(id(block))
+        iterations += 1
+        if forward:
+            if block is entry:
+                in_state = problem.boundary(func)
+            else:
+                preds = [p for p in block.predecessors() if id(p) in reachable]
+                in_state = bottom
+                for pred in preds:
+                    in_state = problem.join(
+                        in_state,
+                        problem.edge(pred, block, result.out_states[id(pred)]),
+                    )
+            result.in_states[id(block)] = in_state
+            out_state = problem.transfer_block(block, in_state)
+            if out_state != result.out_states[id(block)]:
+                result.out_states[id(block)] = out_state
+                for succ in block.successors():
+                    if id(succ) in reachable and id(succ) not in queued:
+                        queued.add(id(succ))
+                        work.append(succ)
+        else:
+            succs = [s for s in block.successors() if id(s) in reachable]
+            if not succs:
+                out_state = problem.boundary(func)
+            else:
+                out_state = bottom
+                for succ in succs:
+                    out_state = problem.join(
+                        out_state,
+                        problem.edge(block, succ, result.in_states[id(succ)]),
+                    )
+            result.out_states[id(block)] = out_state
+            in_state = problem.transfer_block(block, out_state)
+            if in_state != result.in_states[id(block)]:
+                result.in_states[id(block)] = in_state
+                for pred in block.predecessors():
+                    if id(pred) in reachable and id(pred) not in queued:
+                        queued.add(id(pred))
+                        work.append(pred)
+    result.iterations = iterations
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Memory-slot helpers shared by the reaching-stores / slot-liveness instances.
+# ---------------------------------------------------------------------------
+
+
+def tracked_slots(func: Function) -> Dict[int, Alloca]:
+    """Non-escaping ``alloca`` slots of *func*, keyed by ``id``.
+
+    A slot is tracked only when every use is a direct ``load`` from it or a
+    direct ``store`` *to* it (pointer operand).  Any other use — a GEP, a
+    call argument, storing the address itself — makes the slot's contents
+    unknowable to a purely local analysis, so it is excluded rather than
+    risking a false positive.
+    """
+    slots: Dict[int, Alloca] = {}
+    for block in func.blocks:
+        for inst in block.instructions:
+            if not isinstance(inst, Alloca):
+                continue
+            escaped = False
+            for user, idx in inst.uses():
+                if isinstance(user, Load) and idx == 0:
+                    continue
+                if isinstance(user, Store) and idx == 1:
+                    continue
+                escaped = True
+                break
+            if not escaped:
+                slots[id(inst)] = inst
+    return slots
+
+
+def _direct_slot(pointer: Value, slots: Dict[int, Alloca]) -> Optional[Alloca]:
+    if isinstance(pointer, Alloca) and id(pointer) in slots:
+        return pointer
+    return None
+
+
+class ReachingStores(DataflowProblem):
+    """Forward may-analysis: which stores to tracked slots reach each point.
+
+    State: ``frozenset`` of ``id(store)``.  A store to a tracked slot
+    *kills* every other store to the same slot (strong update — the slot is
+    a whole scalar) and *generates* itself.  Stores through untracked
+    pointers change nothing because untracked slots are never queried.
+    """
+
+    direction = "forward"
+
+    def __init__(self, func: Function) -> None:
+        self.function = func
+        self.slots = tracked_slots(func)
+        # store id -> slot id, precomputed for the kill sets.
+        self.slot_of_store: Dict[int, int] = {}
+        self._stores: Dict[int, Store] = {}
+        for block in func.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, Store):
+                    slot = _direct_slot(inst.pointer, self.slots)
+                    if slot is not None:
+                        self.slot_of_store[id(inst)] = id(slot)
+                        self._stores[id(inst)] = inst
+
+    def transfer(self, inst: Instruction, state: object) -> object:
+        sid = id(inst)
+        slot_id = self.slot_of_store.get(sid)
+        if slot_id is None:
+            return state
+        kept = frozenset(
+            d for d in state if self.slot_of_store[d] != slot_id  # type: ignore[union-attr]
+        )
+        return kept | {sid}
+
+    # -- queries -----------------------------------------------------------------
+    def slot_of_load(self, load: Load) -> Optional[Alloca]:
+        return _direct_slot(load.pointer, self.slots)
+
+    def reaching_stores(
+        self, result: DataflowResult, load: Load
+    ) -> Optional[List[Store]]:
+        """Stores that may reach *load*; ``None`` if its slot is untracked."""
+        slot = self.slot_of_load(load)
+        if slot is None:
+            return None
+        state: FrozenSet[int] = result.state_before(load)  # type: ignore[assignment]
+        return [
+            self._stores[d] for d in state if self.slot_of_store[d] == id(slot)
+        ]
+
+
+class Liveness(DataflowProblem):
+    """Backward may-analysis of live SSA values (instructions + arguments).
+
+    Phi uses are attributed to the incoming edge via :meth:`edge` — the
+    value is live at the *end of the predecessor*, not inside the phi's own
+    block — and phi definitions are killed on the same edge, which is what
+    makes this exact on loops.
+    """
+
+    direction = "backward"
+
+    def transfer(self, inst: Instruction, state: object) -> object:
+        live = set(state)  # type: ignore[arg-type]
+        live.discard(id(inst))
+        if not inst.is_phi:
+            for op in inst.operands:
+                if isinstance(op, (Instruction, Argument)):
+                    live.add(id(op))
+        return frozenset(live)
+
+    def edge(self, pred: BasicBlock, succ: BasicBlock, state: object) -> object:
+        live = set(state)  # type: ignore[arg-type]
+        for phi in succ.phis():
+            live.discard(id(phi))
+        for phi in succ.phis():
+            value = phi.incoming_for(pred)
+            if isinstance(value, (Instruction, Argument)):
+                live.add(id(value))
+        return frozenset(live)
+
+
+class SlotLiveness(DataflowProblem):
+    """Backward may-analysis: which tracked slots may still be read.
+
+    A slot is live when some path may execute a ``load`` of it before the
+    next ``store`` to it.  Tracked slots cannot escape, so nothing is live
+    at function exit; a store after which its slot is dead is a dead store.
+    """
+
+    direction = "backward"
+
+    def __init__(self, func: Function) -> None:
+        self.function = func
+        self.slots = tracked_slots(func)
+
+    def transfer(self, inst: Instruction, state: object) -> object:
+        if isinstance(inst, Load):
+            slot = _direct_slot(inst.pointer, self.slots)
+            if slot is not None:
+                return state | {id(slot)}  # type: ignore[operator]
+        elif isinstance(inst, Store):
+            slot = _direct_slot(inst.pointer, self.slots)
+            if slot is not None:
+                return frozenset(s for s in state if s != id(slot))  # type: ignore[union-attr]
+        return state

@@ -1,0 +1,222 @@
+"""Linting entry points: whole modules, single functions, and merge results.
+
+Three layers:
+
+* :func:`lint_function` / :func:`lint_module` — run the registered checkers
+  (this is what ``repro lint`` calls).
+* :func:`lint_merged_function` — the **merge-safety linter**: the generic
+  checkers plus the escalation rule that turns a "no store reaches this
+  load" warning into an ERROR when the slot is one SSA repair introduced
+  (``demote.*``).  A correct repair always places the store so that it
+  reaches every reload (the original def dominated every use, so a
+  def→use path exists in the merged CFG); a reload with an *empty*
+  may-reaching-store set is exactly how both §III-E placement bugs look
+  statically — no execution needed.
+* :func:`lint_commit` — structural validation of an applied commit:
+  surviving originals must be well-formed thunks into the merged function
+  (fid constant at slot 0, arguments routed per the param map), deleted
+  originals must leave no dangling references.
+
+:func:`lint_merge` combines the last two for the pass's ``--static-check``
+gate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..diagnostics import Diagnostic, Severity
+from ..ir.function import Function
+from ..ir.instructions import Call, Phi, Ret
+from ..ir.module import Module
+from ..ir.types import I1
+from ..ir.values import ConstantInt, UndefValue
+from .checkers import (
+    run_function_checks,
+    run_module_checks,
+    uninitialized_loads,
+)
+
+__all__ = [
+    "lint_function",
+    "lint_module",
+    "lint_merged_function",
+    "lint_commit",
+    "lint_merge",
+]
+
+MERGE_SAFETY = "merge-safety"
+
+
+def lint_function(
+    func: Function, checkers: Optional[Sequence[str]] = None
+) -> List[Diagnostic]:
+    """Run the function-scope checkers on one function."""
+    return run_function_checks(func, checkers)
+
+
+def lint_module(
+    module: Module, checkers: Optional[Sequence[str]] = None
+) -> List[Diagnostic]:
+    """Run all (or the selected) checkers over a module."""
+    return run_module_checks(module, checkers)
+
+
+def _demote_prefix() -> str:
+    # Lazy: repro.merge imports repro.staticcheck for the pass gate, so the
+    # top level here must not import repro.merge back.
+    from ..merge.ssa_repair import DEMOTE_PREFIX
+
+    return DEMOTE_PREFIX
+
+
+def lint_merged_function(result) -> List[Diagnostic]:
+    """Statically validate the merged function of a :class:`MergeResult`.
+
+    Runs the generic function checkers, then escalates uninitialized reads
+    of demotion slots to errors (see module docstring).
+    """
+    merged: Function = result.merged
+    diags = run_function_checks(merged)
+    prefix = _demote_prefix()
+    _, loads = uninitialized_loads(merged)
+    for load, slot in loads:
+        if not (slot.name or "").startswith(prefix):
+            continue
+        feeds_phi = any(isinstance(user, Phi) for user, _ in load.uses())
+        if feeds_phi:
+            message = (
+                f"reload of demotion slot %{slot.name} feeds a phi but no "
+                "store reaches it (legacy phi/invoke placement bug)"
+            )
+        else:
+            message = (
+                f"reload of demotion slot %{slot.name} executes before any "
+                "store to it (store placed after the use)"
+            )
+        diags.append(
+            Diagnostic(
+                checker=MERGE_SAFETY,
+                severity=Severity.ERROR,
+                message=message,
+                function=merged.name,
+                block=load.parent.name if load.parent is not None else None,
+                instruction=load.name or None,
+            )
+        )
+    return diags
+
+
+def _thunk_diag(func: Function, message: str) -> Diagnostic:
+    return Diagnostic(
+        checker=MERGE_SAFETY,
+        severity=Severity.ERROR,
+        message=message,
+        function=func.name,
+    )
+
+
+def _check_thunk(
+    func: Function, merged: Function, param_map: List[int], fid: int
+) -> List[Diagnostic]:
+    """Validate the thunk shape ``commit_merge`` is supposed to produce."""
+    diags: List[Diagnostic] = []
+    if len(func.blocks) != 1:
+        diags.append(
+            _thunk_diag(func, f"thunk has {len(func.blocks)} blocks, expected 1")
+        )
+        return diags
+    insts = func.entry.instructions
+    if len(insts) != 2 or not isinstance(insts[0], Call) or not isinstance(insts[1], Ret):
+        diags.append(_thunk_diag(func, "thunk body is not a call followed by ret"))
+        return diags
+    call, ret = insts[0], insts[1]
+    if call.callee is not merged:
+        diags.append(
+            _thunk_diag(func, "thunk does not call the merged function")
+        )
+        return diags
+    args = call.args
+    fid_arg = args[0] if args else None
+    if (
+        not isinstance(fid_arg, ConstantInt)
+        or fid_arg.type is not I1
+        or fid_arg.value != fid
+    ):
+        diags.append(
+            _thunk_diag(
+                func, f"thunk function-id argument is not the i1 constant {fid}"
+            )
+        )
+    routed = {0}
+    for arg, slot in zip(func.args, param_map):
+        if slot >= len(args) or args[slot] is not arg:
+            diags.append(
+                _thunk_diag(
+                    func,
+                    f"thunk does not route parameter %{arg.name} to merged "
+                    f"argument slot {slot}",
+                )
+            )
+        routed.add(slot)
+    for i, value in enumerate(args):
+        if i not in routed and not isinstance(value, (ConstantInt, UndefValue)):
+            diags.append(
+                _thunk_diag(
+                    func, f"thunk passes a live value in unrouted slot {i}"
+                )
+            )
+    if func.return_type.is_void:
+        if ret.value is not None:
+            diags.append(_thunk_diag(func, "void thunk returns a value"))
+    elif ret.value is not call:
+        diags.append(_thunk_diag(func, "thunk does not return the call result"))
+    return diags
+
+
+def lint_commit(result, module: Module) -> List[Diagnostic]:
+    """Validate an *applied* commit: thunks, deletions, call-site rewrites."""
+    diags: List[Diagnostic] = []
+    merged: Function = result.merged
+    for func, param_map, fid in (
+        (result.function_a, result.param_map_a, 0),
+        (result.function_b, result.param_map_b, 1),
+    ):
+        if module.get_function(func.name) is func:
+            if func.is_declaration:
+                continue  # declarations are left alone
+            diags.extend(_check_thunk(func, merged, param_map, fid))
+            # The thunk's own self-call is legitimate; any *other* caller
+            # should have been rewritten to the merged function.
+            for site in func.callers():
+                if site.function is not func:
+                    diags.append(
+                        _thunk_diag(
+                            func,
+                            f"call site in @{site.function.name if site.function else '?'} "
+                            "still targets the original function",
+                        )
+                    )
+        else:
+            if func.num_uses != 0:
+                diags.append(
+                    _thunk_diag(
+                        func,
+                        "deleted original function still has "
+                        f"{func.num_uses} dangling references",
+                    )
+                )
+    return diags
+
+
+def lint_merge(result, module: Module, committed: bool = False) -> List[Diagnostic]:
+    """Full static gate for one merge attempt.
+
+    Pre-commit (``committed=False``): merged-function safety only.  After
+    ``commit_merge`` has run (``committed=True``): also the commit's
+    structural effects on the module.
+    """
+    diags = lint_merged_function(result)
+    if committed:
+        diags.extend(lint_commit(result, module))
+    return diags

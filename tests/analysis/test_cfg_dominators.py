@@ -140,3 +140,144 @@ class TestDominators:
         dt = DominatorTree(func)
         assert not dt.is_reachable(dead)
         assert not dt.dominates_block(dead, func.entry)
+
+
+def _irreducible(module):
+    """entry branches into BOTH members of the {a, b} cycle — the classic
+    irreducible region with no single loop header."""
+    from repro.ir import parse_module
+
+    return parse_module(
+        """
+define i32 @irr(i32 %x, i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %va = add i32 %x, 1
+  br i1 %c, label %b, label %exit
+b:
+  %vb = add i32 %x, 2
+  br i1 %c, label %a, label %exit
+exit:
+  ret i32 %x
+}
+"""
+    ).get_function("irr")
+
+
+def _unreachable_loop(module):
+    """A straightline function plus a two-block cycle nothing reaches."""
+    func = build_straightline(module, "with_island")
+    isl1 = BasicBlock("isl1", func)
+    isl2 = BasicBlock("isl2", func)
+    isl1.append(Branch(isl2))
+    isl2.append(Branch(isl1))
+    return func
+
+
+class TestIrreducibleCfg:
+    def test_only_entry_dominates_cycle_members(self, module):
+        func = _irreducible(module)
+        entry, a, b, exit_bb = func.blocks
+        dt = DominatorTree(func)
+        # Neither cycle member dominates the other: each is reachable from
+        # the entry without passing through its peer.
+        assert not dt.dominates_block(a, b)
+        assert not dt.dominates_block(b, a)
+        assert dt.idom(a) is entry
+        assert dt.idom(b) is entry
+        # The exit is joined from both arms: only the entry dominates it.
+        assert dt.idom(exit_bb) is entry
+
+    def test_verifier_accepts_irreducible_function(self, module):
+        verify_function(_irreducible(module))
+
+    def test_cross_cycle_use_rejected(self, module):
+        func = _irreducible(module)
+        _entry, a, b, _exit = func.blocks
+        # %vb uses %va: along entry->b that path never executed 'a'.
+        b.instructions[0].set_operand(0, a.instructions[0])
+        from repro.staticcheck.checkers import dominance_diagnostics
+
+        diags = dominance_diagnostics(func)
+        assert len(diags) == 1
+        assert diags[0].block == "b"
+
+
+class TestUnreachableLoop:
+    def test_island_cycle_not_reachable(self, module):
+        func = _unreachable_loop(module)
+        dt = DominatorTree(func)
+        isl1, isl2 = func.blocks[-2:]
+        assert not dt.is_reachable(isl1)
+        assert not dt.is_reachable(isl2)
+        assert reachable_blocks(func) == {id(func.entry)}
+
+    def test_dominance_checker_exempts_island(self, module):
+        # Dominance rules apply to reachable code only: the island cycle
+        # produces no findings, and the verifier accepts the function.
+        func = _unreachable_loop(module)
+        from repro.staticcheck.checkers import dominance_diagnostics
+
+        assert dominance_diagnostics(func) == []
+        verify_function(func)
+
+    def test_remove_unreachable_deletes_island(self, module):
+        func = _unreachable_loop(module)
+        assert remove_unreachable_blocks(func) == 2
+        assert len(func.blocks) == 1
+
+
+class TestDominatorDataflowAgreement:
+    """The dominator tree and the dataflow engine must agree: block A
+    strictly dominates B iff A is 'must-available' on every path to B —
+    an all-paths (intersection) forward problem solved on the engine."""
+
+    @staticmethod
+    def _must_available(func):
+        from repro.staticcheck import DataflowProblem, solve
+
+        universe = frozenset(id(b) for b in func.blocks)
+
+        class MustPassThrough(DataflowProblem):
+            direction = "forward"
+
+            def bottom(self, f):
+                return universe  # top of the must-lattice
+
+            def boundary(self, f):
+                return frozenset()
+
+            def join(self, x, y):
+                return x & y
+
+            def transfer(self, inst, state):
+                return state
+
+            def edge(self, pred, succ, state):
+                return state | {id(pred)}
+
+        return solve(MustPassThrough(), func)
+
+    def _assert_agreement(self, func):
+        dt = DominatorTree(func)
+        result = self._must_available(func)
+        reachable = [b for b in func.blocks if dt.is_reachable(b)]
+        for a in reachable:
+            for b in reachable:
+                via_dataflow = id(a) in result.state_in(b)
+                assert via_dataflow == dt.strictly_dominates_block(a, b), (
+                    f"disagreement for {a.name} -> {b.name}"
+                )
+
+    def test_diamond(self, module):
+        self._assert_agreement(build_diamond(module))
+
+    def test_loop(self, module):
+        self._assert_agreement(build_loop(module))
+
+    def test_irreducible(self, module):
+        self._assert_agreement(_irreducible(module))
+
+    def test_with_unreachable_island(self, module):
+        self._assert_agreement(_unreachable_loop(module))

@@ -121,6 +121,63 @@ class TestCrossFunction:
         f2.entry.instructions[1].set_operand(0, foreign)
         expect_error(f2, "defined outside the function")
 
+    def test_cross_module_callee_rejected(self, module):
+        """Function operands must live in the caller's own module — they
+        used to be waved through unconditionally."""
+        from repro.ir import Call, IRBuilder
+
+        other = Module("other")
+        foreign = Function(FunctionType(I32, [I32]), "foreign", parent=other)
+        func = Function(FunctionType(I32, [I32]), "f", parent=module)
+        block = BasicBlock("entry", func)
+        b = IRBuilder(block)
+        call = b.call(foreign, [func.args[0]])
+        b.ret(call)
+        expect_error(func, "from another module")
+
+    def test_same_module_callee_accepted(self, module):
+        from repro.ir import IRBuilder
+
+        callee = Function(FunctionType(I32, [I32]), "callee", parent=module)
+        func = Function(FunctionType(I32, [I32]), "f", parent=module)
+        block = BasicBlock("entry", func)
+        b = IRBuilder(block)
+        call = b.call(callee, [func.args[0]])
+        b.ret(call)
+        verify_function(func)
+
+
+class TestStructuredDiagnostics:
+    def test_error_carries_diagnostics(self, module):
+        from repro.diagnostics import Diagnostic, Severity
+
+        func = build_straightline(module)
+        BasicBlock("dangling", func)
+        with pytest.raises(VerificationError) as exc:
+            verify_function(func)
+        diags = exc.value.diagnostics
+        assert diags and all(isinstance(d, Diagnostic) for d in diags)
+        assert diags[0].checker == "verifier"
+        assert diags[0].severity is Severity.ERROR
+        assert diags[0].function == func.name
+        assert diags[0].block == "dangling"
+        # Back-compat surfaces: .errors strings and the joined message.
+        assert exc.value.errors == [str(d) for d in diags]
+        assert str(exc.value) == "\n".join(str(d) for d in diags)
+
+    def test_plain_string_errors_still_accepted(self):
+        exc = VerificationError(["something is broken"])
+        assert exc.errors == ["error[verifier]: something is broken"]
+        assert exc.diagnostics[0].message == "something is broken"
+
+    def test_dominance_diagnostics_come_from_checker(self, module):
+        func = build_diamond(module)
+        big, small = func.blocks[1], func.blocks[2]
+        small.instructions[0].set_operand(0, big.instructions[0])
+        with pytest.raises(VerificationError) as exc:
+            verify_function(func)
+        assert exc.value.diagnostics[0].checker == "ssa-dominance"
+
     def test_module_verify_aggregates(self, module):
         f1 = build_straightline(module, "f1")
         BasicBlock("bad", f1)

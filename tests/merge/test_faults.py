@@ -52,7 +52,8 @@ class TestStageContainment:
         module = _mergeable_module()
         before = print_module(module)
         faults = FaultInjector(stage)  # fire on every hit
-        config = PassConfig(oracle=True)  # all six stages are exercised
+        # Enable both gates so every fault stage is exercised.
+        config = PassConfig(oracle=True, static_check=True)
         report = FunctionMergingPass(
             ExhaustiveRanker(), config, faults=faults
         ).run(module)
@@ -73,7 +74,7 @@ class TestStageContainment:
         module = _mergeable_module()
         before = print_module(module)
         faults = FaultInjector(stage)
-        config = PassConfig(oracle=True, on_error="raise")
+        config = PassConfig(oracle=True, static_check=True, on_error="raise")
         with pytest.raises(InjectedFault):
             FunctionMergingPass(ExhaustiveRanker(), config, faults=faults).run(module)
         # The rollback runs before the re-raise.

@@ -1,0 +1,283 @@
+"""Tests for the checker registry and the built-in checkers."""
+
+import pytest
+
+from repro.diagnostics import Severity
+from repro.ir import (
+    BasicBlock,
+    Branch,
+    ConstantInt,
+    I32,
+    I64,
+    parse_module,
+    verify_function,
+)
+from repro.staticcheck import (
+    all_checkers,
+    get_checker,
+    run_function_checks,
+    run_module_checks,
+)
+from repro.staticcheck.checkers import dominance_diagnostics
+
+
+def get(text, name="f"):
+    module = parse_module(text)
+    return module, module.get_function(name)
+
+
+def by_checker(diags, name):
+    return [d for d in diags if d.checker == name]
+
+
+class TestRegistry:
+    def test_at_least_five_checkers_registered(self):
+        names = [c.name for c in all_checkers()]
+        assert len(names) >= 5
+        assert "ssa-dominance" in names
+        assert "maybe-uninit" in names
+        assert "unreachable-block" in names
+        assert "dead-store" in names
+        assert "type-consistency" in names
+        assert "callgraph" in names
+
+    def test_unknown_checker_rejected(self):
+        with pytest.raises(KeyError):
+            get_checker("does-not-exist")
+
+    def test_selection_runs_only_named_checkers(self, module):
+        from tests.conftest import build_straightline
+
+        func = build_straightline(module)
+        dead = BasicBlock("dead", func)
+        dead.append(Branch(dead))
+        diags = run_function_checks(func, ["ssa-dominance"])
+        assert diags == []  # the unreachable-block finding is filtered out
+        assert run_function_checks(func, ["unreachable-block"])
+
+
+class TestDominanceChecker:
+    def test_clean_function(self, module):
+        from tests.conftest import build_diamond
+
+        func = build_diamond(module)
+        assert dominance_diagnostics(func) == []
+
+    def test_cross_arm_use_flagged(self, module):
+        from tests.conftest import build_diamond
+
+        func = build_diamond(module)
+        entry, big, small, join = func.blocks
+        small.instructions[0].set_operand(0, big.instructions[0])
+        diags = dominance_diagnostics(func)
+        assert len(diags) == 1
+        diag = diags[0]
+        assert diag.checker == "ssa-dominance"
+        assert diag.severity is Severity.ERROR
+        assert diag.function == func.name
+        assert diag.block == small.name
+        assert "not dominated" in diag.message
+
+    def test_agrees_with_verifier(self, module):
+        """The verifier delegates to this checker: whenever it reports a
+        dominance error, verify_function raises with the same finding."""
+        from repro.ir import VerificationError
+        from tests.conftest import build_diamond
+
+        func = build_diamond(module)
+        entry, big, small, join = func.blocks
+        small.instructions[0].set_operand(0, big.instructions[0])
+        with pytest.raises(VerificationError) as exc:
+            verify_function(func)
+        assert [str(d) for d in exc.value.diagnostics] == [
+            str(d) for d in dominance_diagnostics(func)
+        ]
+
+
+class TestMaybeUninit:
+    def test_zero_reaching_load_is_warning(self):
+        _m, func = get(
+            """
+define i32 @f(i32 %x) {
+entry:
+  %s = alloca i32
+  %v = load i32, i32* %s
+  store i32 %x, i32* %s
+  ret i32 %v
+}
+"""
+        )
+        diags = by_checker(run_function_checks(func), "maybe-uninit")
+        assert len(diags) == 1
+        assert diags[0].severity is Severity.WARNING
+        assert "no store" in diags[0].message
+
+    def test_initialized_slot_is_clean(self):
+        _m, func = get(
+            """
+define i32 @f(i32 %x) {
+entry:
+  %s = alloca i32
+  store i32 %x, i32* %s
+  %v = load i32, i32* %s
+  ret i32 %v
+}
+"""
+        )
+        assert by_checker(run_function_checks(func), "maybe-uninit") == []
+
+
+class TestUnreachableAndDeadStore:
+    def test_unreachable_block_warned(self, module):
+        from tests.conftest import build_straightline
+
+        func = build_straightline(module)
+        dead = BasicBlock("island", func)
+        dead.append(Branch(dead))  # self-loop, never entered
+        diags = by_checker(run_function_checks(func), "unreachable-block")
+        assert [d.block for d in diags] == ["island"]
+        assert all(d.severity is Severity.WARNING for d in diags)
+
+    def test_dead_store_warned(self):
+        _m, func = get(
+            """
+define i32 @f(i32 %x) {
+entry:
+  %s = alloca i32
+  store i32 %x, i32* %s
+  %v = load i32, i32* %s
+  store i32 99, i32* %s
+  ret i32 %v
+}
+"""
+        )
+        diags = by_checker(run_function_checks(func), "dead-store")
+        assert len(diags) == 1
+        assert "never read" in diags[0].message
+
+
+class TestTypeConsistency:
+    def test_clean_module_has_no_findings(self, module):
+        from tests.conftest import build_diamond, build_loop
+
+        build_diamond(module)
+        build_loop(module)
+        assert by_checker(run_module_checks(module), "type-consistency") == []
+
+    def test_phi_incoming_type_mismatch(self, module):
+        from tests.conftest import build_diamond
+
+        func = build_diamond(module)
+        phi = func.blocks[-1].phis()[0]
+        # Constructors forbid this; mutation sneaks it past them.
+        phi.set_operand(0, ConstantInt(I64, 1))
+        diags = by_checker(run_function_checks(func), "type-consistency")
+        assert len(diags) == 1
+        assert "phi incoming" in diags[0].message
+        assert diags[0].severity is Severity.ERROR
+
+    def test_call_argument_type_mismatch(self):
+        module, func = get(
+            """
+define i32 @callee(i32 %x) {
+entry:
+  ret i32 %x
+}
+define i32 @f(i32 %x) {
+entry:
+  %r = call i32 @callee(i32 %x)
+  ret i32 %r
+}
+"""
+        )
+        call = func.entry.instructions[0]
+        call.set_operand(1, ConstantInt(I64, 3))
+        diags = by_checker(run_function_checks(func), "type-consistency")
+        assert len(diags) == 1
+        assert "argument 0" in diags[0].message
+
+    def test_ret_type_mismatch(self, module):
+        from tests.conftest import build_straightline
+
+        func = build_straightline(module)
+        ret = func.entry.terminator
+        ret.set_operand(0, ConstantInt(I64, 0))
+        diags = by_checker(run_function_checks(func), "type-consistency")
+        assert any("ret type" in d.message for d in diags)
+
+
+class TestCallGraphChecker:
+    def test_recursion_cycle_reported_as_info(self):
+        module, _f = get(
+            """
+define i32 @f(i32 %x) {
+entry:
+  %r = call i32 @g(i32 %x)
+  ret i32 %r
+}
+define i32 @g(i32 %x) {
+entry:
+  %r = call i32 @f(i32 %x)
+  ret i32 %r
+}
+"""
+        )
+        diags = by_checker(run_module_checks(module), "callgraph")
+        assert len(diags) == 1
+        assert diags[0].severity is Severity.INFO
+        assert "recursion cycle" in diags[0].message
+
+    def test_direct_recursion_reported(self):
+        module, _f = get(
+            """
+define i32 @f(i32 %x) {
+entry:
+  %r = call i32 @f(i32 %x)
+  ret i32 %r
+}
+"""
+        )
+        diags = by_checker(run_module_checks(module), "callgraph")
+        assert len(diags) == 1
+        assert "directly recursive" in diags[0].message
+
+    def test_acyclic_module_is_quiet(self):
+        module, _f = get(
+            """
+define i32 @leaf(i32 %x) {
+entry:
+  ret i32 %x
+}
+define i32 @f(i32 %x) {
+entry:
+  %r = call i32 @leaf(i32 %x)
+  ret i32 %r
+}
+"""
+        )
+        assert by_checker(run_module_checks(module), "callgraph") == []
+
+    def test_arity_mismatch_after_mutation_is_error(self):
+        module, func = get(
+            """
+define i32 @one(i32 %x) {
+entry:
+  ret i32 %x
+}
+define i32 @two(i32 %x, i32 %y) {
+entry:
+  ret i32 %x
+}
+define i32 @f(i32 %x) {
+entry:
+  %r = call i32 @one(i32 %x)
+  ret i32 %r
+}
+"""
+        )
+        call = func.entry.instructions[0]
+        call.set_operand(0, module.get_function("two"))  # now under-applied
+        diags = by_checker(run_module_checks(module), "callgraph")
+        errors = [d for d in diags if d.severity is Severity.ERROR]
+        assert len(errors) == 1
+        assert "passes 1" in errors[0].message

@@ -1,0 +1,128 @@
+"""CLI tests for ``repro lint`` (text, JSON, exit codes)."""
+
+import json
+
+import pytest
+
+from repro.cli import lint_main, main
+
+
+@pytest.fixture
+def clean_module(tmp_path):
+    path = tmp_path / "clean.ll"
+    assert main(["generate", "-n", "40", "-o", str(path)]) == 0
+    return path
+
+
+# A dominance violation the parser accepts (forward value reference) but
+# the verifier/linter must reject: %b uses %later defined after its use.
+BROKEN = """
+define i32 @f(i32 %x, i1 %c) {
+entry:
+  br i1 %c, label %a, label %join
+a:
+  %va = add i32 %x, 1
+  br label %join
+join:
+  %u = add i32 %va, 1
+  ret i32 %u
+}
+"""
+
+
+@pytest.fixture
+def broken_module(tmp_path):
+    path = tmp_path / "broken.ll"
+    path.write_text(BROKEN)
+    return path
+
+
+class TestExitCodes:
+    def test_clean_generated_workload_is_lint_clean(self, clean_module, capsys):
+        # Verifier-clean generated modules must produce zero errors.
+        assert main(["lint", str(clean_module), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["error"] == 0
+        assert [d for d in payload["diagnostics"] if d["severity"] == "error"] == []
+
+    def test_error_diagnostic_sets_exit_code(self, broken_module):
+        assert main(["lint", str(broken_module)]) == 1
+
+    def test_warning_only_module_exits_zero(self, tmp_path):
+        path = tmp_path / "warn.ll"
+        path.write_text(
+            """
+define i32 @f(i32 %x) {
+entry:
+  %s = alloca i32
+  %v = load i32, i32* %s
+  store i32 %x, i32* %s
+  ret i32 %v
+}
+"""
+        )
+        assert main(["lint", str(path)]) == 0
+
+
+class TestJsonOutput:
+    def test_diagnostics_carry_id_severity_location(self, broken_module, capsys):
+        assert main(["lint", str(broken_module), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        errors = [d for d in payload["diagnostics"] if d["severity"] == "error"]
+        assert errors
+        diag = errors[0]
+        assert diag["checker"] == "ssa-dominance"
+        assert diag["function"] == "f"
+        assert diag["block"] == "join"
+        assert diag["instruction"] == "u"
+        assert "not dominated" in diag["message"]
+
+    def test_checker_selection(self, broken_module, capsys):
+        assert (
+            main(["lint", str(broken_module), "--json", "--checkers", "callgraph"])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["checkers"] == ["callgraph"]
+        assert payload["diagnostics"] == []
+
+    def test_min_severity_filter(self, broken_module, capsys):
+        assert (
+            main(["lint", str(broken_module), "--json", "--min-severity", "error"])
+            == 1
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert all(d["severity"] == "error" for d in payload["diagnostics"])
+
+
+class TestTextOutput:
+    def test_text_lines_are_human_readable(self, broken_module, capsys):
+        assert main(["lint", str(broken_module)]) == 1
+        captured = capsys.readouterr()
+        assert "error[ssa-dominance]" in captured.out
+        assert "@f" in captured.out
+        assert "errors" in captured.err  # the summary line
+
+    def test_list_checkers(self, capsys):
+        assert main(["lint", "--list-checkers"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "ssa-dominance",
+            "maybe-uninit",
+            "unreachable-block",
+            "dead-store",
+            "type-consistency",
+            "callgraph",
+        ):
+            assert name in out
+
+    def test_missing_module_argument(self, capsys):
+        assert main(["lint"]) == 2
+
+
+class TestEntryPoint:
+    def test_lint_main_wrapper(self, clean_module, capsys):
+        # The repro-lint console script prepends the subcommand itself.
+        assert lint_main([str(clean_module), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["error"] == 0

@@ -1,0 +1,306 @@
+"""Direct unit tests for the generic dataflow engine and its instances."""
+
+from repro.ir import Load, Store, parse_module
+from repro.staticcheck import (
+    DataflowProblem,
+    Liveness,
+    ReachingStores,
+    SlotLiveness,
+    solve,
+    tracked_slots,
+)
+
+
+def get(text, name="f"):
+    module = parse_module(text)
+    return module.get_function(name)
+
+
+_DIAMOND_SLOTS = """
+define i32 @f(i32 %x, i1 %c) {
+entry:
+  %s = alloca i32
+  store i32 %x, i32* %s
+  br i1 %c, label %a, label %b
+a:
+  store i32 7, i32* %s
+  br label %join
+b:
+  br label %join
+join:
+  %v = load i32, i32* %s
+  ret i32 %v
+}
+"""
+
+
+def _insts(func, block_index):
+    return func.blocks[block_index].instructions
+
+
+def _loads(func):
+    return [i for b in func.blocks for i in b.instructions if isinstance(i, Load)]
+
+
+def _stores(func):
+    return [i for b in func.blocks for i in b.instructions if isinstance(i, Store)]
+
+
+class TestReachingStores:
+    def test_both_stores_reach_the_join_load(self):
+        func = get(_DIAMOND_SLOTS)
+        problem = ReachingStores(func)
+        result = solve(problem, func)
+        (load,) = _loads(func)
+        reaching = problem.reaching_stores(result, load)
+        assert reaching is not None
+        assert set(map(id, reaching)) == set(map(id, _stores(func)))
+
+    def test_same_slot_store_kills_previous(self):
+        func = get(
+            """
+define i32 @f(i32 %x) {
+entry:
+  %s = alloca i32
+  store i32 %x, i32* %s
+  store i32 9, i32* %s
+  %v = load i32, i32* %s
+  ret i32 %v
+}
+"""
+        )
+        problem = ReachingStores(func)
+        result = solve(problem, func)
+        (load,) = _loads(func)
+        reaching = problem.reaching_stores(result, load)
+        assert len(reaching) == 1
+        # Only the second (killing) store survives.
+        assert reaching[0] is _stores(func)[1]
+
+    def test_load_with_no_reaching_store(self):
+        func = get(
+            """
+define i32 @f(i32 %x) {
+entry:
+  %s = alloca i32
+  %v = load i32, i32* %s
+  store i32 %x, i32* %s
+  ret i32 %v
+}
+"""
+        )
+        problem = ReachingStores(func)
+        result = solve(problem, func)
+        (load,) = _loads(func)
+        assert problem.reaching_stores(result, load) == []
+
+    def test_store_reaches_loop_body_through_back_edge(self):
+        func = get(
+            """
+define i32 @f(i32 %n) {
+entry:
+  %s = alloca i32
+  store i32 %n, i32* %s
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %v = load i32, i32* %s
+  %next = add i32 %i, 1
+  br label %head
+exit:
+  %r = load i32, i32* %s
+  ret i32 %r
+}
+"""
+        )
+        problem = ReachingStores(func)
+        result = solve(problem, func)
+        for load in _loads(func):
+            assert len(problem.reaching_stores(result, load)) == 1
+
+    def test_escaped_slot_is_untracked(self):
+        func = get(
+            """
+define i32 @f(i32 %x) {
+entry:
+  %arr = alloca [4 x i32]
+  %p = gep [4 x i32]* %arr, i32 0, i32 0
+  %v = load i32, i32* %p
+  ret i32 %v
+}
+"""
+        )
+        problem = ReachingStores(func)
+        assert problem.slots == {}
+        result = solve(problem, func)
+        (load,) = _loads(func)
+        # Untracked slot: the query answers None, never "uninitialized".
+        assert problem.reaching_stores(result, load) is None
+
+    def test_tracked_slots_selects_scalar_slots_only(self):
+        func = get(_DIAMOND_SLOTS)
+        slots = tracked_slots(func)
+        assert len(slots) == 1
+        (slot,) = slots.values()
+        assert slot.name == "s"
+
+
+class TestLiveness:
+    def test_straightline_intervals(self):
+        func = get(
+            """
+define i32 @f(i32 %x) {
+entry:
+  %a = add i32 %x, 1
+  %b = mul i32 %a, 2
+  %c = add i32 %b, 3
+  ret i32 %c
+}
+"""
+        )
+        result = solve(Liveness(), func)
+        a, b, c, ret = _insts(func, 0)
+        # %a is live before its use in %b, dead afterwards.
+        assert id(a) in result.state_before(b)
+        assert id(a) not in result.state_after(b)
+        # %c is live until the return consumes it.
+        assert id(c) in result.state_before(ret)
+        # The argument dies at its single use.
+        (arg,) = func.args
+        assert id(arg) in result.state_before(a)
+        assert id(arg) not in result.state_after(a)
+
+    def test_phi_use_is_live_on_incoming_edge_only(self):
+        func = get(
+            """
+define i32 @f(i32 %x, i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %va = add i32 %x, 1
+  br label %join
+b:
+  br label %join
+join:
+  %p = phi i32 [ %va, %a ], [ 5, %b ]
+  ret i32 %p
+}
+"""
+        )
+        result = solve(Liveness(), func)
+        entry, a_block, b_block, join = func.blocks
+        va = a_block.instructions[0]
+        # %va is live at the end of its own arm...
+        assert id(va) in result.state_out(a_block)
+        # ...but not inside the join block or on the other arm.
+        assert id(va) not in result.state_in(join)
+        assert id(va) not in result.state_out(b_block)
+
+    def test_loop_carried_value_live_around_back_edge(self):
+        func = get(
+            """
+define i32 @f(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %next = add i32 %i, 1
+  br label %head
+exit:
+  ret i32 %i
+}
+"""
+        )
+        result = solve(Liveness(), func)
+        entry, head, body, exit_block = func.blocks
+        phi = head.phis()[0]
+        # The phi value flows out of the loop to the exit use.
+        assert id(phi) in result.state_in(exit_block)
+        # %n is live around the whole loop (re-read every iteration).
+        (n,) = func.args
+        assert id(n) in result.state_out(body)
+
+
+class TestSlotLiveness:
+    def test_dead_final_store(self):
+        func = get(
+            """
+define i32 @f(i32 %x) {
+entry:
+  %s = alloca i32
+  store i32 %x, i32* %s
+  %v = load i32, i32* %s
+  store i32 99, i32* %s
+  ret i32 %v
+}
+"""
+        )
+        problem = SlotLiveness(func)
+        result = solve(problem, func)
+        first, dead = _stores(func)
+        (slot,) = problem.slots.values()
+        assert id(slot) in result.state_after(first)  # read downstream
+        assert id(slot) not in result.state_after(dead)  # never read again
+
+
+class TestEngineGenerality:
+    def test_custom_forward_problem(self):
+        """The engine accepts any lattice: here, 'blocks on some path from
+        the entry' (forward may-reachability over block names)."""
+
+        class PathBlocks(DataflowProblem):
+            direction = "forward"
+
+            def transfer(self, inst, state):
+                return state
+
+            def edge(self, pred, succ, state):
+                return state | {pred.name}
+
+        func = get(_DIAMOND_SLOTS)
+        result = solve(PathBlocks(), func)
+        entry, a, b, join = func.blocks
+        assert result.state_in(join) == {"entry", "a", "b"}
+        assert result.state_in(a) == {"entry"}
+
+    def test_unreachable_blocks_keep_bottom_state(self):
+        func = get(_DIAMOND_SLOTS)
+        from repro.ir import BasicBlock, Branch
+
+        dangling = BasicBlock("dangling", func)
+        dangling.append(Branch(func.blocks[3]))
+        problem = ReachingStores(func)
+        result = solve(problem, func)
+        assert result.state_in(dangling) == frozenset()
+        assert result.state_out(dangling) == frozenset()
+
+    def test_fixpoint_terminates_on_irreducible_cfg(self):
+        func = get(
+            """
+define i32 @f(i32 %x, i1 %c) {
+entry:
+  %s = alloca i32
+  store i32 %x, i32* %s
+  br i1 %c, label %a, label %b
+a:
+  %va = load i32, i32* %s
+  br i1 %c, label %b, label %exit
+b:
+  %vb = load i32, i32* %s
+  br i1 %c, label %a, label %exit
+exit:
+  ret i32 %x
+}
+"""
+        )
+        problem = ReachingStores(func)
+        result = solve(problem, func)
+        for load in _loads(func):
+            assert len(problem.reaching_stores(result, load)) == 1
+        assert result.iterations >= len(func.blocks)
