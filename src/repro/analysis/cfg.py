@@ -19,23 +19,32 @@ def postorder(func: Function) -> List[BasicBlock]:
     """Blocks of *func* in DFS postorder from the entry block."""
     if func.is_declaration:
         return []
-    seen: Set[int] = set()
+    entry = func.entry
+    seen: Set[int] = {id(entry)}
     order: List[BasicBlock] = []
     # Iterative DFS (functions in large workloads can have deep CFGs).
-    stack: List[tuple] = [(func.entry, iter(func.entry.successors()))]
-    seen.add(id(func.entry))
-    while stack:
-        block, it = stack[-1]
-        advanced = False
-        for succ in it:
-            if id(succ) not in seen:
-                seen.add(id(succ))
-                stack.append((succ, iter(succ.successors())))
-                advanced = True
-                break
-        if not advanced:
-            order.append(block)
-            stack.pop()
+    # Three parallel stacks — block, its successor list, resume index — keep
+    # the loop allocation-free on the hot fingerprinting path.
+    blocks: List[BasicBlock] = [entry]
+    succs: List[List[BasicBlock]] = [entry.successors()]
+    idxs: List[int] = [0]
+    while blocks:
+        here = succs[-1]
+        i = idxs[-1]
+        n = len(here)
+        while i < n and id(here[i]) in seen:
+            i += 1
+        if i < n:
+            idxs[-1] = i + 1
+            nxt = here[i]
+            seen.add(id(nxt))
+            blocks.append(nxt)
+            succs.append(nxt.successors())
+            idxs.append(0)
+        else:
+            order.append(blocks.pop())
+            succs.pop()
+            idxs.pop()
     return order
 
 

@@ -222,6 +222,30 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_perf(args: argparse.Namespace) -> int:
+    from .harness.bench import write_bench_json
+    from .harness.profile import run_perf_bench
+
+    sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    rows, metadata = run_perf_bench(
+        sizes=sizes,
+        repeats=args.repeats,
+        workload=args.workload,
+        workers=args.workers,
+        micro_repeats=args.micro_repeats,
+    )
+    write_bench_json(args.output, "f3m_perf", rows, metadata)
+    headline = metadata["headline"]
+    print(f"wrote {args.output}")
+    print(
+        f"largest size {headline['size']}: "
+        f"{headline['fingerprint_speedup']:.2f}x batched-engine speedup, "
+        f"bit_identical={headline['bit_identical']}, "
+        f"decisions_identical={headline['decisions_identical']}"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -317,6 +341,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp = sub.add_parser("compare", help="HyFM vs F3M on a generated workload")
     p_cmp.add_argument("-n", "--functions", type=int, default=500)
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_perf = sub.add_parser(
+        "bench-perf",
+        help="batched-vs-per-function fingerprint engine benchmark",
+    )
+    p_perf.add_argument(
+        "--sizes",
+        default="100,500,1000",
+        help="comma-separated workload sizes (functions per module)",
+    )
+    p_perf.add_argument("--repeats", type=int, default=3, help="best-of-N timing runs")
+    p_perf.add_argument(
+        "--micro-repeats",
+        type=int,
+        default=None,
+        help="best-of-N for the fingerprint microbench alone (default: --repeats)",
+    )
+    p_perf.add_argument("--workload", default="perf", help="workload family name")
+    p_perf.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool fan-out for very large modules",
+    )
+    p_perf.add_argument("-o", "--output", default="BENCH_f3m_perf.json")
+    p_perf.set_defaults(func=_cmd_bench_perf)
 
     return parser
 

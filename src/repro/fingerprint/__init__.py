@@ -1,5 +1,13 @@
-"""Function fingerprints: the HyFM opcode-frequency baseline and F3M MinHash."""
+"""Function fingerprints: the HyFM opcode-frequency baseline and F3M MinHash.
 
+The batched engine (:mod:`.batch`) computes module-wide MinHash vectorized
+and bit-identically to the per-function reference path; :mod:`.cache`
+shares fingerprints content-addressed across functions, runs and CLI
+invocations.
+"""
+
+from .batch import encode_module, minhash_encoded_batch, minhash_module, minhash_single
+from .cache import CacheStats, FingerprintCache
 from .encoding import EncodingOptions, encode_function, encode_instruction
 from .fnv import fnv1a_32, fnv1a_32_ints, fnv1a_32_pair, salts
 from .minhash import MinHashConfig, MinHashFingerprint, exact_jaccard, minhash_function
@@ -7,7 +15,13 @@ from .opcode_freq import OpcodeFingerprint, fingerprint_block, fingerprint_funct
 from .shingles import shingle_hashes, shingle_set, shingles
 
 __all__ = [
+    "CacheStats",
     "EncodingOptions",
+    "FingerprintCache",
+    "encode_module",
+    "minhash_encoded_batch",
+    "minhash_module",
+    "minhash_single",
     "encode_function",
     "encode_instruction",
     "fnv1a_32",

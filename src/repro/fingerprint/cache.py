@@ -1,0 +1,242 @@
+"""Content-addressed MinHash fingerprint cache.
+
+Merge workloads are full of identical-bodied functions — exact duplicates
+in the input, clones produced by earlier merges, and whole re-runs over the
+same module (the remerge loop, benchmark repeats, partitioned passes that
+consult a global summary first).  Fingerprints are pure functions of the
+*encoded instruction stream* and the :class:`MinHashConfig`, so they can be
+shared content-addressed:
+
+* key = FNV-1a of the encoded stream (two salted 32-bit passes, computed
+  vectorized for a whole module at once) + stream length + the config;
+* an in-memory LRU layer bounds resident entries (``maxsize``);
+* an optional on-disk layer (``.repro-cache/`` by default) persists
+  fingerprints across CLI invocations as one ``.npz`` per config.
+
+Hit/miss/eviction counters feed the pipeline profiler and the perf bench.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .fnv import fnv1a_32_array
+from .minhash import MinHashConfig
+
+__all__ = ["CacheStats", "FingerprintCache", "DEFAULT_CACHE_DIR"]
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+# Second-pass key salt: prepended to the stream so the two 32-bit FNV-1a
+# hashes are independent, giving a 64-bit effective content key.
+_KEY_SALT = 0x9E3779B9
+
+# (stream length, fnv1a(stream), fnv1a(salt || stream))
+ContentKey = Tuple[int, int, int]
+# ((k, shingle_size, seed, independent), length, h1, h2)
+CacheKey = Tuple[Tuple[int, int, int, bool], int, int, int]
+
+
+@dataclass
+class CacheStats:
+    """Cache effectiveness counters (reported by the perf bench)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    disk_entries_loaded: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "disk_entries_loaded": self.disk_entries_loaded,
+            "hit_rate": self.hit_rate,
+        }
+
+
+def _config_key(config: MinHashConfig) -> Tuple[int, int, int, bool]:
+    return (config.k, config.shingle_size, config.seed, config.independent_hashes)
+
+
+def content_keys(flat: np.ndarray, lens: np.ndarray) -> List[ContentKey]:
+    """Content keys for every stream packed in ``(flat, lens)``.
+
+    Both FNV-1a passes run vectorized: streams are grouped by length and
+    each group hashed as one ``(m, length)`` batch, so keying a module
+    costs a few array operations rather than a Python hash loop per
+    function.
+    """
+    flat = np.asarray(flat, dtype=np.uint64)
+    lens = np.asarray(lens, dtype=np.int64)
+    n = lens.shape[0]
+    offsets = np.cumsum(lens) - lens
+    h1 = np.empty(n, dtype=np.uint32)
+    h2 = np.empty(n, dtype=np.uint32)
+    for length in np.unique(lens).tolist():
+        rows = np.flatnonzero(lens == length)
+        if length == 0:
+            empty = np.empty((rows.shape[0], 0), dtype=np.uint64)
+            h1[rows] = fnv1a_32_array(empty)
+            h2[rows] = fnv1a_32_array(
+                np.full((rows.shape[0], 1), _KEY_SALT, dtype=np.uint64)
+            )
+            continue
+        gather = offsets[rows][:, None] + np.arange(length, dtype=np.int64)[None, :]
+        streams = flat[gather]
+        h1[rows] = fnv1a_32_array(streams)
+        salted = np.empty((rows.shape[0], length + 1), dtype=np.uint64)
+        salted[:, 0] = _KEY_SALT
+        salted[:, 1:] = streams
+        h2[rows] = fnv1a_32_array(salted)
+    lens_list = lens.tolist()
+    h1_list = h1.tolist()
+    h2_list = h2.tolist()
+    return list(zip(lens_list, h1_list, h2_list))
+
+
+class FingerprintCache:
+    """LRU fingerprint store keyed by encoded-stream content + config.
+
+    Thread-safe (one lock around the entry map); process pools do not
+    share it — each worker computes raw values and the parent process owns
+    the cache, so there is nothing to synchronize across processes.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 1 << 20,
+        directory: Optional[str] = None,
+    ) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self.directory = directory
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, Tuple[np.ndarray, int]]" = OrderedDict()
+        if directory is not None:
+            self.load(directory)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- keying ----------------------------------------------------------------------
+    def keys_for(
+        self, flat: np.ndarray, lens: np.ndarray, config: MinHashConfig
+    ) -> List[CacheKey]:
+        """Full cache keys for every stream packed in ``(flat, lens)``."""
+        ckey = _config_key(config)
+        return [(ckey, length, h1, h2) for length, h1, h2 in content_keys(flat, lens)]
+
+    # -- lookup ----------------------------------------------------------------------
+    def get(self, key: CacheKey) -> Optional[Tuple[np.ndarray, int]]:
+        """``(values, num_shingles)`` for *key*, or None on a miss.
+
+        The values array is returned as a copy so callers can never mutate
+        a cached fingerprint in place.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry[0].copy(), entry[1]
+
+    def put(self, key: CacheKey, values: np.ndarray, num_shingles: int) -> None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return
+            self._entries[key] = (
+                np.array(values, dtype=np.uint32, copy=True),
+                int(num_shingles),
+            )
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    # -- disk layer ------------------------------------------------------------------
+    def _config_path(self, directory: str, ckey: Tuple[int, int, int, bool]) -> str:
+        k, shingle, seed, independent = ckey
+        name = f"minhash-k{k}-s{shingle}-seed{seed:x}" + ("-ind" if independent else "")
+        return os.path.join(directory, f"{name}.npz")
+
+    def save(self, directory: Optional[str] = None) -> List[str]:
+        """Persist all entries under *directory* (one ``.npz`` per config).
+
+        Returns the written paths.  A ``stats.json`` sidecar records the
+        session counters for post-hoc inspection.
+        """
+        directory = directory or self.directory or DEFAULT_CACHE_DIR
+        os.makedirs(directory, exist_ok=True)
+        with self._lock:
+            by_config: Dict[Tuple[int, int, int, bool], List[Tuple[CacheKey, Tuple[np.ndarray, int]]]] = {}
+            for key, entry in self._entries.items():
+                by_config.setdefault(key[0], []).append((key, entry))
+        paths = []
+        for ckey, items in by_config.items():
+            path = self._config_path(directory, ckey)
+            np.savez_compressed(
+                path,
+                config=np.array(
+                    [ckey[0], ckey[1], ckey[2], int(ckey[3])], dtype=np.int64
+                ),
+                lengths=np.array([key[1] for key, _ in items], dtype=np.int64),
+                h1=np.array([key[2] for key, _ in items], dtype=np.uint64),
+                h2=np.array([key[3] for key, _ in items], dtype=np.uint64),
+                num_shingles=np.array([e[1] for _, e in items], dtype=np.int64),
+                values=np.stack([e[0] for _, e in items]),
+            )
+            paths.append(path)
+        with open(os.path.join(directory, "stats.json"), "w", encoding="utf-8") as fh:
+            json.dump(self.stats.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return paths
+
+    def load(self, directory: Optional[str] = None) -> int:
+        """Load previously saved entries from *directory*; returns the count."""
+        directory = directory or self.directory or DEFAULT_CACHE_DIR
+        if not os.path.isdir(directory):
+            return 0
+        loaded = 0
+        for name in sorted(os.listdir(directory)):
+            if not name.endswith(".npz"):
+                continue
+            with np.load(os.path.join(directory, name)) as payload:
+                cfg = payload["config"]
+                ckey = (int(cfg[0]), int(cfg[1]), int(cfg[2]), bool(cfg[3]))
+                lengths = payload["lengths"]
+                h1 = payload["h1"]
+                h2 = payload["h2"]
+                counts = payload["num_shingles"]
+                values = payload["values"]
+            with self._lock:
+                for i in range(lengths.shape[0]):
+                    key = (ckey, int(lengths[i]), int(h1[i]), int(h2[i]))
+                    if key not in self._entries:
+                        self._entries[key] = (
+                            values[i].astype(np.uint32, copy=True),
+                            int(counts[i]),
+                        )
+                        loaded += 1
+        self.stats.disk_entries_loaded += loaded
+        return loaded

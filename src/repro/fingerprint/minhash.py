@@ -13,6 +13,8 @@ many times faster" with "a very small effect on the quality".
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -52,16 +54,29 @@ class MinHashConfig:
             raise ValueError("shingle size must be positive")
 
 
-_SALT_CACHE = {}
+# Bounded LRU of derived salt vectors.  A handful of (k, seed) pairs are
+# ever live at once (static + adaptive configs and ablation sweeps), but
+# unbounded growth would leak across long parameter sweeps.  The lock makes
+# the cache safe under threaded rankers; pool workers are separate
+# processes, so each builds its own copy once and reuses it per chunk.
+_SALT_CACHE: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+_SALT_CACHE_MAX = 16
+_SALT_CACHE_LOCK = threading.Lock()
 
 
 def _salts_for(config: MinHashConfig) -> np.ndarray:
     key = (config.k, config.seed)
-    cached = _SALT_CACHE.get(key)
-    if cached is None:
-        cached = salts(config.k, config.seed).astype(np.uint32)
-        _SALT_CACHE[key] = cached
-    return cached
+    with _SALT_CACHE_LOCK:
+        cached = _SALT_CACHE.get(key)
+        if cached is not None:
+            _SALT_CACHE.move_to_end(key)
+            return cached
+    computed = salts(config.k, config.seed).astype(np.uint32)
+    with _SALT_CACHE_LOCK:
+        _SALT_CACHE[key] = computed
+        while len(_SALT_CACHE) > _SALT_CACHE_MAX:
+            _SALT_CACHE.popitem(last=False)
+    return computed
 
 
 class MinHashFingerprint:

@@ -1,6 +1,13 @@
 """Experiment harness: drivers and helpers for the paper's tables/figures."""
 
 from .bench import gate_cost_row, load_bench_json, write_bench_json
+from .profile import (
+    PERF_STAGES,
+    PipelineProfile,
+    fingerprint_microbench,
+    profile_pass,
+    run_perf_bench,
+)
 from .experiments import (
     CompileTimeModel,
     CorrelationResult,
@@ -17,6 +24,11 @@ __all__ = [
     "gate_cost_row",
     "load_bench_json",
     "write_bench_json",
+    "PERF_STAGES",
+    "PipelineProfile",
+    "fingerprint_microbench",
+    "profile_pass",
+    "run_perf_bench",
     "CompileTimeModel",
     "CorrelationResult",
     "correlation_experiment",

@@ -68,8 +68,10 @@ class BasicBlock(Value):
 
     # -- CFG ---------------------------------------------------------------------
     def successors(self) -> List["BasicBlock"]:
-        term = self.terminator
-        return term.successors() if term is not None else []
+        insts = self.instructions
+        if insts and insts[-1].is_terminator:
+            return insts[-1].successors()
+        return []
 
     def predecessors(self) -> List["BasicBlock"]:
         """Predecessor blocks, deduplicated, in deterministic order."""

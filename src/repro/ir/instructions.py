@@ -554,7 +554,8 @@ class Invoke(Instruction):
         return self.operand(self.num_operands - 1)  # type: ignore[return-value]
 
     def successors(self) -> List["BasicBlock"]:
-        return [self.normal_dest, self.unwind_dest]
+        ops = self._operands
+        return [ops[-2], ops[-1]]  # type: ignore[list-item]
 
 
 class Phi(Instruction):
@@ -628,9 +629,10 @@ class Branch(Instruction):
         return self.operand(0)
 
     def successors(self) -> List["BasicBlock"]:
-        if self.is_conditional:
-            return [self.operand(1), self.operand(2)]  # type: ignore[list-item]
-        return [self.operand(0)]  # type: ignore[list-item]
+        ops = self._operands
+        if len(ops) == 3:
+            return [ops[1], ops[2]]  # type: ignore[list-item]
+        return [ops[0]]  # type: ignore[list-item]
 
 
 class Switch(Instruction):
@@ -666,7 +668,8 @@ class Switch(Instruction):
         return [(ops[i], ops[i + 1]) for i in range(2, len(ops), 2)]  # type: ignore[list-item]
 
     def successors(self) -> List["BasicBlock"]:
-        return [self.default] + [blk for _, blk in self.cases]
+        ops = self._operands
+        return [ops[1], *ops[3::2]]  # type: ignore[list-item]
 
 
 class Ret(Instruction):

@@ -16,10 +16,14 @@ discovered (the opportunity F3M's fingerprints make recoverable).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
+from ..fingerprint.batch import minhash_module
+from ..fingerprint.cache import FingerprintCache
 from ..fingerprint.fnv import fnv1a_32
+from ..fingerprint.minhash import MinHashConfig
 from ..ir.function import Function
 from ..ir.module import Module
 from ..search.pairing import MinHashLSHRanker, Ranker
@@ -51,6 +55,9 @@ class PartitionedMergeReport:
     size_before: int = 0
     size_after: int = 0
     cross_partition_candidates: int = 0
+    # Shared-cache prewarm accounting (zeros when prewarm was off).
+    prewarm_time: float = 0.0
+    cache_stats: Optional[Dict[str, object]] = None
 
     @property
     def merges(self) -> int:
@@ -67,12 +74,22 @@ class PartitionedMergeReport:
         return sum(r.total_time for r in self.reports)
 
 
+def _adopt_cache(ranker: Ranker, cache: FingerprintCache) -> None:
+    """Point a factory-produced ranker at the shared fingerprint cache
+    (only when it supports one and does not already have its own)."""
+    if isinstance(ranker, MinHashLSHRanker) and ranker.cache is None:
+        ranker.cache = cache
+
+
 def partitioned_merging(
     module: Module,
     partitions: int,
     ranker_factory: Callable[[], Ranker] = MinHashLSHRanker,
     config: PassConfig = PassConfig(verify=False),
     count_lost_pairs: bool = True,
+    cache: Optional[FingerprintCache] = None,
+    prewarm: bool = False,
+    workers: Optional[int] = None,
 ) -> PartitionedMergeReport:
     """Merge within each partition separately; summarize the whole module.
 
@@ -80,6 +97,16 @@ def partitioned_merging(
     consulted first to count how many functions' best global partner lives
     in another partition — the opportunity a ThinLTO integration would need
     to import across partition boundaries.
+
+    With ``prewarm`` (or an explicit *cache*) all defined functions are
+    fingerprinted up front in one batched pass — fanned out over ``workers``
+    processes for large modules — into a shared content-addressed
+    :class:`FingerprintCache`.  The summary ranker and every per-partition
+    ranker the factory produces then hit the cache instead of recomputing,
+    so the module is fingerprinted once instead of once per partition pass.
+    Prewarming uses the factory ranker's static MinHash config; adaptive
+    rankers derive per-partition configs, for which prewarmed entries are
+    simply never consulted (correct, just not accelerated).
     """
     from ..analysis.size import module_size
 
@@ -88,12 +115,30 @@ def partitioned_merging(
 
     groups = partition_functions(module, partitions)
 
+    if prewarm and cache is None:
+        cache = FingerprintCache()
+    if cache is not None and prewarm:
+        probe = ranker_factory()
+        if isinstance(probe, MinHashLSHRanker) and not probe.adaptive:
+            prewarm_config = probe._requested_config or MinHashConfig()
+            t0 = time.perf_counter()
+            minhash_module(
+                module.defined_functions(),
+                prewarm_config,
+                probe.encoding,
+                cache=cache,
+                workers=workers,
+            )
+            report.prewarm_time = time.perf_counter() - t0
+
     if count_lost_pairs and partitions > 1:
         partition_of: Dict[int, int] = {}
         for index, group in enumerate(groups):
             for func in group:
                 partition_of[id(func)] = index
         summary: Ranker = ranker_factory()
+        if cache is not None:
+            _adopt_cache(summary, cache)
         summary.preprocess(module.defined_functions())
         for func in module.defined_functions():
             match = summary.best_match(func)
@@ -103,8 +148,13 @@ def partitioned_merging(
                 report.cross_partition_candidates += 1
 
     for group in groups:
-        pass_ = FunctionMergingPass(ranker_factory(), config)
+        ranker = ranker_factory()
+        if cache is not None:
+            _adopt_cache(ranker, cache)
+        pass_ = FunctionMergingPass(ranker, config)
         report.reports.append(pass_.run(module, functions=group))
 
     report.size_after = module_size(module)
+    if cache is not None:
+        report.cache_stats = cache.stats.to_dict()
     return report

@@ -9,22 +9,31 @@ Over-populated buckets (very common instruction subsequences) would make
 bucket scans quadratic, so the number of fingerprint comparisons per bucket
 is capped (default 100, paper Section III-C / IV-E).
 
-Internally all fingerprints live in one ``(n, k)`` uint32 matrix so batched
-similarity evaluation is a single vectorized comparison.
+Internally all fingerprints live in one ``(n, k)`` uint32 matrix and all
+band bucket keys in one ``(n, b)`` int64 matrix, both capacity-doubled, so
+batched similarity evaluation is a single vectorized comparison and
+:meth:`LSHIndex.insert_batch` band-hashes a whole module at once.  Removal
+is lazy (tombstones); when live rows drop below half the stored rows the
+index compacts itself so long remerge runs do not degrade.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generic, Hashable, List, Optional, Set, Tuple, TypeVar
+from typing import Dict, Generic, Hashable, List, Optional, Sequence, Set, Tuple, TypeVar
 
 import numpy as np
 
+from ..fingerprint.fnv import fnv1a_32_array_u32
 from ..fingerprint.minhash import MinHashFingerprint
 
 __all__ = ["LSHIndex", "LSHQueryStats", "BucketStats"]
 
 KeyT = TypeVar("KeyT", bound=Hashable)
+
+# Compaction triggers when fewer than half the stored rows are live, but
+# never below this row count — tiny indexes are not worth rebuilding.
+_COMPACT_MIN_ROWS = 64
 
 
 @dataclass
@@ -56,17 +65,39 @@ class LSHIndex(Generic[KeyT]):
         self.rows = rows
         self.bands = bands
         self.bucket_cap = bucket_cap
+        self.compactions = 0
+        # Buckets have two layers with one insertion-order contract (batch
+        # rows first, then later single inserts):
+        #  * the *base* layer is built columnar by insert_batch — one stable
+        #    argsort over every (band, hash) key of the batch.  Bucket
+        #    membership is stored as one sorted row array plus, per original
+        #    (row, band) flat position, the [start, end) bounds of that
+        #    position's bucket — no per-bucket Python dict or list is ever
+        #    built eagerly (a key->slice dict over ~n*b/3 buckets costs more
+        #    than the argsort itself on large modules);
+        #  * the *overflow* layer is a plain dict of lists fed by insert()
+        #    for functions added after preprocessing (the remerge loop).
         self._buckets: Dict[int, List[int]] = {}
+        self._base_rows: Optional[np.ndarray] = None
+        self._base_sorted_keys: Optional[np.ndarray] = None
+        self._base_starts_flat: Optional[np.ndarray] = None
+        self._base_ends_flat: Optional[np.ndarray] = None
+        self._base_count = 0  # rows covered by the base layer
+        # Base buckets materialize into Python lists lazily, on first probe,
+        # and are memoized here keyed by slice start — probing stays a dict
+        # hit and buckets never queried never pay for list construction.
+        self._base_lists: Dict[int, List[int]] = {}
         self._keys: List[KeyT] = []
         self._row_of: Dict[KeyT, int] = {}
         self._fingerprints: List[MinHashFingerprint] = []
-        self._bands_of: List[List[int]] = []
         self._alive: List[bool] = []
         self._live_count = 0
-        # Fingerprint rows live in one capacity-doubled matrix so inserts
-        # (including merged functions re-entering the index) stay O(1)
-        # amortized and batched similarity stays a single vector op.
+        # Fingerprint rows and band bucket keys live in capacity-doubled
+        # matrices so inserts (including merged functions re-entering the
+        # index) stay O(1) amortized and batched similarity stays a single
+        # vector op.
         self._matrix_buf: Optional[np.ndarray] = None
+        self._bands_buf: Optional[np.ndarray] = None
 
     # -- maintenance -----------------------------------------------------------------
     def __len__(self) -> int:
@@ -79,12 +110,15 @@ class LSHIndex(Generic[KeyT]):
     def fingerprint(self, key: KeyT) -> MinHashFingerprint:
         return self._fingerprints[self._row_of[key]]
 
-    def insert(self, key: KeyT, fingerprint: MinHashFingerprint) -> None:
+    def _check_fingerprint(self, fingerprint: MinHashFingerprint) -> None:
         if fingerprint.config.k < self.rows * self.bands:
             raise ValueError(
                 f"fingerprint size {fingerprint.config.k} < rows*bands "
                 f"{self.rows * self.bands}"
             )
+
+    def insert(self, key: KeyT, fingerprint: MinHashFingerprint) -> None:
+        self._check_fingerprint(fingerprint)
         if key in self._row_of:
             raise ValueError(f"duplicate key {key!r}")
         row = len(self._keys)
@@ -93,40 +127,175 @@ class LSHIndex(Generic[KeyT]):
         self._fingerprints.append(fingerprint)
         self._alive.append(True)
         self._live_count += 1
-        self._append_row(fingerprint.values)
+        self._ensure_capacity(row + 1, fingerprint.config.k)
+        self._matrix_buf[row] = fingerprint.values
         hashes = fingerprint.band_hashes(self.rows)[: self.bands].astype(np.int64)
         # One integer key per band: (band_index << 32) | band_hash.
         bucket_keys = (
             (np.arange(len(hashes), dtype=np.int64) << 32) | hashes
-        ).tolist()
-        self._bands_of.append(bucket_keys)
+        )
+        self._bands_buf[row] = bucket_keys
         buckets = self._buckets
-        for bucket_key in bucket_keys:
+        for bucket_key in bucket_keys.tolist():
             bucket = buckets.get(bucket_key)
             if bucket is None:
                 buckets[bucket_key] = [row]
             else:
                 bucket.append(row)
 
+    def insert_batch(
+        self, keys: Sequence[KeyT], fingerprints: Sequence[MinHashFingerprint]
+    ) -> None:
+        """Insert many members at once, band-hashing them in one pass.
+
+        Equivalent to (and bit-identical with) inserting the pairs one by
+        one in order, but the band hashes of the whole batch are one
+        vectorized FNV-1a call and the fingerprint matrix is copied in
+        bulk.
+        """
+        if len(keys) != len(fingerprints):
+            raise ValueError("keys and fingerprints must have equal length")
+        n = len(keys)
+        if n == 0:
+            return
+        for key in keys:
+            if key in self._row_of:
+                raise ValueError(f"duplicate key {key!r}")
+        if len(set(keys)) != n:
+            raise ValueError("duplicate key inside batch")
+        for fp in fingerprints:
+            self._check_fingerprint(fp)
+
+        base_row = len(self._keys)
+        k = fingerprints[0].config.k
+        self._ensure_capacity(base_row + n, k)
+        values = np.stack([fp.values for fp in fingerprints])
+        self._matrix_buf[base_row : base_row + n] = values
+
+        b, r = self.bands, self.rows
+        usable = values[:, : b * r].reshape(n * b, r)
+        hashes = fnv1a_32_array_u32(usable).astype(np.int64).reshape(n, b)
+        bucket_keys = (np.arange(b, dtype=np.int64)[None, :] << 32) | hashes
+        self._bands_buf[base_row : base_row + n] = bucket_keys
+
+        for offset, key in enumerate(keys):
+            row = base_row + offset
+            self._keys.append(key)
+            self._row_of[key] = row
+            self._alive.append(True)
+        self._fingerprints.extend(fingerprints)
+        self._live_count += n
+
+        if base_row == 0 and not self._buckets and self._base_sorted_keys is None:
+            # Columnar base layer: group all n*b (band, hash) keys with one
+            # stable argsort.  Row-major flattening keeps rows ascending
+            # within a bucket, i.e. exactly the sequential-insert order.
+            self._build_base(bucket_keys)
+        else:
+            buckets = self._buckets
+            for offset, row_keys in enumerate(bucket_keys.tolist()):
+                row = base_row + offset
+                for bucket_key in row_keys:
+                    bucket = buckets.get(bucket_key)
+                    if bucket is None:
+                        buckets[bucket_key] = [row]
+                    else:
+                        bucket.append(row)
+
     def remove(self, key: KeyT) -> None:
-        """Lazily remove *key*; it stops appearing in query results."""
+        """Lazily remove *key*; it stops appearing in query results.
+
+        When tombstones outnumber live rows the index compacts itself.
+        """
         row = self._row_of.get(key)
         if row is not None and self._alive[row]:
             self._alive[row] = False
             self._live_count -= 1
+            if (
+                len(self._keys) >= _COMPACT_MIN_ROWS
+                and self._live_count * 2 < len(self._keys)
+            ):
+                self.compact()
 
-    def _append_row(self, values: np.ndarray) -> None:
-        n = len(self._fingerprints) - 1
+    def compact(self) -> None:
+        """Drop tombstoned rows and rebuild the bucket map.
+
+        Relative insertion order of live rows is preserved, so the
+        cap-window semantics of over-populated buckets stay stable.
+        Removed keys are forgotten entirely (their rows, fingerprints and
+        key mappings are freed).
+        """
+        survivors = [row for row, alive in enumerate(self._alive) if alive]
+        n = len(survivors)
+        self._keys = [self._keys[row] for row in survivors]
+        self._fingerprints = [self._fingerprints[row] for row in survivors]
+        self._alive = [True] * n
+        self._row_of = {key: row for row, key in enumerate(self._keys)}
+        if self._matrix_buf is not None:
+            idx = np.array(survivors, dtype=np.int64)
+            self._matrix_buf[:n] = self._matrix_buf[idx]
+            self._bands_buf[:n] = self._bands_buf[idx]
+        self._buckets = {}
+        self._base_rows = None
+        self._base_sorted_keys = None
+        self._base_starts_flat = None
+        self._base_ends_flat = None
+        self._base_count = 0
+        self._base_lists = {}
+        if n:
+            self._build_base(self._bands_buf[:n])
+        self.compactions += 1
+
+    def _build_base(self, bucket_keys: np.ndarray) -> None:
+        """Columnar bucket layer for rows ``0..n-1`` from their band keys."""
+        n, b = bucket_keys.shape
+        self._base_lists = {}
+        flat_keys = bucket_keys.ravel()
+        order = np.argsort(flat_keys, kind="stable")
+        sorted_keys = flat_keys[order]
+        self._base_rows = order // b
+        boundaries = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+        starts = np.concatenate([np.zeros(1, dtype=np.int64), boundaries])
+        ends = np.concatenate(
+            [boundaries, np.array([sorted_keys.shape[0]], dtype=np.int64)]
+        )
+        # Scatter each bucket's [start, end) bounds back to every flat
+        # (row, band) position that belongs to it: a probing row reads its
+        # own bucket's bounds straight from its flat position, no key
+        # lookup.  Post-batch rows (and diagnostics) instead binary-search
+        # `_base_sorted_keys` — rare, and O(log) per key.
+        counts = ends - starts
+        starts_flat = np.empty(order.shape[0], dtype=np.int64)
+        starts_flat[order] = np.repeat(starts, counts)
+        ends_flat = np.empty(order.shape[0], dtype=np.int64)
+        ends_flat[order] = np.repeat(ends, counts)
+        self._base_sorted_keys = sorted_keys
+        self._base_starts_flat = starts_flat
+        self._base_ends_flat = ends_flat
+        self._base_count = n
+
+    def _ensure_capacity(self, rows_needed: int, k: int) -> None:
         if self._matrix_buf is None:
-            self._matrix_buf = np.empty((256, values.shape[0]), dtype=np.uint32)
-        elif n >= self._matrix_buf.shape[0]:
-            grown = np.empty(
-                (self._matrix_buf.shape[0] * 2, self._matrix_buf.shape[1]),
-                dtype=np.uint32,
-            )
-            grown[:n] = self._matrix_buf[:n]
-            self._matrix_buf = grown
-        self._matrix_buf[n] = values
+            capacity = 256
+            while capacity < rows_needed:
+                capacity *= 2
+            self._matrix_buf = np.empty((capacity, k), dtype=np.uint32)
+            self._bands_buf = np.empty((capacity, self.bands), dtype=np.int64)
+            return
+        capacity = self._matrix_buf.shape[0]
+        if rows_needed <= capacity:
+            return
+        # insert() may append bookkeeping before growing, so clamp to the
+        # rows that actually exist in the old buffer.
+        used = min(len(self._fingerprints), capacity)
+        while capacity < rows_needed:
+            capacity *= 2
+        grown = np.empty((capacity, self._matrix_buf.shape[1]), dtype=np.uint32)
+        grown[:used] = self._matrix_buf[:used]
+        self._matrix_buf = grown
+        grown_bands = np.empty((capacity, self.bands), dtype=np.int64)
+        grown_bands[:used] = self._bands_buf[:used]
+        self._bands_buf = grown_bands
 
     def _matrix(self) -> np.ndarray:
         if self._matrix_buf is None:
@@ -154,21 +323,91 @@ class LSHIndex(Generic[KeyT]):
         keys = self._keys
         return [(keys[row], float(s)) for row, s in zip(candidates, sims)]
 
+    def _base_slice_of_key(self, bucket_key: int) -> Optional[Tuple[int, int]]:
+        """Locate a bucket in the base layer by key (binary search).
+
+        Only post-batch rows and diagnostics come through here; batch rows
+        read their own buckets' bounds from their flat positions instead.
+        """
+        sk = self._base_sorted_keys
+        if sk is None:
+            return None
+        start = int(np.searchsorted(sk, bucket_key, "left"))
+        if start == sk.shape[0] or int(sk[start]) != bucket_key:
+            return None
+        end = int(np.searchsorted(sk, bucket_key, "right"))
+        return start, end
+
+    def _base_members(self, start: int, end: int) -> List[int]:
+        """The base-layer member list of a bucket, materialized+memoized.
+
+        Slice starts are unique per bucket, so they double as memo keys.
+        """
+        cached = self._base_lists.get(start)
+        if cached is not None:
+            return cached
+        members = self._base_rows[start:end].tolist()
+        self._base_lists[start] = members
+        return members
+
+    def _bucket_members(
+        self, bucket_key: int, cap: Optional[int]
+    ) -> Tuple[Sequence[int], int]:
+        """Up to *cap* members of a bucket (insertion order) and its full size.
+
+        Base-layer members come first (ascending batch rows), then overflow
+        members in single-insert order — together exactly the order a
+        sequential insert of the same functions would have produced.
+        """
+        slc = self._base_slice_of_key(bucket_key)
+        base = self._base_members(*slc) if slc is not None else None
+        overflow = self._buckets.get(bucket_key)
+        if base is None:
+            members: Sequence[int] = overflow if overflow is not None else ()
+        elif overflow:
+            members = base + overflow
+        else:
+            members = base
+        total = len(members)
+        if cap is not None and total > cap:
+            return members[:cap], total
+        return members, total
+
     def _candidate_rows(self, me: int, stats: LSHQueryStats) -> List[int]:
         alive = self._alive
         cap = self.bucket_cap
         seen: Set[int] = {me}
         candidates: List[int] = []
-        for bucket_key in self._bands_of[me]:
-            members = self._buckets.get(bucket_key, ())
+        row_keys = self._bands_buf[me].tolist()
+        if me < self._base_count:
+            # Batch row: its buckets' [start, end) bounds sit at its own
+            # flat positions — two small tolists, no per-key lookup.
+            flat = me * self.bands
+            bounds = zip(
+                self._base_starts_flat[flat : flat + self.bands].tolist(),
+                self._base_ends_flat[flat : flat + self.bands].tolist(),
+            )
+        else:
+            bounds = None
+        for bucket_key in row_keys:
             stats.buckets_probed += 1
             # The cap bounds how much of an over-populated bucket we are
             # willing to scan: entries beyond the window are never examined
             # (Section III-C: "we limit the number of fingerprint
             # comparisons per bucket to 100").
-            if cap is not None and len(members) > cap:
-                stats.capped_buckets += 1
-                members = members[:cap]
+            if bounds is not None:
+                start, end = next(bounds)
+                base = self._base_members(start, end)
+                overflow = self._buckets.get(bucket_key)
+                members: Sequence[int] = base + overflow if overflow else base
+                total = len(members)
+                if cap is not None and total > cap:
+                    members = members[:cap]
+                    stats.capped_buckets += 1
+            else:
+                members, total = self._bucket_members(bucket_key, cap)
+                if cap is not None and total > cap:
+                    stats.capped_buckets += 1
             for row in members:
                 if row in seen or not alive[row]:
                     continue
@@ -198,14 +437,24 @@ class LSHIndex(Generic[KeyT]):
 
     # -- diagnostics ------------------------------------------------------------------
     def bucket_stats(self) -> BucketStats:
-        populations = sorted(
-            (
-                sum(1 for row in members if self._alive[row])
-                for members in self._buckets.values()
-            ),
-            reverse=True,
-        )
-        populations = [p for p in populations if p > 0]
+        sk = self._base_sorted_keys
+        if sk is not None and sk.shape[0]:
+            # Live population of every base bucket in one segmented sum.
+            alive_rows = np.asarray(self._alive, dtype=np.int64)[self._base_rows]
+            first = np.empty(sk.shape[0], dtype=bool)
+            first[0] = True
+            np.not_equal(sk[1:], sk[:-1], out=first[1:])
+            starts = np.flatnonzero(first)
+            base_pops = np.add.reduceat(alive_rows, starts)
+            uniq = sk[starts]
+            by_key = dict(zip(uniq.tolist(), base_pops.tolist()))
+        else:
+            by_key = {}
+        for bucket_key, rows in self._buckets.items():
+            live = sum(1 for row in rows if self._alive[row])
+            by_key[bucket_key] = by_key.get(bucket_key, 0) + live
+        pops = list(by_key.values())
+        populations = sorted((p for p in pops if p > 0), reverse=True)
         return BucketStats(
             total_buckets=len(populations),
             max_population=populations[0] if populations else 0,

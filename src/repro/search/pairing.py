@@ -6,13 +6,23 @@ Two interchangeable rankers drive the merging pass:
   opcode-frequency fingerprints (the state of the art F3M improves on).
 * :class:`MinHashLSHRanker` — F3M: MinHash fingerprints searched through a
   banded LSH index, in static (fixed k/r/b/t) or adaptive configuration.
+  Preprocessing runs through the batched fingerprint engine
+  (:func:`repro.fingerprint.batch.minhash_module`) by default, optionally
+  backed by a content-addressed :class:`FingerprintCache` and a process
+  pool; ``batched=False`` keeps the per-function reference path (used by
+  the perf bench as the baseline).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+import numpy as np
+
+from ..fingerprint.batch import minhash_module, minhash_single
+from ..fingerprint.cache import FingerprintCache
 from ..fingerprint.encoding import EncodingOptions
 from ..fingerprint.minhash import MinHashConfig, MinHashFingerprint, minhash_function
 from ..fingerprint.opcode_freq import OpcodeFingerprint, fingerprint_function
@@ -27,6 +37,11 @@ __all__ = [
     "ExhaustiveRanker",
     "MinHashLSHRanker",
 ]
+
+# ExhaustiveRanker compaction threshold, mirroring LSHIndex: rebuild when
+# live rows drop below half of the stored rows (and the matrix is big
+# enough for the rebuild to matter).
+_COMPACT_MIN_ROWS = 64
 
 
 @dataclass
@@ -75,6 +90,13 @@ class Ranker:
     def stats(self) -> RankingStats:
         raise NotImplementedError
 
+    @property
+    def preprocess_breakdown(self) -> Dict[str, float]:
+        """Preprocessing time split by stage (fingerprint/index), when the
+        ranker tracks it; the profiler falls back to the pass-level
+        preprocess total otherwise."""
+        return {}
+
 
 class ExhaustiveRanker(Ranker):
     """HyFM ranking: compare each function against *all* other functions.
@@ -82,16 +104,21 @@ class ExhaustiveRanker(Ranker):
     The nearest neighbour under Manhattan distance of opcode-frequency
     vectors is the merge candidate.  O(n²) fingerprint comparisons — the
     scaling wall shown in the paper's Figure 3.
+
+    Removal frees the per-function bookkeeping immediately and compacts
+    the distance matrix when live rows drop below half of the stored rows,
+    so long remerge runs do not scan (or retain) dead rows forever.
     """
 
     name = "hyfm"
 
     def __init__(self) -> None:
         self._fingerprints: Dict[int, OpcodeFingerprint] = {}
-        self._functions: List[Function] = []
+        self._functions: List[Optional[Function]] = []
         self._index_of: Dict[int, int] = {}
         self._matrix = None  # (n, dims) opcode-count matrix
         self._live = None  # boolean mask
+        self._live_count = 0
         self._stats = RankingStats()
 
     def preprocess(self, functions: List[Function]) -> None:
@@ -99,8 +126,6 @@ class ExhaustiveRanker(Ranker):
             self.insert(func)
 
     def insert(self, func: Function) -> None:
-        import numpy as np
-
         fp = fingerprint_function(func)
         self._fingerprints[id(func)] = fp
         index = len(self._functions)
@@ -119,10 +144,9 @@ class ExhaustiveRanker(Ranker):
             self._live = grown_live
         self._matrix[index] = fp.counts
         self._live[index] = True
+        self._live_count += 1
 
     def best_match(self, func: Function) -> Optional[Match]:
-        import numpy as np
-
         self._stats.queries += 1
         n = len(self._functions)
         me = self._index_of[id(func)]
@@ -141,9 +165,36 @@ class ExhaustiveRanker(Ranker):
         return Match(best, fp.similarity(self._fingerprints[id(best)]))
 
     def remove(self, func: Function) -> None:
-        idx = self._index_of.get(id(func))
-        if idx is not None and self._live is not None:
+        idx = self._index_of.pop(id(func), None)
+        if idx is None or self._live is None:
+            return
+        if self._live[idx]:
             self._live[idx] = False
+            self._live_count -= 1
+        # Free the per-function entries immediately: dead rows must not pin
+        # Function objects or fingerprints (id() reuse would then alias a
+        # new function onto a stale entry).
+        self._fingerprints.pop(id(func), None)
+        self._functions[idx] = None
+        if (
+            len(self._functions) >= _COMPACT_MIN_ROWS
+            and self._live_count * 2 < len(self._functions)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        n = len(self._functions)
+        survivors = [i for i in range(n) if self._live[i]]
+        self._functions = [self._functions[i] for i in survivors]
+        self._index_of = {
+            id(func): row for row, func in enumerate(self._functions)
+        }
+        keep = np.array(survivors, dtype=np.int64)
+        m = keep.shape[0]
+        if m:
+            self._matrix[:m] = self._matrix[keep]
+        self._live[:m] = True
+        self._live[m:] = False
 
     def similarity(self, a: Function, b: Function) -> float:
         return self._fingerprints[id(a)].similarity(self._fingerprints[id(b)])
@@ -159,6 +210,13 @@ class MinHashLSHRanker(Ranker):
     ``adaptive=True`` derives (t, r, b) — and thus k — from the module's
     function count per Section III-D; otherwise the static defaults
     (k=200, r=2, b=100, t=0) apply unless overridden.
+
+    ``batched`` (default) fingerprints the whole module through the
+    vectorized batch engine and bulk-inserts into the LSH index; both are
+    bit-identical to the per-function path, which stays available as the
+    perf-bench baseline.  ``cache`` shares fingerprints content-addressed
+    across runs and partitions; ``workers`` fans large modules out over a
+    process pool.
     """
 
     name = "f3m"
@@ -172,6 +230,9 @@ class MinHashLSHRanker(Ranker):
         threshold: float = 0.0,
         adaptive: bool = False,
         encoding: Optional[EncodingOptions] = None,
+        batched: bool = True,
+        cache: Optional[FingerprintCache] = None,
+        workers: Optional[int] = None,
     ) -> None:
         self._requested_config = config
         self.rows = rows
@@ -180,11 +241,15 @@ class MinHashLSHRanker(Ranker):
         self.threshold = threshold
         self.adaptive = adaptive
         self.encoding = encoding or EncodingOptions()
+        self.batched = batched
+        self.cache = cache
+        self.workers = workers
         self.config: Optional[MinHashConfig] = None
         self.parameters: Optional[AdaptiveParameters] = None
         self._index: Optional[LSHIndex] = None
         self._functions: Dict[int, Function] = {}
         self._stats = RankingStats()
+        self._breakdown: Dict[str, float] = {}
         if adaptive:
             self.name = "f3m-adaptive"
 
@@ -206,12 +271,31 @@ class MinHashLSHRanker(Ranker):
             self.config = self._requested_config or MinHashConfig()
             bands = self.bands if self.bands is not None else self.config.k // self.rows
         self._index = LSHIndex(rows=self.rows, bands=bands, bucket_cap=self.bucket_cap)
+        if not self.batched:
+            for func in functions:
+                self.insert(func)
+            return
+        t0 = time.perf_counter()
+        fingerprints = minhash_module(
+            functions,
+            self.config,
+            self.encoding,
+            cache=self.cache,
+            workers=self.workers,
+        )
+        t1 = time.perf_counter()
+        self._index.insert_batch([id(f) for f in functions], fingerprints)
         for func in functions:
-            self.insert(func)
+            self._functions[id(func)] = func
+        t2 = time.perf_counter()
+        self._breakdown = {"fingerprint": t1 - t0, "index": t2 - t1}
 
     def insert(self, func: Function) -> None:
         assert self._index is not None, "preprocess() must run first"
-        fp = minhash_function(func, self.config, self.encoding)
+        if self.batched:
+            fp = minhash_single(func, self.config, self.encoding, cache=self.cache)
+        else:
+            fp = minhash_function(func, self.config, self.encoding)
         self._index.insert(id(func), fp)
         self._functions[id(func)] = func
 
@@ -246,3 +330,7 @@ class MinHashLSHRanker(Ranker):
     @property
     def stats(self) -> RankingStats:
         return self._stats
+
+    @property
+    def preprocess_breakdown(self) -> Dict[str, float]:
+        return dict(self._breakdown)

@@ -1,0 +1,172 @@
+"""Bit-identity of the batched fingerprint engine vs the reference path.
+
+The batched engine's whole contract is "same bits, fewer array calls":
+every test here compares it against the per-function reference path —
+property-tested across random streams and MinHash configurations,
+plus the IR-level entry points over generated workloads.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.fingerprint import (
+    EncodingOptions,
+    FingerprintCache,
+    MinHashConfig,
+    MinHashFingerprint,
+    encode_function,
+    encode_module,
+    exact_jaccard,
+    minhash_encoded_batch,
+    minhash_function,
+    minhash_module,
+    minhash_single,
+)
+from repro.workloads import build_workload
+
+
+def _functions(n=40, tag="batch"):
+    return build_workload(n, tag).defined_functions()
+
+
+def _assert_rows_match(values, counts, streams, config):
+    for i, stream in enumerate(streams):
+        ref = MinHashFingerprint.from_encoded(stream, config)
+        assert np.array_equal(values[i], ref.values), f"row {i} differs"
+        assert int(counts[i]) == ref.num_shingles
+
+
+def _pack(streams):
+    lens = np.array([len(s) for s in streams], dtype=np.int64)
+    flat = np.array([v for s in streams for v in s], dtype=np.uint64)
+    return flat, lens
+
+
+configs = st.builds(
+    MinHashConfig,
+    k=st.integers(min_value=1, max_value=64),
+    shingle_size=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**20),
+    independent_hashes=st.booleans(),
+)
+streams = st.lists(
+    st.lists(st.integers(min_value=0, max_value=2**32 - 1), max_size=24),
+    max_size=12,
+)
+
+
+class TestEncodedBatchProperty:
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    @given(streams=streams, config=configs)
+    def test_bit_identical_to_reference(self, streams, config):
+        """minhash_encoded_batch == from_encoded per stream, for any config
+        — including empty streams and streams shorter than the shingle."""
+        flat, lens = _pack(streams)
+        values, counts = minhash_encoded_batch(flat, lens, config)
+        assert values.shape == (len(streams), config.k)
+        _assert_rows_match(values, counts, streams, config)
+
+    @settings(max_examples=30, deadline=None, derandomize=True)
+    @given(
+        common=st.lists(st.integers(min_value=0, max_value=1000), min_size=12, max_size=60),
+        extra_a=st.lists(st.integers(min_value=2000, max_value=3000), max_size=20),
+        extra_b=st.lists(st.integers(min_value=4000, max_value=5000), max_size=20),
+    )
+    def test_similarity_estimates_jaccard(self, common, extra_a, extra_b):
+        """Batched MinHash similarity lands within 3/sqrt(k) of the exact
+        Jaccard index (the paper's estimator-error envelope).  The bound
+        assumes near-independent samples, which needs a non-degenerate
+        shingle population (see the matching guard in test_minhash.py)."""
+        from repro.fingerprint import shingle_set
+
+        config = MinHashConfig(k=200)
+        a, b = common + extra_a, common + extra_b
+        assume(len(shingle_set(a, config.shingle_size)) >= 10)
+        assume(len(shingle_set(b, config.shingle_size)) >= 10)
+        flat, lens = _pack([a, b])
+        values, counts = minhash_encoded_batch(flat, lens, config)
+        fa = MinHashFingerprint(values[0], config, int(counts[0]))
+        fb = MinHashFingerprint(values[1], config, int(counts[1]))
+        truth = exact_jaccard(a, b, config.shingle_size)
+        assert abs(fa.similarity(fb) - truth) <= 3.0 / np.sqrt(config.k)
+
+
+class TestEncodeModule:
+    def test_matches_encode_function(self):
+        funcs = _functions()
+        flat, lens = encode_module(funcs)
+        offsets = np.cumsum(lens) - lens
+        for i, func in enumerate(funcs):
+            ref = encode_function(func)
+            got = flat[offsets[i] : offsets[i] + lens[i]].tolist()
+            assert got == ref, func.name
+
+    def test_predicate_ablation_falls_back_identically(self):
+        funcs = _functions(20, "pred")
+        options = EncodingOptions(include_predicates=True)
+        flat, lens = encode_module(funcs, options)
+        offsets = np.cumsum(lens) - lens
+        for i, func in enumerate(funcs):
+            ref = encode_function(func, options)
+            assert flat[offsets[i] : offsets[i] + lens[i]].tolist() == ref
+
+    def test_empty_input(self):
+        flat, lens = encode_module([])
+        assert flat.size == 0 and lens.size == 0
+
+
+class TestMinhashModule:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            MinHashConfig(),
+            MinHashConfig(k=16, shingle_size=1),
+            MinHashConfig(k=64, shingle_size=3),
+            MinHashConfig(k=32, independent_hashes=True),
+        ],
+    )
+    def test_matches_minhash_function(self, config):
+        funcs = _functions()
+        batched = minhash_module(funcs, config)
+        for func, fp in zip(funcs, batched):
+            ref = minhash_function(func, config)
+            assert np.array_equal(fp.values, ref.values), func.name
+            assert fp.num_shingles == ref.num_shingles
+
+    def test_cache_returns_identical_fingerprints(self):
+        funcs = _functions()
+        config = MinHashConfig(k=48)
+        cache = FingerprintCache()
+        cached = minhash_module(funcs, config, cache=cache)
+        plain = minhash_module(funcs, config)
+        for a, b in zip(cached, plain):
+            assert np.array_equal(a.values, b.values)
+            assert a.num_shingles == b.num_shingles
+        # Re-running over the same module hits for every unique body.
+        before = cache.stats.hits
+        minhash_module(funcs, config, cache=cache)
+        assert cache.stats.hits > before
+        assert cache.stats.hit_rate > 0
+
+    def test_pool_path_identical(self):
+        funcs = _functions(30, "pool")
+        config = MinHashConfig(k=24)
+        parallel = minhash_module(funcs, config, workers=2, min_parallel=1)
+        serial = minhash_module(funcs, config)
+        for a, b in zip(parallel, serial):
+            assert np.array_equal(a.values, b.values)
+            assert a.num_shingles == b.num_shingles
+
+    def test_minhash_single_matches_and_caches(self):
+        funcs = _functions(10, "single")
+        config = MinHashConfig(k=40)
+        cache = FingerprintCache()
+        for func in funcs:
+            got = minhash_single(func, config, cache=cache)
+            ref = minhash_function(func, config)
+            assert np.array_equal(got.values, ref.values)
+        # Identical bodies (or repeat calls) now hit.
+        minhash_single(funcs[0], config, cache=cache)
+        assert cache.stats.hits >= 1

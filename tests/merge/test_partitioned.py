@@ -77,3 +77,38 @@ class TestPartitionedMerging:
         assert len(report.reports) == 3
         assert report.merges == sum(r.merges for r in report.reports)
         assert report.total_time > 0
+
+
+class TestPrewarmedCache:
+    def test_prewarm_preserves_results_and_hits(self):
+        from repro.fingerprint import FingerprintCache
+
+        baseline = partitioned_merging(build_workload(120, "warm"), 4)
+        cache = FingerprintCache()
+        warmed = partitioned_merging(
+            build_workload(120, "warm"), 4, cache=cache, prewarm=True
+        )
+        # Same merge outcome, with the module fingerprinted once up front.
+        assert warmed.merges == baseline.merges
+        assert warmed.size_reduction == baseline.size_reduction
+        assert warmed.prewarm_time > 0
+        assert warmed.cache_stats is not None
+        assert warmed.cache_stats["hits"] > 0
+
+    def test_prewarm_without_explicit_cache(self):
+        report = partitioned_merging(build_workload(60, "warm2"), 3, prewarm=True)
+        assert report.cache_stats is not None
+        assert report.cache_stats["hits"] > 0
+
+    def test_adaptive_factory_skips_prewarm(self):
+        from repro.search import MinHashLSHRanker
+
+        report = partitioned_merging(
+            build_workload(60, "warm3"),
+            3,
+            ranker_factory=lambda: MinHashLSHRanker(adaptive=True),
+            prewarm=True,
+        )
+        # No static config to prewarm with: prewarm is skipped, merging runs.
+        assert report.prewarm_time == 0.0
+        assert report.reports

@@ -134,3 +134,100 @@ class TestBandingProbability:
                 hits += 1
         expected = lsh_match_probability(target_sim, rows, bands)
         assert hits / trials == pytest.approx(expected, abs=0.25)
+
+
+class TestInsertBatch:
+    def _random_fps(self, n, seed=3, k=200):
+        rng = np.random.default_rng(seed)
+        fps = []
+        for i in range(n):
+            base = list(rng.integers(0, 400, size=30))
+            fps.append(fp(base, k=k))
+        return fps
+
+    def test_equivalent_to_sequential_inserts(self):
+        fps = self._random_fps(80)
+        batch = LSHIndex(rows=2, bands=100)
+        batch.insert_batch([f"k{i}" for i in range(80)], fps)
+        seq = LSHIndex(rows=2, bands=100)
+        for i, f in enumerate(fps):
+            seq.insert(f"k{i}", f)
+        assert len(batch) == len(seq) == 80
+        for i in range(80):
+            key = f"k{i}"
+            sa, sb = LSHQueryStats(), LSHQueryStats()
+            assert batch.best_match(key, sa) == seq.best_match(key, sb)
+            assert sa.buckets_probed == sb.buckets_probed
+            assert sa.candidates_seen == sb.candidates_seen
+            assert sa.capped_buckets == sb.capped_buckets
+        ba, bb = batch.bucket_stats(), seq.bucket_stats()
+        assert ba.populations == bb.populations
+
+    def test_single_inserts_layer_on_top_of_batch(self):
+        fps = self._random_fps(20, seed=9)
+        index = LSHIndex(rows=2, bands=100)
+        index.insert_batch([f"k{i}" for i in range(19)], fps[:19])
+        index.insert("late", fps[19])
+        # A duplicate of an early member inserted late is still found.
+        index.insert("clone", fps[0])
+        result = index.best_match("clone")
+        assert result is not None and result[0] == "k0" and result[1] == 1.0
+        assert "late" in index
+
+    def test_duplicate_key_in_batch_rejected(self):
+        fps = self._random_fps(2)
+        index = LSHIndex()
+        with pytest.raises(ValueError):
+            index.insert_batch(["a", "a"], fps)
+
+    def test_duplicate_of_existing_key_rejected(self):
+        fps = self._random_fps(2)
+        index = LSHIndex()
+        index.insert("a", fps[0])
+        with pytest.raises(ValueError):
+            index.insert_batch(["a"], [fps[1]])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LSHIndex().insert_batch(["a"], [])
+
+    def test_empty_batch_is_noop(self):
+        index = LSHIndex()
+        index.insert_batch([], [])
+        assert len(index) == 0
+
+
+class TestCompaction:
+    def test_removals_trigger_compaction(self):
+        fps = TestInsertBatch()._random_fps(100, seed=5)
+        index = LSHIndex(rows=2, bands=100)
+        index.insert_batch([f"k{i}" for i in range(100)], fps)
+        for i in range(60):
+            index.remove(f"k{i}")
+        assert index.compactions >= 1
+        assert len(index) == 40
+        # Removed keys are forgotten entirely; survivors still query fine.
+        assert "k0" not in index
+        for i in range(60, 100):
+            assert f"k{i}" in index
+        survivors = LSHIndex(rows=2, bands=100)
+        for i in range(60, 100):
+            survivors.insert(f"k{i}", fps[i])
+        for i in range(60, 100):
+            assert index.best_match(f"k{i}") == survivors.best_match(f"k{i}")
+
+    def test_inserts_after_compaction(self):
+        fps = TestInsertBatch()._random_fps(80, seed=7)
+        index = LSHIndex(rows=2, bands=100)
+        index.insert_batch([f"k{i}" for i in range(70)], fps[:70])
+        for i in range(50):
+            index.remove(f"k{i}")
+        assert index.compactions >= 1
+        for i in range(70, 80):
+            index.insert(f"k{i}", fps[i])
+        assert len(index) == 30
+        # A post-compaction insert of a surviving member's twin is found.
+        index.insert("clone-of-60", fps[60])
+        result = index.best_match("clone-of-60")
+        assert result is not None
+        assert result[0] == "k60" and result[1] == 1.0

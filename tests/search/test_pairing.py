@@ -113,3 +113,102 @@ class TestMinHashLSHRanker:
         ranker = MinHashLSHRanker()
         with pytest.raises(AssertionError):
             ranker.best_match(build_diamond(module))
+
+
+class TestExhaustiveRankerBookkeeping:
+    def _many(self, n=80):
+        from repro.workloads import build_workload
+
+        return build_workload(n, "exh").defined_functions()
+
+    def test_remove_frees_entries(self, module):
+        funcs = _population(module)
+        ranker = ExhaustiveRanker()
+        ranker.preprocess(funcs)
+        assert len(ranker._fingerprints) == len(funcs)
+        ranker.remove(funcs[0])
+        # No leaked fingerprint/index entries for removed functions.
+        assert id(funcs[0]) not in ranker._fingerprints
+        assert id(funcs[0]) not in ranker._index_of
+        assert len(ranker._fingerprints) == len(funcs) - 1
+
+    def test_compaction_when_mostly_dead(self):
+        funcs = self._many()
+        ranker = ExhaustiveRanker()
+        ranker.preprocess(funcs)
+        rows_before = len(ranker._functions)
+        for func in funcs[: int(len(funcs) * 0.7)]:
+            ranker.remove(func)
+        # The matrix compacted: stored rows shrank, and dead rows never
+        # outnumber live ones while the matrix is big enough to rebuild.
+        assert len(ranker._functions) < rows_before
+        assert ranker._live_count <= len(ranker._functions)
+        assert len(ranker._functions) <= max(64, 2 * ranker._live_count)
+        survivors = funcs[int(len(funcs) * 0.7) :]
+        for func in survivors:
+            match = ranker.best_match(func)
+            if match is not None:
+                assert match.function in survivors
+
+    def test_results_unchanged_by_compaction(self):
+        funcs = self._many()
+        removed, kept = funcs[:60], funcs[60:]
+        compacted = ExhaustiveRanker()
+        compacted.preprocess(funcs)
+        for func in removed:
+            compacted.remove(func)
+        fresh = ExhaustiveRanker()
+        fresh.preprocess(kept)
+        for func in kept:
+            a, b = compacted.best_match(func), fresh.best_match(func)
+            if a is None or b is None:
+                assert a is None and b is None
+            else:
+                assert a.function is b.function
+                assert a.similarity == b.similarity
+
+
+class TestBatchedRanker:
+    def _funcs(self, n=60):
+        from repro.workloads import build_workload
+
+        return build_workload(n, "batched").defined_functions()
+
+    def test_batched_matches_per_function_ranking(self):
+        funcs = self._funcs()
+        batched = MinHashLSHRanker(batched=True)
+        batched.preprocess(funcs)
+        loop = MinHashLSHRanker(batched=False)
+        loop.preprocess(funcs)
+        for func in funcs:
+            a, b = batched.best_match(func), loop.best_match(func)
+            if a is None or b is None:
+                assert a is None and b is None
+            else:
+                assert a.function is b.function
+                assert a.similarity == b.similarity
+
+    def test_preprocess_breakdown_reported(self):
+        funcs = self._funcs(20)
+        ranker = MinHashLSHRanker()
+        ranker.preprocess(funcs)
+        breakdown = ranker.preprocess_breakdown
+        assert set(breakdown) == {"fingerprint", "index"}
+        assert all(v >= 0 for v in breakdown.values())
+        # The per-function path has no split to report.
+        loop = MinHashLSHRanker(batched=False)
+        loop.preprocess(funcs)
+        assert loop.preprocess_breakdown == {}
+
+    def test_batched_insert_uses_cache(self):
+        from repro.fingerprint import FingerprintCache
+
+        funcs = self._funcs(20)
+        cache = FingerprintCache()
+        ranker = MinHashLSHRanker(cache=cache)
+        ranker.preprocess(funcs)
+        assert cache.stats.misses > 0
+        # insert() of a function with a known body hits the cache.
+        extra = MinHashLSHRanker(cache=cache)
+        extra.preprocess(funcs[:1])
+        assert cache.stats.hits > 0
