@@ -1,0 +1,70 @@
+"""Performance-regression gates for the attempt-stage engine.
+
+Tier-2 + ``perf`` marked: these assert *timing* relationships, so they are
+excluded from the default (tier-1) run and should be exercised on a quiet
+machine::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_attempt_perf_regression.py -m perf --no-header
+
+The margins are deliberately conservative (the measured warm batched
+alignment advantage at 600+ functions is ~8-9x; the gate asserts 2.5x) so
+scheduler noise on a loaded box does not produce false alarms, while a
+real regression — losing the plan cache, or breaking the scalar block
+keys — still trips them.  Identity assertions, by contrast, are exact:
+the engine must never change a decision to go faster.
+"""
+
+import pytest
+
+from repro.harness.profile import alignment_microbench, _merged_pairs
+from repro.ir.printer import print_module
+from repro.merge.pass_ import FunctionMergingPass, PassConfig
+from repro.search.pairing import ExhaustiveRanker
+from repro.workloads import build_workload
+
+pytestmark = [pytest.mark.tier2, pytest.mark.perf]
+
+_SIZE = 600
+
+
+@pytest.fixture(scope="module")
+def functions():
+    return build_workload(_SIZE, "attemptgate").defined_functions()
+
+
+class TestBatchedAlignmentBeatsPure:
+    @pytest.mark.parametrize("strategy", ["linear", "nw"])
+    def test_warm_alignment_speedup(self, functions, strategy):
+        micro = alignment_microbench(functions, strategy=strategy, repeats=3)
+        # Decision identity first: speed means nothing if decisions drift.
+        assert micro["bit_identical"] is True
+        # Warm (steady-state: engine shared across attempts, remerge
+        # rounds and partitions, as the pass actually uses it).
+        assert micro["speedup_warm"] >= 2.5, micro
+
+
+class TestBoundSavesWorkWithoutChangingDecisions:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        out = {}
+        for bound in (True, False):
+            module = build_workload(150, "attemptgate-bound")
+            config = PassConfig(verify=False, prealign_bound=bound)
+            report = FunctionMergingPass(ExhaustiveRanker(), config).run(module)
+            out[bound] = (print_module(module), report)
+        return out
+
+    def test_bound_reduces_attempted_alignments(self, reports):
+        _, bounded = reports[True]
+        _, unbounded = reports[False]
+        aligned_bounded = sum(1 for a in bounded.attempts if a.align_time > 0)
+        aligned_unbounded = sum(1 for a in unbounded.attempts if a.align_time > 0)
+        assert bounded.outcome_counts()["rejected_bound"] > 0
+        assert aligned_bounded < aligned_unbounded
+
+    def test_decisions_identical(self, reports):
+        text_bounded, bounded = reports[True]
+        text_unbounded, unbounded = reports[False]
+        assert text_bounded == text_unbounded
+        assert bounded.merges == unbounded.merges
+        assert _merged_pairs(bounded) == _merged_pairs(unbounded)

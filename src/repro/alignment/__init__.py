@@ -1,6 +1,19 @@
 """Sequence/block alignment of candidate function pairs."""
 
-from .hyfm_blocks import align_blocks_linear, align_blocks_nw, align_functions
+from .batch import (
+    BatchAlignmentEngine,
+    InstructionInterner,
+    linear_ops_encoded,
+    nw_ops_encoded,
+    ops_to_alignment,
+)
+from .cache import AlignmentCache, AlignmentCacheStats, PlanCache, block_key
+from .hyfm_blocks import (
+    BlockFingerprintMemo,
+    align_blocks_linear,
+    align_blocks_nw,
+    align_functions,
+)
 from .model import (
     BlockAlignment,
     FunctionAlignment,
@@ -9,6 +22,7 @@ from .model import (
     mergeable,
 )
 from .needleman_wunsch import (
+    EncodedRatioScorer,
     alignment_ratio_encoded,
     matched_count_encoded,
     needleman_wunsch,
@@ -18,11 +32,22 @@ __all__ = [
     "align_blocks_linear",
     "align_blocks_nw",
     "align_functions",
+    "AlignmentCache",
+    "AlignmentCacheStats",
+    "BatchAlignmentEngine",
+    "block_key",
     "BlockAlignment",
+    "BlockFingerprintMemo",
+    "EncodedRatioScorer",
     "FunctionAlignment",
+    "InstructionInterner",
+    "linear_ops_encoded",
+    "mergeable",
+    "nw_ops_encoded",
+    "ops_to_alignment",
+    "PlanCache",
     "SharedSegment",
     "SplitSegment",
-    "mergeable",
     "alignment_ratio_encoded",
     "matched_count_encoded",
     "needleman_wunsch",

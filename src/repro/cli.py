@@ -224,9 +224,36 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_bench_perf(args: argparse.Namespace) -> int:
     from .harness.bench import write_bench_json
-    from .harness.profile import run_perf_bench
+    from .harness.profile import run_attempt_bench, run_perf_bench
 
     sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    if args.attempts:
+        if args.sizes == "100,500,1000":  # the fingerprint-bench default
+            sizes = [200, 600, 2000]
+        output = args.output
+        if output == "BENCH_f3m_perf.json":  # default untouched: attempt name
+            output = "BENCH_attempt_perf.json"
+        rows, metadata = run_attempt_bench(
+            sizes=sizes,
+            repeats=args.repeats,
+            workload=args.workload,
+            micro_repeats=args.micro_repeats,
+        )
+        write_bench_json(output, "attempt_perf", rows, metadata)
+        headline = metadata["headline"]
+        print(f"wrote {output}")
+        print(
+            f"largest size {headline['size']}: "
+            f"{headline['alignment_speedup']:.2f}x batched-vs-pure alignment "
+            f"(nw {headline['alignment_speedup_nw']:.2f}x), "
+            f"bit_identical={headline['alignment_bit_identical']}, "
+            f"engine_identical={headline['engine_identical']}, "
+            f"bounded_identical={headline['bounded_identical']}, "
+            f"cached_identical={headline['cached_identical']}, "
+            f"sweep_identical={headline['sweep_digest_identical']}, "
+            f"bound_sound={headline['bound_sound']}"
+        )
+        return 0
     rows, metadata = run_perf_bench(
         sizes=sizes,
         repeats=args.repeats,
@@ -364,6 +391,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="process-pool fan-out for very large modules",
+    )
+    p_perf.add_argument(
+        "--attempts",
+        action="store_true",
+        help=(
+            "run the attempt-stage suite instead: batched-vs-pure alignment, "
+            "pre-alignment bound, cache and partition-sweep equivalence "
+            "(default sizes 200,600,2000 -> BENCH_attempt_perf.json)"
+        ),
     )
     p_perf.add_argument("-o", "--output", default="BENCH_f3m_perf.json")
     p_perf.set_defaults(func=_cmd_bench_perf)

@@ -13,7 +13,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..alignment.needleman_wunsch import alignment_ratio_encoded
+from ..alignment.needleman_wunsch import EncodedRatioScorer, alignment_ratio_encoded
 from ..analysis.size import module_size
 from ..fingerprint.encoding import EncodingOptions, encode_function
 from ..fingerprint.minhash import MinHashConfig, MinHashFingerprint
@@ -178,9 +178,17 @@ def correlation_experiment(
             return align_functions(functions[i], functions[j]).alignment_ratio
 
     elif oracle == "lcs":
+        # One scorer per left index: the dense pair order is i-outer, so
+        # the SequenceMatcher's cached side (seq2 = encoded[i]) is reused
+        # across all of i's partners instead of rebuilt per pair.
+        scorers: Dict[int, EncodedRatioScorer] = {}
 
         def ratio(i: int, j: int) -> float:
-            return alignment_ratio_encoded(encoded[i], encoded[j])
+            scorer = scorers.get(i)
+            if scorer is None:
+                scorers.clear()
+                scorer = scorers[i] = EncodedRatioScorer(encoded[i])
+            return scorer.ratio(encoded[j])
 
     else:
         raise ValueError(f"unknown oracle {oracle!r}")

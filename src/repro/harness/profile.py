@@ -45,7 +45,9 @@ __all__ = [
     "PipelineProfile",
     "profile_pass",
     "fingerprint_microbench",
+    "alignment_microbench",
     "run_perf_bench",
+    "run_attempt_bench",
     "PERF_STAGES",
 ]
 
@@ -54,6 +56,7 @@ PERF_STAGES = (
     "fingerprint",
     "index",
     "rank",
+    "bound",
     "align",
     "codegen",
     "staticcheck",
@@ -110,6 +113,7 @@ def profile_from_report(report: MergeReport, ranker=None) -> PipelineProfile:
         "fingerprint": breakdown.get("fingerprint", report.preprocess_time),
         "index": breakdown.get("index", 0.0),
         "rank": sum(a.ranking_time for a in report.attempts),
+        "bound": sum(a.bound_time for a in report.attempts),
         "align": sum(a.align_time for a in report.attempts),
         "codegen": sum(a.codegen_time for a in report.attempts),
         "staticcheck": sum(a.static_time for a in report.attempts),
@@ -266,6 +270,286 @@ def fingerprint_microbench(
 def _decisions(report: MergeReport) -> List[Tuple[str, Optional[str], str]]:
     """The merge decisions of a run, in a comparable shape."""
     return [(a.function, a.candidate, str(a.outcome)) for a in report.attempts]
+
+
+# ---------------------------------------------------------------------------
+# Attempt-stage benchmark: vectorized alignment engine vs pure aligners
+# ---------------------------------------------------------------------------
+
+
+def _alignment_shape(alignment) -> Tuple:
+    """A :class:`FunctionAlignment` reduced to comparable indices.
+
+    Blocks and instructions are identified by their position within their
+    function (local value names may be empty for void instructions), so
+    two alignments of the same function pair compare equal exactly when
+    they made the same decisions.
+    """
+    from ..alignment.model import SharedSegment
+
+    block_index_a = {id(b): k for k, b in enumerate(alignment.function_a.blocks)}
+    block_index_b = {id(b): k for k, b in enumerate(alignment.function_b.blocks)}
+    inst_index_a = {
+        id(inst): k for k, inst in enumerate(alignment.function_a.instructions())
+    }
+    inst_index_b = {
+        id(inst): k for k, inst in enumerate(alignment.function_b.instructions())
+    }
+    pairs = []
+    for pair in alignment.block_pairs:
+        segments = []
+        for seg in pair.segments:
+            if isinstance(seg, SharedSegment):
+                segments.append(
+                    ("S", tuple((inst_index_a[id(x)], inst_index_b[id(y)]) for x, y in seg.pairs))
+                )
+            else:
+                segments.append(
+                    (
+                        "P",
+                        tuple(inst_index_a[id(x)] for x in seg.left),
+                        tuple(inst_index_b[id(y)] for y in seg.right),
+                    )
+                )
+        pairs.append(
+            (block_index_a[id(pair.block_a)], block_index_b[id(pair.block_b)], tuple(segments))
+        )
+    return (
+        tuple(pairs),
+        tuple(block_index_a[id(b)] for b in alignment.unmatched_a),
+        tuple(block_index_b[id(b)] for b in alignment.unmatched_b),
+    )
+
+
+def alignment_microbench(
+    functions: Sequence[Function],
+    strategy: str = "linear",
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Timing + bit-identity of the batched alignment engine vs the pure path.
+
+    Aligns every consecutive function pair three ways, interleaved:
+
+    * ``pure`` — :func:`repro.alignment.hyfm_blocks.align_functions`,
+      exactly what the pass runs with ``batch_alignment=False`` (minus its
+      block-fingerprint memo, which only lives inside a pass);
+    * ``cold`` — a fresh :class:`BatchAlignmentEngine` per repeat, paying
+      encoding, content keys and cache fills;
+    * ``warm`` — one persistent engine, the steady state the merging pass
+      actually sees (the engine is shared across all attempts of a pass,
+      remerge rounds and partition passes), where the plan cache replays
+      whole function-pair decisions.
+
+    The headline speedup is ``pure / warm``; ``pure / cold`` shows the
+    one-time content-registration overhead.
+    """
+    from ..alignment.batch import BatchAlignmentEngine
+    from ..alignment.hyfm_blocks import align_functions as pure_align
+
+    functions = list(functions)
+    pairs = [(functions[i], functions[i + 1]) for i in range(len(functions) - 1)]
+
+    def run_pure():
+        return [pure_align(a, b, strategy=strategy) for a, b in pairs]
+
+    def run_cold():
+        engine = BatchAlignmentEngine(strategy=strategy)
+        return [engine.align_functions(a, b) for a, b in pairs]
+
+    warm_engine = BatchAlignmentEngine(strategy=strategy)
+
+    def run_warm():
+        return [warm_engine.align_functions(a, b) for a, b in pairs]
+
+    run_warm()  # populate memos + caches; timed reps hit the plan cache
+
+    timings = _best_of_paired(
+        {"pure": run_pure, "cold": run_cold, "warm": run_warm}, repeats
+    )
+
+    pure_alignments = run_pure()
+    cold_alignments = run_cold()
+    warm_alignments = run_warm()
+    identical = all(
+        _alignment_shape(p) == _alignment_shape(c) == _alignment_shape(w)
+        for p, c, w in zip(pure_alignments, cold_alignments, warm_alignments)
+    )
+
+    return {
+        "strategy": strategy,
+        "functions": len(functions),
+        "pairs": len(pairs),
+        "pure_s": timings["pure"],
+        "engine_cold_s": timings["cold"],
+        "engine_warm_s": timings["warm"],
+        "speedup_cold": timings["pure"] / timings["cold"] if timings["cold"] > 0 else 0.0,
+        "speedup_warm": timings["pure"] / timings["warm"] if timings["warm"] > 0 else 0.0,
+        "bit_identical": bool(identical),
+        "plan_cache": warm_engine.plans.stats.to_dict(),
+        "block_cache": warm_engine.cache.stats.to_dict(),
+    }
+
+
+def _merged_pairs(report: MergeReport) -> set:
+    return {
+        (a.function, a.candidate) for a in report.attempts if a.outcome == "merged"
+    }
+
+
+def run_attempt_bench(
+    sizes: Sequence[int] = (200, 600, 2000),
+    repeats: int = 3,
+    workload: str = "perf",
+    micro_repeats: Optional[int] = None,
+    sweep_partitions: int = 4,
+) -> Tuple[List[Dict[str, object]], Dict[str, object]]:
+    """The ``bench-perf --attempts`` suite for ``BENCH_attempt_perf.json``.
+
+    Per workload size:
+
+    * the alignment microbenchmark (pure vs engine, linear and NW), the
+      headline batched-vs-pure alignment speedup;
+    * end-to-end equivalence checks on the full pass — engine vs pure
+      path, bounded vs unbounded, cold vs prewarmed engine — each
+      comparing the final printed module bit-for-bit;
+    * bound soundness: the pairs ``rejected_bound`` skipped, intersected
+      with the pairs the *unbounded* pipeline merged (must be empty);
+    * a serial-vs-parallel :func:`repro.merge.partitioned.partition_sweep`
+      digest comparison;
+    * a profiled bounded+batched pass with the bound/align/codegen stage
+      split.
+    """
+    from ..alignment.batch import BatchAlignmentEngine
+    from ..ir.printer import print_module
+    from ..merge.partitioned import partition_sweep
+    from ..workloads.suites import build_workload
+
+    if micro_repeats is None:
+        micro_repeats = repeats
+    rows: List[Dict[str, object]] = []
+    headline: Dict[str, object] = {}
+    for size in sizes:
+
+        def fresh() -> Module:
+            return build_workload(size, workload)
+
+        module = fresh()
+        functions = module.defined_functions()
+        micro = {
+            strategy: alignment_microbench(functions, strategy, micro_repeats)
+            for strategy in ("linear", "nw")
+        }
+        row: Dict[str, object] = {
+            "workload": workload,
+            "size": size,
+            "alignment_micro": micro,
+        }
+
+        def run_pass(config: PassConfig, engine=None) -> Tuple[str, MergeReport]:
+            mod = fresh()
+            ranker = make_ranker("f3m")
+            pass_ = FunctionMergingPass(ranker, config, alignment_engine=engine)
+            report = pass_.run(mod)
+            return print_module(mod), report
+
+        # Engine vs pure path (bound off on both sides so the attempt
+        # streams match attempt-for-attempt).
+        text_engine, rep_engine = run_pass(
+            PassConfig(verify=False, prealign_bound=False, batch_alignment=True)
+        )
+        text_pure, rep_pure = run_pass(
+            PassConfig(verify=False, prealign_bound=False, batch_alignment=False)
+        )
+        row["engine_identical"] = (
+            text_engine == text_pure and _decisions(rep_engine) == _decisions(rep_pure)
+        )
+
+        # Bounded vs unbounded: same merges, same final module, and the
+        # bound never rejects a pair the unbounded pipeline merged.
+        text_bound, rep_bound = run_pass(
+            PassConfig(verify=False, prealign_bound=True, batch_alignment=True)
+        )
+        rejected = {
+            (a.function, a.candidate)
+            for a in rep_bound.attempts
+            if a.outcome == "rejected_bound"
+        }
+        row["bounded_identical"] = text_bound == text_engine
+        row["rejected_bound"] = len(rejected)
+        row["bound_unsound_rejections"] = sorted(
+            rejected & _merged_pairs(rep_engine)
+        )
+        row["attempted_alignments_unbounded"] = sum(
+            1 for a in rep_engine.attempts if a.align_time > 0.0
+        )
+        row["attempted_alignments_bounded"] = sum(
+            1 for a in rep_bound.attempts if a.align_time > 0.0
+        )
+
+        # Cold vs prewarmed engine: a pass through an engine warmed on an
+        # identical module must produce a bit-identical module (the cache
+        # hit path changes nothing but time).
+        warm_engine = BatchAlignmentEngine()
+        run_pass(PassConfig(verify=False, batch_alignment=True), engine=warm_engine)
+        hits_before = warm_engine.cache.stats.hits + warm_engine.plans.stats.hits
+        text_cached, _rep_cached = run_pass(
+            PassConfig(verify=False, batch_alignment=True), engine=warm_engine
+        )
+        hits_after = warm_engine.cache.stats.hits + warm_engine.plans.stats.hits
+        row["cached_identical"] = text_cached == text_bound
+        row["cache_hits_during_warm_run"] = hits_after - hits_before
+
+        # Serial vs parallel partition sweep over the same snapshot.
+        sweep_module = fresh()
+        serial = partition_sweep(sweep_module, sweep_partitions, workers=1)
+        parallel = partition_sweep(
+            sweep_module, sweep_partitions, workers=sweep_partitions
+        )
+        row["sweep_digest_identical"] = serial.digest() == parallel.digest()
+        row["sweep_merges"] = serial.merges
+        row["sweep_serial_s"] = serial.total_time
+        row["sweep_parallel_s"] = parallel.total_time
+
+        # Stage split of the production configuration (bounded + batched).
+        best_profile: Optional[PipelineProfile] = None
+        for _ in range(max(1, repeats)):
+            mod = fresh()
+            profile, _report = profile_pass(mod, "f3m")
+            if best_profile is None or profile.total_time < best_profile.total_time:
+                best_profile = profile
+        row["f3m_profile"] = best_profile.to_row()
+
+        rows.append(row)
+        headline = {
+            "size": size,
+            "alignment_speedup": micro["linear"]["speedup_warm"],
+            "alignment_speedup_nw": micro["nw"]["speedup_warm"],
+            "alignment_bit_identical": micro["linear"]["bit_identical"]
+            and micro["nw"]["bit_identical"],
+            "engine_identical": row["engine_identical"],
+            "bounded_identical": row["bounded_identical"],
+            "cached_identical": row["cached_identical"],
+            "sweep_digest_identical": row["sweep_digest_identical"],
+            "bound_sound": not row["bound_unsound_rejections"],
+        }
+
+    metadata: Dict[str, object] = {
+        "workload": workload,
+        "repeats": repeats,
+        "micro_repeats": micro_repeats,
+        "sweep_partitions": sweep_partitions,
+        "cpu_count": os.cpu_count(),
+        "headline": headline,
+        "alignment_speedup_definition": (
+            "pure align_functions time / warm BatchAlignmentEngine time over "
+            "all consecutive function pairs at the largest size, best of "
+            "`micro_repeats` interleaved runs; warm is the engine's steady "
+            "state in the pass (shared across attempts, remerge rounds and "
+            "partition passes), speedup_cold in alignment_micro isolates "
+            "first-contact cost including encoding and cache fills"
+        ),
+    }
+    return rows, metadata
 
 
 def run_perf_bench(

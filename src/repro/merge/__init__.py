@@ -5,12 +5,15 @@ from .identical import IdenticalMergeReport, merge_identical_functions, structur
 from .merger import MergeOptions, MergeResult, merge_functions
 from .partitioned import (
     PartitionedMergeReport,
+    SweepPartitionResult,
+    SweepReport,
     partition_functions,
+    partition_sweep,
     partitioned_merging,
 )
 from .pass_ import FunctionMergingPass, PassConfig
 from .pgo import HotnessFilter, ProfileGuidedPass, profile_module
-from .profitability import MergeBenefit, ProfitabilityModel
+from .profitability import MergeBenefit, ProfitabilityBound, ProfitabilityModel
 from .report import AttemptRecord, MergeReport, Outcome
 from .ssa_repair import find_dominance_violations, repair_ssa
 from .thunks import commit_merge, make_thunk, rewrite_call_sites
@@ -26,7 +29,10 @@ __all__ = [
     "structural_hash",
     "HotnessFilter",
     "PartitionedMergeReport",
+    "SweepPartitionResult",
+    "SweepReport",
     "partition_functions",
+    "partition_sweep",
     "partitioned_merging",
     "ProfileGuidedPass",
     "profile_module",
@@ -36,6 +42,7 @@ __all__ = [
     "FunctionMergingPass",
     "PassConfig",
     "MergeBenefit",
+    "ProfitabilityBound",
     "ProfitabilityModel",
     "AttemptRecord",
     "MergeReport",

@@ -16,21 +16,35 @@ discovered (the opportunity F3M's fingerprints make recoverable).
 
 from __future__ import annotations
 
+import json
+import multiprocessing
+import os
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
+from ..alignment.batch import BatchAlignmentEngine
 from ..fingerprint.batch import minhash_module
 from ..fingerprint.cache import FingerprintCache
 from ..fingerprint.fnv import fnv1a_32
 from ..fingerprint.minhash import MinHashConfig
 from ..ir.function import Function
 from ..ir.module import Module
+from ..ir.parser import parse_module
+from ..ir.printer import print_module
 from ..search.pairing import MinHashLSHRanker, Ranker
 from .pass_ import FunctionMergingPass, PassConfig
 from .report import MergeReport
 
-__all__ = ["PartitionedMergeReport", "partition_functions", "partitioned_merging"]
+__all__ = [
+    "PartitionedMergeReport",
+    "SweepPartitionResult",
+    "SweepReport",
+    "partition_functions",
+    "partition_sweep",
+    "partitioned_merging",
+]
 
 
 def partition_functions(module: Module, partitions: int) -> List[List[Function]]:
@@ -58,6 +72,9 @@ class PartitionedMergeReport:
     # Shared-cache prewarm accounting (zeros when prewarm was off).
     prewarm_time: float = 0.0
     cache_stats: Optional[Dict[str, object]] = None
+    # Alignment-decision cache counters for the engine shared across the
+    # per-partition passes (None when batch alignment was off).
+    align_cache_stats: Optional[Dict[str, object]] = None
 
     @property
     def merges(self) -> int:
@@ -147,14 +164,194 @@ def partitioned_merging(
             ):
                 report.cross_partition_candidates += 1
 
+    # One alignment engine across every per-partition pass: block
+    # encodings and cached alignment decisions survive partition
+    # boundaries (same-content blocks recur across partitions), so later
+    # partitions start warm.
+    engine = (
+        BatchAlignmentEngine(strategy=config.alignment)
+        if config.batch_alignment
+        else None
+    )
     for group in groups:
         ranker = ranker_factory()
         if cache is not None:
             _adopt_cache(ranker, cache)
-        pass_ = FunctionMergingPass(ranker, config)
+        pass_ = FunctionMergingPass(ranker, config, alignment_engine=engine)
         report.reports.append(pass_.run(module, functions=group))
 
     report.size_after = module_size(module)
     if cache is not None:
         report.cache_stats = cache.stats.to_dict()
+    if engine is not None:
+        report.align_cache_stats = engine.cache.stats.to_dict()
     return report
+
+
+# ---------------------------------------------------------------------------
+# Parallel partition sweeps
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SweepPartitionResult:
+    """What one partition's merging pass decided (times kept separate).
+
+    ``decisions`` is the attempt log reduced to its decision content —
+    ``(function, candidate, similarity, outcome, alignment_ratio,
+    saving)`` — exactly the fields :meth:`SweepReport.digest` serializes,
+    so serial and parallel sweeps can be compared bit-for-bit without
+    wall-clock noise.
+    """
+
+    partition: int
+    num_functions: int
+    merges: int
+    size_before: int
+    size_after: int
+    outcome_counts: Dict[str, int]
+    decisions: List[Tuple[str, Optional[str], float, str, float, int]]
+    align_cache_stats: Optional[Dict[str, object]]
+    elapsed: float
+
+    @property
+    def saving(self) -> int:
+        return self.size_before - self.size_after
+
+
+@dataclass
+class SweepReport:
+    """Aggregate result of :func:`partition_sweep`."""
+
+    partitions: int
+    results: List[SweepPartitionResult]
+    snapshot_time: float = 0.0
+    total_time: float = 0.0
+    workers: int = 1
+
+    @property
+    def merges(self) -> int:
+        return sum(r.merges for r in self.results)
+
+    @property
+    def saving(self) -> int:
+        return sum(r.saving for r in self.results)
+
+    def digest(self) -> str:
+        """Canonical JSON of every decision the sweep made, times excluded.
+
+        Two sweeps over the same module snapshot with the same
+        configuration must produce equal digests regardless of worker
+        count — this is the bit-identity contract the parallel path is
+        tested against.
+        """
+        payload = [
+            {
+                "partition": r.partition,
+                "num_functions": r.num_functions,
+                "merges": r.merges,
+                "size_before": r.size_before,
+                "size_after": r.size_after,
+                "outcome_counts": r.outcome_counts,
+                "decisions": r.decisions,
+            }
+            for r in self.results
+        ]
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _sweep_worker(payload):
+    """Top-level worker (picklable): merge one partition of the snapshot.
+
+    Every worker — and the serial baseline, which calls this same
+    function inline — re-parses the module text and re-derives the
+    partitioning, so the work a partition sees is a pure function of
+    ``(text, partitions, index, ranker_factory, config)``.  That makes
+    serial/parallel decision equality hold by construction instead of by
+    synchronization.
+    """
+    text, partitions, index, ranker_factory, config = payload
+    t0 = time.perf_counter()
+    module = parse_module(text)
+    group = partition_functions(module, partitions)[index]
+    report = FunctionMergingPass(ranker_factory(), config).run(
+        module, functions=group
+    )
+    return SweepPartitionResult(
+        partition=index,
+        num_functions=report.num_functions,
+        merges=report.merges,
+        size_before=report.size_before,
+        size_after=report.size_after,
+        outcome_counts={k: v for k, v in report.outcome_counts().items() if v},
+        decisions=[
+            (
+                a.function,
+                a.candidate,
+                a.similarity,
+                str(a.outcome),
+                a.alignment_ratio,
+                a.saving,
+            )
+            for a in report.attempts
+        ],
+        align_cache_stats=report.align_cache_stats,
+        elapsed=time.perf_counter() - t0,
+    )
+
+
+def partition_sweep(
+    module: Module,
+    partitions: int,
+    ranker_factory: Callable[[], Ranker] = MinHashLSHRanker,
+    config: PassConfig = PassConfig(verify=False),
+    workers: Optional[int] = None,
+) -> SweepReport:
+    """Evaluate every partition's merging independently, in parallel.
+
+    Unlike :func:`partitioned_merging` this never mutates *module*: the
+    module is snapshotted once as text, and each partition is merged
+    inside its own re-parsed copy — partitions are independent by
+    construction, so they can run in a process pool.  ``workers=1`` (or
+    a single-CPU machine) runs the identical worker inline; results are
+    always ordered by partition index, and :meth:`SweepReport.digest`
+    is equal between serial and parallel runs.
+
+    *ranker_factory* must be picklable by reference (a module-level
+    class or function, e.g. :class:`MinHashLSHRanker`) so it can cross
+    the process boundary.
+    """
+    if partitions <= 0:
+        raise ValueError("partitions must be positive")
+    t0 = time.perf_counter()
+    text = print_module(module)
+    snapshot_time = time.perf_counter() - t0
+    payloads = [
+        (text, partitions, index, ranker_factory, config)
+        for index in range(partitions)
+    ]
+    if workers is None:
+        workers = min(partitions, os.cpu_count() or 1)
+    workers = max(1, min(workers, partitions))
+    t0 = time.perf_counter()
+    if workers == 1:
+        results = [_sweep_worker(p) for p in payloads]
+    else:
+        # Fork keeps worker start cheap and inherits the warm import
+        # state; fall back to the platform default where unavailable.
+        if "fork" in multiprocessing.get_all_start_methods():
+            ctx = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-POSIX platforms
+            ctx = multiprocessing.get_context()
+        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+            # executor.map preserves submission order, so results come
+            # back sorted by partition index no matter who finished first.
+            results = list(pool.map(_sweep_worker, payloads))
+    total_time = time.perf_counter() - t0
+    return SweepReport(
+        partitions=partitions,
+        results=results,
+        snapshot_time=snapshot_time,
+        total_time=total_time,
+        workers=workers,
+    )

@@ -28,7 +28,8 @@ import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from ..alignment.hyfm_blocks import align_functions
+from ..alignment.batch import BatchAlignmentEngine
+from ..alignment.hyfm_blocks import BlockFingerprintMemo, align_functions
 from ..analysis.size import module_size
 from ..faults import FaultInjector, InjectedFault
 from ..ir.module import Module
@@ -39,7 +40,7 @@ from ..search.pairing import Ranker
 from ..staticcheck.lint import lint_commit, lint_merge
 from .errors import MergeError
 from .merger import MergeOptions, MergeResult, merge_functions
-from .profitability import ProfitabilityModel
+from .profitability import ProfitabilityBound, ProfitabilityModel
 from .report import AttemptRecord, MergeReport, Outcome
 from .thunks import commit_merge
 from .transaction import MergeTransaction
@@ -74,6 +75,15 @@ class PassConfig:
     ``on_error`` — ``"skip"`` (default) contains unexpected exceptions:
     the attempt is rolled back, recorded, and the pass continues.
     ``"raise"`` re-raises after the rollback (debugging).
+    ``batch_alignment`` — align through the vectorized, memoized, cached
+    :class:`~repro.alignment.batch.BatchAlignmentEngine` (decision-identical
+    to the pure aligners); off falls back to the pure path with a block-
+    fingerprint memo.
+    ``prealign_bound`` — reject pairs whose pre-alignment profitability
+    upper bound (:class:`~repro.merge.profitability.ProfitabilityBound`)
+    proves they can never be profitable, skipping alignment and codegen
+    with a ``rejected_bound`` outcome.  The bound is sound: it never
+    rejects a pair the full pipeline would have merged.
     """
 
     threshold: float = 0.0
@@ -85,6 +95,8 @@ class PassConfig:
     static_check: bool = False
     oracle: bool = False
     on_error: str = "skip"
+    batch_alignment: bool = True
+    prealign_bound: bool = True
 
     def __post_init__(self) -> None:
         if self.on_error not in ("skip", "raise"):
@@ -110,6 +122,7 @@ class FunctionMergingPass:
         config: PassConfig = PassConfig(),
         faults: Optional[FaultInjector] = None,
         oracle: Optional[DifferentialOracle] = None,
+        alignment_engine: Optional[BatchAlignmentEngine] = None,
     ) -> None:
         self.ranker = ranker
         self.config = config
@@ -118,6 +131,21 @@ class FunctionMergingPass:
         if oracle is None and config.oracle:
             oracle = DifferentialOracle(OracleConfig())
         self.oracle = oracle
+        # Passing an engine shares its alignment cache and block memos
+        # across passes (remerge rounds, partition sweeps); otherwise each
+        # pass owns one when batch alignment is on.
+        if alignment_engine is None and config.batch_alignment:
+            alignment_engine = BatchAlignmentEngine(strategy=config.alignment)
+        self.engine = alignment_engine
+        # The bound shares the engine's interner so both see one
+        # mergeability-code space (and one set of memoized encodings).
+        self.bound = ProfitabilityBound(
+            self.profitability,
+            interner=alignment_engine.interner if alignment_engine else None,
+        )
+        self._fp_memo: Optional[BlockFingerprintMemo] = (
+            BlockFingerprintMemo() if alignment_engine is None else None
+        )
 
     # -- driver ---------------------------------------------------------------------
     def run(self, module: Module, functions=None) -> MergeReport:
@@ -161,7 +189,28 @@ class FunctionMergingPass:
         report.total_time = time.perf_counter() - start
         report.comparisons = self.ranker.stats.comparisons
         report.size_after = module_size(module)
+        if self.engine is not None:
+            stats = self.engine.cache.stats.to_dict()
+            stats["plan"] = self.engine.plans.stats.to_dict()
+            report.align_cache_stats = stats
         return report
+
+    # -- body-derived memo hygiene ----------------------------------------------------
+    def _invalidate(self, functions) -> None:
+        """Drop memoized body-derived state for *functions*.
+
+        Called with every function a transaction captured: a committed
+        merge rewrote call sites inside their blocks (or replaced their
+        bodies with thunks), and a commit-stage rollback re-cloned their
+        bodies into fresh block objects.  Cheap failure paths never
+        capture, so their memo entries stay live.
+        """
+        for func in functions:
+            if self.engine is not None:
+                self.engine.invalidate_function(func)
+            if self._fp_memo is not None:
+                self._fp_memo.invalidate_function(func)
+            self.bound.invalidate(func)
 
     # -- one candidate --------------------------------------------------------------
     def _attempt(self, module, func, consumed, threshold):
@@ -178,7 +227,9 @@ class FunctionMergingPass:
         except (MergeError, VerificationError) as exc:
             # Expected rejections from codegen/verification — and, via
             # CommitError, structural failures while applying the commit.
+            touched = txn.captured_functions()
             txn.rollback()
+            self._invalidate(touched)
             outcome = (
                 Outcome.ROLLED_BACK
                 if ctx.stage == "commit"
@@ -191,7 +242,9 @@ class FunctionMergingPass:
             raise
         except Exception as exc:
             mutated = txn.captured
+            touched = txn.captured_functions()
             txn.rollback()
+            self._invalidate(touched)
             if self.config.on_error == "raise":
                 raise
             outcome = Outcome.ROLLED_BACK if mutated else Outcome.INTERNAL_ERROR
@@ -232,6 +285,21 @@ class FunctionMergingPass:
             record.outcome = Outcome.REJECTED_THRESHOLD
             return record, None
 
+        if self.config.prealign_bound:
+            ctx.stage = "bound"
+            t0 = time.perf_counter()
+            try:
+                bound, shared_pairs = self.bound.query(func, other)
+            finally:
+                record.bound_time = time.perf_counter() - t0
+            if shared_pairs == 0 or bound <= 0:
+                # No common mergeability class means alignment would match
+                # nothing; a non-positive saving bound means profitability
+                # (saving > 0) can never hold.  Either way this pair can
+                # never merge — skip alignment and codegen.
+                record.outcome = Outcome.REJECTED_BOUND
+                return record, None
+
         ctx.stage = "align"
         t0 = time.perf_counter()
         try:
@@ -240,7 +308,17 @@ class FunctionMergingPass:
             if func.return_type is not other.return_type:
                 record.outcome = Outcome.ALIGN_FAIL
                 return record, None
-            alignment = align_functions(func, other, strategy=self.config.alignment)
+            if self.engine is not None:
+                alignment = self.engine.align_functions(
+                    func, other, strategy=self.config.alignment
+                )
+            else:
+                alignment = align_functions(
+                    func,
+                    other,
+                    strategy=self.config.alignment,
+                    fp_memo=self._fp_memo,
+                )
         finally:
             record.align_time = time.perf_counter() - t0
         record.alignment_ratio = alignment.alignment_ratio
@@ -306,6 +384,7 @@ class FunctionMergingPass:
         ctx.stage = "commit"
         t0 = time.perf_counter()
         txn.capture_commit_set(result.function_a, result.function_b)
+        touched = txn.captured_functions()
         commit_merge(result, faults=self.faults)
         if self.config.static_check:
             # Re-lint the *applied* commit (thunk shape, call-site rewrites,
@@ -315,11 +394,13 @@ class FunctionMergingPass:
             record.static_time += time.perf_counter() - t1
             if commit_errors:
                 txn.rollback()
+                self._invalidate(touched)
                 record.outcome = Outcome.STATIC_FAIL
                 first = commit_errors[0]
                 record.error = f"static:{first.checker}:{first.message}"
                 return record, None
         txn.commit()
+        self._invalidate(touched)
         self.ranker.remove(func)
         self.ranker.remove(other)
         consumed.add(id(func))

@@ -10,12 +10,16 @@ decision itself.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
-from ..analysis.size import function_size, instruction_size
+from ..alignment.batch import InstructionInterner
+from ..alignment.hyfm_blocks import _body
+from ..analysis.linearizer import linearize_blocks
+from ..analysis.size import _FUNCTION_OVERHEAD, function_size, instruction_size
 from ..ir.function import Function
 from .merger import MergeResult
 
-__all__ = ["ProfitabilityModel", "MergeBenefit"]
+__all__ = ["ProfitabilityModel", "MergeBenefit", "ProfitabilityBound"]
 
 # Modelled byte costs of the redirection machinery.
 _THUNK_BASE = 12 + 5 + 1  # function overhead + call + ret
@@ -58,3 +62,115 @@ class ProfitabilityModel:
             result.function_b
         )
         return MergeBenefit(original, merged, overhead)
+
+
+class _FunctionProfile:
+    """Memoized per-function inputs to the pre-alignment bound."""
+
+    __slots__ = ("function", "total_size", "code_counts", "code_weights", "body_weight")
+
+    def __init__(self, func: Function, interner: "InstructionInterner") -> None:
+        self.function = func  # strong ref: id(func) can't be reused while live
+        self.total_size = function_size(func)
+        counts: Dict[int, int] = {}
+        weights: Dict[int, int] = {}
+        body_weight = 0
+        for block in linearize_blocks(func):
+            for inst in _body(block):
+                code = interner.code(inst)
+                counts[code] = counts.get(code, 0) + 1
+                if code not in weights:
+                    weights[code] = instruction_size(inst)
+                body_weight += weights[code]
+        self.code_counts = counts
+        self.code_weights = weights
+        self.body_weight = body_weight
+
+
+class ProfitabilityBound:
+    """Sound pre-alignment bound on what merging a pair can achieve.
+
+    The merged function emits every *reachable body* instruction of both
+    originals (shared pairs once, split and unmatched-block instructions
+    separately), and a shared pair requires ``mergeable``.  Mergeability
+    is an equivalence relation, so each body instruction carries a dense
+    *mergeability-class code* (the alignment interner's encoding — a
+    refinement of its opcode, since mergeable instructions always share
+    an opcode).  The multiset intersection of the two functions' code
+    frequencies therefore bounds the alignment from above on both axes:
+
+    * ``Σ_code min(cA, cB)`` bounds the number of shared instruction
+      pairs any alignment can produce.  When it is zero, alignment is
+      guaranteed to match nothing and the pipeline would discard the
+      pair — alignment and codegen can be skipped outright.
+    * Since the size model prices instructions purely by opcode, every
+      instruction with a given code has one weight, and the merged body
+      weighs at least ``Σ_code max(cA, cB) · w(code)``; phis,
+      terminators and the dispatch machinery the merger adds only
+      increase it further.  So
+
+          saving ≤ size(A) + size(B) − overhead − redirection(A)
+                   − redirection(B) − Σ_code max(cA, cB)·w(code)
+
+      and a pair whose bound is ≤ 0 can never clear the profitability
+      check (``saving > 0``).
+
+    Neither rejection can drop a pair the full pipeline would have
+    merged.  The per-function profiles are memoized; the pass
+    invalidates functions whose bodies a transaction touched.
+    Redirection costs depend on the *current* caller sets, so they are
+    recomputed on every query.
+    """
+
+    def __init__(
+        self,
+        model: Optional[ProfitabilityModel] = None,
+        interner: Optional["InstructionInterner"] = None,
+    ) -> None:
+        self.model = model if model is not None else ProfitabilityModel()
+        self.interner = interner if interner is not None else InstructionInterner()
+        self._profiles: Dict[int, _FunctionProfile] = {}
+
+    def profile(self, func: Function) -> _FunctionProfile:
+        prof = self._profiles.get(id(func))
+        if prof is None:
+            prof = _FunctionProfile(func, self.interner)
+            self._profiles[id(func)] = prof
+        return prof
+
+    def invalidate(self, func: Function) -> None:
+        self._profiles.pop(id(func), None)
+
+    def clear(self) -> None:
+        self._profiles.clear()
+
+    def query(self, func_a: Function, func_b: Function) -> Tuple[int, int]:
+        """(upper bound on saving, upper bound on shared instruction pairs)."""
+        pa = self.profile(func_a)
+        pb = self.profile(func_b)
+        small, large = (
+            (pa, pb) if len(pa.code_counts) <= len(pb.code_counts) else (pb, pa)
+        )
+        shared_pairs = 0
+        shared_weight = 0
+        for code, count in small.code_counts.items():
+            other = large.code_counts.get(code)
+            if other:
+                common = count if count < other else other
+                shared_pairs += common
+                shared_weight += common * small.code_weights[code]
+        merged_floor = (
+            _FUNCTION_OVERHEAD + pa.body_weight + pb.body_weight - shared_weight
+        )
+        overhead = self.model._redirection_cost(func_a) + self.model._redirection_cost(
+            func_b
+        )
+        return pa.total_size + pb.total_size - merged_floor - overhead, shared_pairs
+
+    def upper_bound(self, func_a: Function, func_b: Function) -> int:
+        return self.query(func_a, func_b)[0]
+
+    def should_skip(self, func_a: Function, func_b: Function) -> bool:
+        """True when the pair provably cannot end in a committed merge."""
+        bound, shared_pairs = self.query(func_a, func_b)
+        return shared_pairs == 0 or bound <= 0

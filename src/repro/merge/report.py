@@ -21,6 +21,7 @@ __all__ = ["Outcome", "AttemptRecord", "MergeReport", "STAGES", "OUTCOMES"]
 STAGES = (
     "preprocess",
     "ranking",
+    "bound",
     "align",
     "codegen",
     "staticcheck",
@@ -42,6 +43,9 @@ class Outcome(str, Enum):
     CODEGEN_FAIL = "codegen_fail"
     ALIGN_FAIL = "align_fail"
     REJECTED_THRESHOLD = "rejected_threshold"
+    # The pre-alignment profitability bound proved the pair can never be
+    # profitable, so alignment and codegen were skipped entirely.
+    REJECTED_BOUND = "rejected_bound"
     NO_CANDIDATE = "no_candidate"
     # Robustness outcomes: the static merge-safety linter or the
     # differential oracle vetoed the commit, an unexpected exception was
@@ -70,6 +74,7 @@ class AttemptRecord:
     alignment_ratio: float = 0.0
     saving: int = 0
     ranking_time: float = 0.0
+    bound_time: float = 0.0
     align_time: float = 0.0
     codegen_time: float = 0.0
     static_time: float = 0.0
@@ -100,6 +105,10 @@ class MergeReport:
     attempts: List[AttemptRecord] = field(default_factory=list)
     comparisons: int = 0
     merges: int = 0
+    # Alignment-decision cache counters (None when the batched alignment
+    # engine was off).  Cumulative over the engine's lifetime, so passes
+    # sharing one engine see the shared totals.
+    align_cache_stats: Optional[Dict[str, object]] = None
 
     # -- headline numbers ---------------------------------------------------------
     @property
@@ -121,6 +130,7 @@ class MergeReport:
         buckets = {
             "ranking_success": 0.0,
             "ranking_fail": 0.0,
+            "bound": 0.0,
             "align_success": 0.0,
             "align_fail": 0.0,
             "codegen_success": 0.0,
@@ -132,6 +142,7 @@ class MergeReport:
         for att in self.attempts:
             key = "success" if att.success else "fail"
             buckets[f"ranking_{key}"] += att.ranking_time
+            buckets["bound"] += att.bound_time
             buckets[f"align_{key}"] += att.align_time
             buckets[f"codegen_{key}"] += att.codegen_time
             buckets["staticcheck"] += att.static_time

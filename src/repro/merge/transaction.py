@@ -76,6 +76,15 @@ class MergeTransaction:
         """True once any function body has been snapshotted."""
         return bool(self._backups)
 
+    def captured_functions(self) -> List[Function]:
+        """The live functions whose bodies have been snapshotted.
+
+        These are exactly the functions a commit (or its rollback) may
+        mutate — the set callers use to invalidate body-derived memos
+        (alignment encodings, block fingerprints, profitability profiles).
+        """
+        return [backup.function for backup in self._backups.values()]
+
     def capture(self, *functions: Function) -> None:
         """Snapshot *functions* (idempotent per function)."""
         if self._closed:

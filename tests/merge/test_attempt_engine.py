@@ -1,0 +1,92 @@
+"""End-to-end tests for the attempt-stage engine.
+
+Covers the pre-alignment profitability bound (its accounting, its
+soundness, and the work it saves), and the parallel partition sweep's
+serial/parallel decision identity.
+"""
+
+import pytest
+
+from repro.harness.profile import _merged_pairs
+from repro.ir.printer import print_module
+from repro.merge.partitioned import partition_sweep
+from repro.merge.pass_ import FunctionMergingPass, PassConfig
+from repro.merge.report import Outcome
+from repro.search.pairing import ExhaustiveRanker, MinHashLSHRanker
+from repro.workloads import build_workload
+
+
+def _run(num_functions: int, **config_kwargs):
+    module = build_workload(num_functions, "attempt")
+    config = PassConfig(verify=False, **config_kwargs)
+    report = FunctionMergingPass(ExhaustiveRanker(), config).run(module)
+    return module, report
+
+
+class TestProfitabilityBound:
+    def test_rejected_bound_accounted(self):
+        _, report = self._bounded()
+        counts = report.outcome_counts()
+        assert counts[str(Outcome.REJECTED_BOUND)] > 0
+        # The bound stage is timed and surfaced in the stage breakdown.
+        assert sum(a.bound_time for a in report.attempts) > 0
+        assert report.stage_breakdown()["bound"] > 0
+        # Engine cache stats travel on the report, plan cache included.
+        assert report.align_cache_stats is not None
+        assert "plan" in report.align_cache_stats
+
+    def test_bound_rejections_never_merge_unbounded(self):
+        """Soundness: no pair the bound rejects merges without the bound."""
+        module_b, bounded = self._bounded()
+        module_u, unbounded = self._unbounded()
+
+        rejected = {
+            (a.function, a.candidate)
+            for a in bounded.attempts
+            if a.outcome == Outcome.REJECTED_BOUND
+        }
+        assert rejected, "bound never fired; workload too easy to be a test"
+        assert rejected & _merged_pairs(unbounded) == set()
+        # And the final modules are bit-identical.
+        assert print_module(module_b) == print_module(module_u)
+        assert _merged_pairs(bounded) == _merged_pairs(unbounded)
+
+    def test_bound_strictly_reduces_attempted_alignments(self):
+        _, bounded = self._bounded()
+        _, unbounded = self._unbounded()
+        aligned_bounded = sum(1 for a in bounded.attempts if a.align_time > 0)
+        aligned_unbounded = sum(1 for a in unbounded.attempts if a.align_time > 0)
+        assert aligned_bounded < aligned_unbounded
+        assert bounded.merges == unbounded.merges
+
+    @staticmethod
+    def _bounded():
+        return _run(120, prealign_bound=True)
+
+    @staticmethod
+    def _unbounded():
+        return _run(120, prealign_bound=False)
+
+
+class TestPartitionSweep:
+    @pytest.mark.parametrize("ranker_factory", [ExhaustiveRanker, MinHashLSHRanker])
+    def test_serial_equals_parallel(self, ranker_factory):
+        module = build_workload(80, "sweep")
+        before = print_module(module)
+        serial = partition_sweep(module, 4, ranker_factory=ranker_factory, workers=1)
+        parallel = partition_sweep(module, 4, ranker_factory=ranker_factory, workers=2)
+        assert serial.digest() == parallel.digest()
+        assert serial.workers == 1 and parallel.workers == 2
+        # Sweeps work on snapshots; the parent module is never mutated.
+        assert print_module(module) == before
+
+    def test_results_ordered_by_partition(self):
+        module = build_workload(60, "sweep-order")
+        report = partition_sweep(module, 3, workers=2)
+        assert [r.partition for r in report.results] == [0, 1, 2]
+        assert sum(r.num_functions for r in report.results) >= 60
+
+    def test_rejects_nonpositive_partitions(self):
+        module = build_workload(10, "sweep-bad")
+        with pytest.raises(ValueError):
+            partition_sweep(module, 0)
