@@ -1,0 +1,90 @@
+"""Observability overhead gates (tier 2 + perf).
+
+The tracing layer's contract (DESIGN.md §10, docs/observability.md): with
+a live tracer *and* a metrics registry attached, the full merging pass on
+the 2000-function workload slows down by less than 5%; and the span-time
+totals must agree with the profiler's stage table — they are two views of
+the same timed regions, so disagreement means an instrumentation bug.
+
+Run on a quiet machine::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_obs_overhead.py -m perf --no-header -s
+"""
+
+import pytest
+
+from repro.harness.experiments import make_ranker
+from repro.harness.profile import _best_of_paired, profile_from_report
+from repro.merge import FunctionMergingPass, PassConfig
+from repro.obs.metrics import Registry
+from repro.obs.trace import Tracer, span_totals
+from repro.workloads import build_workload
+
+pytestmark = [pytest.mark.tier2, pytest.mark.perf]
+
+_SIZE = 2000
+_REPEATS = 3
+# Measured overhead is ~2.5% (≈12k spans + ~4k events over a ~4.3s pass);
+# the 5% gate is the documented contract and leaves ~2x headroom for
+# scheduler jitter on a loaded host.
+_GATE = 0.05
+
+
+def _run_pass(module, tracer=None, registry=None):
+    pass_ = FunctionMergingPass(
+        make_ranker("f3m"), PassConfig(verify=False), metrics=registry
+    )
+    if tracer is None:
+        return pass_.run(module)
+    with tracer.install():
+        return pass_.run(module)
+
+
+class TestEnabledTracingOverhead:
+    def test_overhead_under_budget(self):
+        # Fresh module per rep (the pass mutates its input); pre-built so
+        # only the pass is inside the timed region.  Interleaved rounds so
+        # both variants sample the same machine state.
+        plain = [build_workload(_SIZE, "obs-overhead") for _ in range(_REPEATS)]
+        traced = [build_workload(_SIZE, "obs-overhead") for _ in range(_REPEATS)]
+
+        def run_plain():
+            _run_pass(plain.pop())
+
+        def run_traced():
+            _run_pass(traced.pop(), tracer=Tracer(), registry=Registry())
+
+        best = _best_of_paired(
+            {"plain": run_plain, "traced": run_traced}, _REPEATS
+        )
+        overhead = best["traced"] / best["plain"] - 1.0
+        print(
+            f"\nobs overhead @ {_SIZE} functions: plain={best['plain']:.3f}s "
+            f"traced={best['traced']:.3f}s overhead={overhead:+.2%}"
+        )
+        assert overhead < _GATE, (
+            f"enabled tracing+metrics overhead {overhead:.2%} exceeds the "
+            f"{_GATE:.0%} contract"
+        )
+
+
+class TestSpanTotalsAgreeWithProfiler:
+    def test_stage_tables_match(self):
+        module = build_workload(_SIZE, "obs-agree")
+        ranker = make_ranker("f3m")
+        pass_ = FunctionMergingPass(ranker, PassConfig(verify=False))
+        tracer = Tracer(maxlen=1 << 20)
+        with tracer.install():
+            report = pass_.run(module)
+        totals = span_totals(tracer.finished())
+        stages = profile_from_report(report, ranker).stages
+        assert tracer.spans_dropped == 0  # ring sized for the full run
+        for stage, seconds in stages.items():
+            if seconds < 0.01:
+                continue  # sub-10ms stages are below timing resolution
+            assert stage in totals, f"no spans recorded for stage {stage!r}"
+            span_s = totals[stage]["total_s"]
+            assert span_s == pytest.approx(seconds, rel=0.05), (
+                f"stage {stage!r}: span total {span_s:.4f}s vs profiler "
+                f"{seconds:.4f}s disagree by more than 5%"
+            )

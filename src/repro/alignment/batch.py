@@ -40,6 +40,7 @@ from ..fingerprint.opcode_freq import _DIM, _INDEX
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import Alloca, FCmp, ICmp, Instruction
+from ..obs import trace
 from .cache import _KEY_SALT, AlignmentCache, BlockKey, PlanCache, block_key
 from .hyfm_blocks import _body
 from .model import BlockAlignment, FunctionAlignment, SharedSegment, SplitSegment
@@ -522,7 +523,15 @@ class BatchAlignmentEngine:
         )
         plan = self.plans.get(plan_key)
         if plan is not None and self._plan_valid(plan, fe_a, fe_b):
+            trace.event("plan_cache", hit=True)
             return self._apply_plan(plan, fe_a, fe_b)
+        trace.event("plan_cache", hit=False)
+        # Block-cache telemetry is one summary event per alignment, not one
+        # per lookup — a 2000-function run does ~9k lookups, and per-lookup
+        # events alone would eat most of the <5% tracing budget.
+        traced = trace.enabled()
+        if traced:
+            hits0, misses0 = self.cache.stats.hits, self.cache.stats.misses
 
         result = FunctionAlignment(func_a, func_b)
         if na and nb:
@@ -567,6 +576,12 @@ class BatchAlignmentEngine:
             result.unmatched_a = list(blocks_a)
             result.unmatched_b = list(blocks_b)
             self.plans.put(plan_key, ())
+        if traced:
+            trace.event(
+                "align_cache",
+                hits=self.cache.stats.hits - hits0,
+                misses=self.cache.stats.misses - misses0,
+            )
         return result
 
     # -- plan application --------------------------------------------------------------

@@ -30,6 +30,17 @@ from .ir.printer import print_module
 from .ir.verifier import verify_module
 from .merge.pass_ import FunctionMergingPass, PassConfig
 from .merge.identical import merge_identical_functions
+from .obs import trace as obs_trace
+from .obs.manifest import (
+    build_merge_manifest,
+    collect_pass_telemetry,
+    diff_manifests,
+    load_manifest,
+    render_manifest,
+    render_manifest_diff,
+    save_manifest,
+)
+from .obs.metrics import Registry
 from .staticcheck.checkers import all_checkers
 from .staticcheck.lint import lint_module
 from .transforms.pipeline import optimize_module
@@ -124,11 +135,37 @@ def _cmd_merge(args: argparse.Namespace) -> int:
         faults = (
             FaultInjector.parse(args.inject_fault) if args.inject_fault else None
         )
-        merge_report = FunctionMergingPass(ranker, config, faults=faults).run(module)
+        # Observability: --trace streams spans to a JSONL file, --metrics
+        # renders the run manifest to stderr; either one (or an explicit
+        # --manifest PATH) also writes the manifest JSON.
+        want_manifest = bool(args.metrics or args.manifest or args.trace)
+        registry = Registry() if want_manifest else None
+        pass_ = FunctionMergingPass(ranker, config, faults=faults, metrics=registry)
+        if args.trace:
+            tracer = obs_trace.Tracer(sink=args.trace)
+            with tracer.install():
+                merge_report = pass_.run(module)
+        else:
+            merge_report = pass_.run(module)
         print(merge_report.summary(), file=sys.stderr)
         print(format_outcome_table(merge_report.outcome_counts()), file=sys.stderr)
         for att in merge_report.contained_failures():
             print(f"contained failure: @{att.function} ({att.error})", file=sys.stderr)
+        if want_manifest:
+            collect_pass_telemetry(pass_, merge_report, registry)
+            manifest = build_merge_manifest(
+                merge_report,
+                ranker,
+                config,
+                module,
+                registry,
+                module_name=args.module,
+            )
+            manifest_path = args.manifest or "run-manifest.json"
+            save_manifest(manifest, manifest_path)
+            print(f"wrote manifest {manifest_path}", file=sys.stderr)
+            if args.metrics:
+                print(render_manifest(manifest), file=sys.stderr)
     if args.optimize:
         optimize_module(module, drop_dead_functions=False)
     verify_module(module)
@@ -222,6 +259,42 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_bench_manifest(
+    path: str, name: str, rows: List[dict], metadata: dict
+) -> None:
+    """A bench run as a manifest: headline + stage table of the largest size."""
+    import time as _time
+
+    from .obs.manifest import RunManifest, git_revision
+
+    largest = rows[-1] if rows else {}
+    profile_row = largest.get("f3m_profile") or largest.get("f3m-batched") or {}
+    stages = {
+        key[len("stage_") :]: value
+        for key, value in profile_row.items()
+        if key.startswith("stage_")
+    }
+    manifest = RunManifest(
+        kind=f"bench-{name}",
+        strategy=str(profile_row.get("strategy", "f3m")),
+        config={
+            k: v
+            for k, v in metadata.items()
+            if isinstance(v, (int, float, str, bool, type(None)))
+        },
+        git_rev=git_revision(),
+        created_unix=_time.time(),
+        functions=int(largest.get("size", 0)),
+        merges=int(profile_row.get("merges", 0)),
+        comparisons=int(profile_row.get("comparisons", 0)),
+        total_time=float(profile_row.get("total_time", 0.0)),
+        stages=stages,
+        metrics={"headline": dict(metadata.get("headline", {}))},
+    )
+    save_manifest(manifest, path)
+    print(f"wrote manifest {path}", file=sys.stderr)
+
+
 def _cmd_bench_perf(args: argparse.Namespace) -> int:
     from .harness.bench import write_bench_json
     from .harness.profile import run_attempt_bench, run_perf_bench
@@ -240,6 +313,8 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
             micro_repeats=args.micro_repeats,
         )
         write_bench_json(output, "attempt_perf", rows, metadata)
+        if args.manifest:
+            _write_bench_manifest(args.manifest, "attempt_perf", rows, metadata)
         headline = metadata["headline"]
         print(f"wrote {output}")
         print(
@@ -262,6 +337,8 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
         micro_repeats=args.micro_repeats,
     )
     write_bench_json(args.output, "f3m_perf", rows, metadata)
+    if args.manifest:
+        _write_bench_manifest(args.manifest, "f3m_perf", rows, metadata)
     headline = metadata["headline"]
     print(f"wrote {args.output}")
     print(
@@ -271,6 +348,19 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
         f"decisions_identical={headline['decisions_identical']}"
     )
     return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render one run manifest as tables, or diff two."""
+    manifest = load_manifest(args.manifest)
+    if args.other is None:
+        print(render_manifest(manifest))
+        return 0
+    other = load_manifest(args.other)
+    ignore = tuple(p for p in (args.ignore or "").split(",") if p)
+    diff = diff_manifests(manifest, other, rel_tol=args.rel_tol, ignore=ignore)
+    print(render_manifest_diff(diff))
+    return 1 if diff else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -330,6 +420,24 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "deterministically fail at a pipeline stage "
             f"({'|'.join(FAULT_STAGES)}), optionally only on the N-th hit"
+        ),
+    )
+    p_merge.add_argument(
+        "--trace",
+        metavar="FILE.jsonl",
+        help="stream pipeline spans to a JSONL trace file",
+    )
+    p_merge.add_argument(
+        "--metrics",
+        action="store_true",
+        help="render the run manifest (metrics, stages, outcomes) to stderr",
+    )
+    p_merge.add_argument(
+        "--manifest",
+        metavar="FILE.json",
+        help=(
+            "write the run manifest JSON here (default run-manifest.json "
+            "when --trace or --metrics is given)"
         ),
     )
     p_merge.set_defaults(func=_cmd_merge)
@@ -402,7 +510,38 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_perf.add_argument("-o", "--output", default="BENCH_f3m_perf.json")
+    p_perf.add_argument(
+        "--manifest",
+        metavar="FILE.json",
+        help="also write a run manifest describing this bench run",
+    )
     p_perf.set_defaults(func=_cmd_bench_perf)
+
+    p_report = sub.add_parser(
+        "report",
+        help="render a run manifest as tables, or diff two manifests",
+    )
+    p_report.add_argument("manifest", help="manifest JSON (repro merge --manifest)")
+    p_report.add_argument(
+        "other",
+        nargs="?",
+        help="second manifest: print the structural diff instead (exit 1 if any)",
+    )
+    p_report.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.0,
+        help="relative tolerance for numeric fields when diffing",
+    )
+    p_report.add_argument(
+        "--ignore",
+        metavar="PATH,PATH",
+        help=(
+            "comma-separated manifest paths to drop from the diff "
+            "(e.g. created_unix,git_rev,stages,total_time,metrics)"
+        ),
+    )
+    p_report.set_defaults(func=_cmd_report)
 
     return parser
 

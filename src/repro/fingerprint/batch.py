@@ -35,6 +35,7 @@ import numpy as np
 
 from ..analysis.linearizer import linearize
 from ..ir.function import Function
+from ..obs import trace
 from .encoding import EncodingOptions, encode_function
 from .minhash import MinHashConfig, MinHashFingerprint, _salts_for
 from .fnv import fnv1a_32_array_u32
@@ -366,7 +367,8 @@ def minhash_module(
     functions = list(functions)
     if not functions:
         return []
-    flat, lens = encode_module(functions, encoding)
+    with trace.span("encode", functions=len(functions)):
+        flat, lens = encode_module(functions, encoding)
     n = len(functions)
 
     def compute(sel_flat, sel_lens):
@@ -375,32 +377,35 @@ def minhash_module(
         return minhash_encoded_batch(sel_flat, sel_lens, config)
 
     if cache is None:
-        values, counts = compute(flat, lens)
+        with trace.span("minhash", functions=n, hashed=n):
+            values, counts = compute(flat, lens)
         return [
             MinHashFingerprint(values[i], config, int(counts[i])) for i in range(n)
         ]
 
-    keys = cache.keys_for(flat, lens, config)
-    resolved: dict = {}
-    compute_rows: List[int] = []
-    for i, key in enumerate(keys):
-        if key in resolved:
-            continue
-        hit = cache.get(key)
-        if hit is not None:
-            resolved[key] = hit
-        else:
-            resolved[key] = None
-            compute_rows.append(i)
-    if compute_rows:
-        rows = np.array(compute_rows, dtype=np.int64)
-        offsets = np.cumsum(lens) - lens
-        idx = _segment_indices(offsets[rows], lens[rows])
-        values, counts = compute(flat[idx], lens[rows])
-        for pos, i in enumerate(compute_rows):
-            entry = (values[pos], int(counts[pos]))
-            resolved[keys[i]] = entry
-            cache.put(keys[i], values[pos], int(counts[pos]))
+    with trace.span("minhash", functions=n) as sp:
+        keys = cache.keys_for(flat, lens, config)
+        resolved: dict = {}
+        compute_rows: List[int] = []
+        for i, key in enumerate(keys):
+            if key in resolved:
+                continue
+            hit = cache.get(key)
+            if hit is not None:
+                resolved[key] = hit
+            else:
+                resolved[key] = None
+                compute_rows.append(i)
+        sp.set(hashed=len(compute_rows), cache_hits=n - len(compute_rows))
+        if compute_rows:
+            rows = np.array(compute_rows, dtype=np.int64)
+            offsets = np.cumsum(lens) - lens
+            idx = _segment_indices(offsets[rows], lens[rows])
+            values, counts = compute(flat[idx], lens[rows])
+            for pos, i in enumerate(compute_rows):
+                entry = (values[pos], int(counts[pos]))
+                resolved[keys[i]] = entry
+                cache.put(keys[i], values[pos], int(counts[pos]))
     return [
         MinHashFingerprint(resolved[keys[i]][0], config, resolved[keys[i]][1])
         for i in range(n)

@@ -35,6 +35,7 @@ from ..faults import FaultInjector, InjectedFault
 from ..ir.module import Module
 from ..ir.verifier import VerificationError, verify_function
 from ..diagnostics import errors_only
+from ..obs import trace
 from ..oracle.differential import DifferentialOracle, OracleConfig
 from ..search.pairing import Ranker
 from ..staticcheck.lint import lint_commit, lint_merge
@@ -123,9 +124,13 @@ class FunctionMergingPass:
         faults: Optional[FaultInjector] = None,
         oracle: Optional[DifferentialOracle] = None,
         alignment_engine: Optional[BatchAlignmentEngine] = None,
+        metrics=None,
     ) -> None:
         self.ranker = ranker
         self.config = config
+        # Optional obs.metrics.Registry: when attached, run() folds the
+        # report's stage timings and outcome tallies into it.
+        self.metrics = metrics
         self.profitability = ProfitabilityModel()
         self.faults = faults
         if oracle is None and config.oracle:
@@ -193,7 +198,46 @@ class FunctionMergingPass:
             stats = self.engine.cache.stats.to_dict()
             stats["plan"] = self.engine.plans.stats.to_dict()
             report.align_cache_stats = stats
+        if self.metrics is not None:
+            self._record_metrics(report)
         return report
+
+    def _record_metrics(self, report: MergeReport) -> None:
+        """Fold the finished report into the attached metrics registry.
+
+        Runs once per pass, after the timed region, so attaching a
+        registry costs the attempts themselves nothing.
+        """
+        metrics = self.metrics
+        metrics.absorb_counts("merge.outcome", report.outcome_counts())
+        metrics.counter("merge.attempts").inc(len(report.attempts))
+        metrics.counter("merge.merges").inc(report.merges)
+        metrics.gauge("merge.size_before").set(report.size_before)
+        metrics.gauge("merge.size_after").set(report.size_after)
+        metrics.histogram("merge.preprocess_s").observe(report.preprocess_time)
+        stage_hists = {
+            "rank": metrics.histogram("merge.stage.rank_s"),
+            "bound": metrics.histogram("merge.stage.bound_s"),
+            "align": metrics.histogram("merge.stage.align_s"),
+            "codegen": metrics.histogram("merge.stage.codegen_s"),
+            "staticcheck": metrics.histogram("merge.stage.staticcheck_s"),
+            "oracle": metrics.histogram("merge.stage.oracle_s"),
+            "commit": metrics.histogram("merge.stage.commit_s"),
+        }
+        for att in report.attempts:
+            stage_hists["rank"].observe(att.ranking_time)
+            if att.bound_time:
+                stage_hists["bound"].observe(att.bound_time)
+            if att.align_time:
+                stage_hists["align"].observe(att.align_time)
+            if att.codegen_time:
+                stage_hists["codegen"].observe(att.codegen_time)
+            if att.static_time:
+                stage_hists["staticcheck"].observe(att.static_time)
+            if att.oracle_time:
+                stage_hists["oracle"].observe(att.oracle_time)
+            if att.update_time:
+                stage_hists["commit"].observe(att.update_time)
 
     # -- body-derived memo hygiene ----------------------------------------------------
     def _invalidate(self, functions) -> None:
@@ -220,6 +264,14 @@ class FunctionMergingPass:
         exit path either commits the transaction (successful merge) or
         rolls it back, so the module is never left half-mutated.
         """
+        with trace.span("attempt", fn=func.name) as sp:
+            record, merged = self._attempt_guarded(module, func, consumed, threshold)
+            sp.set(outcome=str(record.outcome), similarity=record.similarity)
+            if record.candidate is not None:
+                sp.set(candidate=record.candidate)
+            return record, merged
+
+    def _attempt_guarded(self, module, func, consumed, threshold):
         txn = MergeTransaction(module)
         ctx = _AttemptContext(record=AttemptRecord(func.name, None, 0.0, Outcome.NO_CANDIDATE))
         try:
@@ -270,11 +322,15 @@ class FunctionMergingPass:
         reads the failure stage and partial timings back off *ctx.record*."""
         record = ctx.record
         ctx.stage = "rank"
-        t0 = time.perf_counter()
-        if self.faults is not None:
-            self.faults.hit("rank")
-        match = self.ranker.best_match(func)
-        record.ranking_time = time.perf_counter() - t0
+        # Stage spans share their names with the profiler's PERF_STAGES
+        # keys, so span_totals() and the stage table describe the same
+        # regions (gated within 5% by benchmarks/test_obs_overhead.py).
+        with trace.span("rank"):
+            t0 = time.perf_counter()
+            if self.faults is not None:
+                self.faults.hit("rank")
+            match = self.ranker.best_match(func)
+            record.ranking_time = time.perf_counter() - t0
 
         if match is None:
             return record, None
@@ -287,11 +343,12 @@ class FunctionMergingPass:
 
         if self.config.prealign_bound:
             ctx.stage = "bound"
-            t0 = time.perf_counter()
-            try:
-                bound, shared_pairs = self.bound.query(func, other)
-            finally:
-                record.bound_time = time.perf_counter() - t0
+            with trace.span("bound"):
+                t0 = time.perf_counter()
+                try:
+                    bound, shared_pairs = self.bound.query(func, other)
+                finally:
+                    record.bound_time = time.perf_counter() - t0
             if shared_pairs == 0 or bound <= 0:
                 # No common mergeability class means alignment would match
                 # nothing; a non-positive saving bound means profitability
@@ -301,48 +358,50 @@ class FunctionMergingPass:
                 return record, None
 
         ctx.stage = "align"
-        t0 = time.perf_counter()
-        try:
-            if self.faults is not None:
-                self.faults.hit("align")
-            if func.return_type is not other.return_type:
-                record.outcome = Outcome.ALIGN_FAIL
-                return record, None
-            if self.engine is not None:
-                alignment = self.engine.align_functions(
-                    func, other, strategy=self.config.alignment
-                )
-            else:
-                alignment = align_functions(
-                    func,
-                    other,
-                    strategy=self.config.alignment,
-                    fp_memo=self._fp_memo,
-                )
-        finally:
-            record.align_time = time.perf_counter() - t0
+        with trace.span("align", fn_a=func.name, fn_b=other.name):
+            t0 = time.perf_counter()
+            try:
+                if self.faults is not None:
+                    self.faults.hit("align")
+                if func.return_type is not other.return_type:
+                    record.outcome = Outcome.ALIGN_FAIL
+                    return record, None
+                if self.engine is not None:
+                    alignment = self.engine.align_functions(
+                        func, other, strategy=self.config.alignment
+                    )
+                else:
+                    alignment = align_functions(
+                        func,
+                        other,
+                        strategy=self.config.alignment,
+                        fp_memo=self._fp_memo,
+                    )
+            finally:
+                record.align_time = time.perf_counter() - t0
         record.alignment_ratio = alignment.alignment_ratio
         if alignment.matched_instructions == 0:
             record.outcome = Outcome.ALIGN_FAIL
             return record, None
 
         ctx.stage = "codegen"
-        t0 = time.perf_counter()
-        try:
-            if self.faults is not None:
-                self.faults.hit("codegen")
-            result: MergeResult = merge_functions(
-                alignment,
-                module,
-                options=MergeOptions(legacy_bugs=self.config.legacy_bugs),
-            )
-            ctx.stage = "verify"
-            if self.config.verify:
+        with trace.span("codegen"):
+            t0 = time.perf_counter()
+            try:
                 if self.faults is not None:
-                    self.faults.hit("verify")
-                verify_function(result.merged)
-        finally:
-            record.codegen_time = time.perf_counter() - t0
+                    self.faults.hit("codegen")
+                result: MergeResult = merge_functions(
+                    alignment,
+                    module,
+                    options=MergeOptions(legacy_bugs=self.config.legacy_bugs),
+                )
+                ctx.stage = "verify"
+                if self.config.verify:
+                    if self.faults is not None:
+                        self.faults.hit("verify")
+                    verify_function(result.merged)
+            finally:
+                record.codegen_time = time.perf_counter() - t0
 
         benefit = self.profitability.evaluate(result)
         if not benefit.profitable:
@@ -352,13 +411,14 @@ class FunctionMergingPass:
 
         if self.config.static_check:
             ctx.stage = "staticcheck"
-            t0 = time.perf_counter()
-            try:
-                if self.faults is not None:
-                    self.faults.hit("staticcheck")
-                static_errors = errors_only(lint_merge(result, module))
-            finally:
-                record.static_time = time.perf_counter() - t0
+            with trace.span("staticcheck"):
+                t0 = time.perf_counter()
+                try:
+                    if self.faults is not None:
+                        self.faults.hit("staticcheck")
+                    static_errors = errors_only(lint_merge(result, module))
+                finally:
+                    record.static_time = time.perf_counter() - t0
             if static_errors:
                 txn.rollback()
                 record.outcome = Outcome.STATIC_FAIL
@@ -368,13 +428,14 @@ class FunctionMergingPass:
 
         if self.oracle is not None:
             ctx.stage = "oracle"
-            t0 = time.perf_counter()
-            try:
-                if self.faults is not None:
-                    self.faults.hit("oracle")
-                verdict = self.oracle.check(result)
-            finally:
-                record.oracle_time = time.perf_counter() - t0
+            with trace.span("oracle"):
+                t0 = time.perf_counter()
+                try:
+                    if self.faults is not None:
+                        self.faults.hit("oracle")
+                    verdict = self.oracle.check(result)
+                finally:
+                    record.oracle_time = time.perf_counter() - t0
             if not verdict.equivalent:
                 txn.rollback()
                 record.outcome = Outcome.ORACLE_FAIL
@@ -382,30 +443,32 @@ class FunctionMergingPass:
                 return record, None
 
         ctx.stage = "commit"
-        t0 = time.perf_counter()
-        txn.capture_commit_set(result.function_a, result.function_b)
-        touched = txn.captured_functions()
-        commit_merge(result, faults=self.faults)
-        if self.config.static_check:
-            # Re-lint the *applied* commit (thunk shape, call-site rewrites,
-            # dangling references) while the transaction can still undo it.
-            t1 = time.perf_counter()
-            commit_errors = errors_only(lint_commit(result, module))
-            record.static_time += time.perf_counter() - t1
-            if commit_errors:
-                txn.rollback()
-                self._invalidate(touched)
-                record.outcome = Outcome.STATIC_FAIL
-                first = commit_errors[0]
-                record.error = f"static:{first.checker}:{first.message}"
-                return record, None
-        txn.commit()
-        self._invalidate(touched)
-        self.ranker.remove(func)
-        self.ranker.remove(other)
-        consumed.add(id(func))
-        consumed.add(id(other))
-        record.update_time = time.perf_counter() - t0
+        with trace.span("commit"):
+            t0 = time.perf_counter()
+            txn.capture_commit_set(result.function_a, result.function_b)
+            touched = txn.captured_functions()
+            commit_merge(result, faults=self.faults)
+            if self.config.static_check:
+                # Re-lint the *applied* commit (thunk shape, call-site
+                # rewrites, dangling references) while the transaction can
+                # still undo it.
+                t1 = time.perf_counter()
+                commit_errors = errors_only(lint_commit(result, module))
+                record.static_time += time.perf_counter() - t1
+                if commit_errors:
+                    txn.rollback()
+                    self._invalidate(touched)
+                    record.outcome = Outcome.STATIC_FAIL
+                    first = commit_errors[0]
+                    record.error = f"static:{first.checker}:{first.message}"
+                    return record, None
+            txn.commit()
+            self._invalidate(touched)
+            self.ranker.remove(func)
+            self.ranker.remove(other)
+            consumed.add(id(func))
+            consumed.add(id(other))
+            record.update_time = time.perf_counter() - t0
         record.saving = benefit.saving
         record.outcome = Outcome.MERGED
         return record, result.merged

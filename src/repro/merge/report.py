@@ -36,17 +36,25 @@ class Outcome(str, Enum):
     The string values are the stable, externally visible names (reports,
     tables, CLI output); the enum being a ``str`` subclass keeps existing
     ``record.outcome == "merged"`` comparisons working.
+
+    **Member definition order is the canonical display order** — success
+    first, then rejections in the order the pipeline can produce them
+    (ranking → threshold → bound → alignment → codegen → profitability →
+    static gate → oracle gate), then the containment outcomes.  Everything
+    that enumerates outcomes (:data:`OUTCOMES`,
+    :meth:`MergeReport.outcome_counts`, the harness outcome table, run
+    manifests) derives its order from here and nowhere else.
     """
 
     MERGED = "merged"
-    UNPROFITABLE = "unprofitable"
-    CODEGEN_FAIL = "codegen_fail"
-    ALIGN_FAIL = "align_fail"
+    NO_CANDIDATE = "no_candidate"
     REJECTED_THRESHOLD = "rejected_threshold"
     # The pre-alignment profitability bound proved the pair can never be
     # profitable, so alignment and codegen were skipped entirely.
     REJECTED_BOUND = "rejected_bound"
-    NO_CANDIDATE = "no_candidate"
+    ALIGN_FAIL = "align_fail"
+    CODEGEN_FAIL = "codegen_fail"
+    UNPROFITABLE = "unprofitable"
     # Robustness outcomes: the static merge-safety linter or the
     # differential oracle vetoed the commit, an unexpected exception was
     # contained before any module mutation, or a partially applied commit
@@ -60,6 +68,8 @@ class Outcome(str, Enum):
         return self.value
 
 
+#: Canonical outcome order (the Outcome definition order); every table and
+#: manifest renders outcomes in exactly this sequence.
 OUTCOMES = tuple(o.value for o in Outcome)
 
 

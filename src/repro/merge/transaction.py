@@ -31,6 +31,7 @@ from typing import Dict, List
 from ..ir.clone import clone_function_into
 from ..ir.function import Function
 from ..ir.module import Module
+from ..obs import trace
 
 __all__ = ["MergeTransaction"]
 
@@ -115,6 +116,7 @@ class MergeTransaction:
     # -- resolution --------------------------------------------------------------
     def commit(self) -> None:
         """Keep the mutations; drop the snapshots."""
+        trace.event("txn_commit", captured=len(self._backups))
         self._backups.clear()
         self._closed = True
 
@@ -126,6 +128,7 @@ class MergeTransaction:
         """
         if self._closed:
             return
+        trace.event("txn_rollback", captured=len(self._backups))
         module = self.module
         # 1. Restore captured bodies onto the original function objects.
         for backup in self._backups.values():

@@ -1,0 +1,220 @@
+"""Metrics registry: counters, gauges, log2-bucketed histograms, sources.
+
+The pipeline already counts a lot — fingerprint-cache hits, alignment-plan
+evictions, LSH tombstones, per-outcome attempt tallies — but each counter
+lives with its owner and is reported ad hoc.  The :class:`Registry` gives
+them one front door:
+
+* native instruments (:class:`Counter`, :class:`Gauge`,
+  :class:`Histogram`) for new measurements, created on first use and
+  namespaced by dotted names (``merge.outcome.merged``);
+* *sources* — callables returning a flat mapping — registered for the
+  existing stat objects (``FingerprintCache.stats.to_dict`` and friends),
+  read lazily at snapshot time so owners keep their counters and the
+  registry never double-books;
+* :meth:`Registry.snapshot` folds both into one JSON-ready dict, the
+  ``metrics`` block of the run manifest.
+
+Histograms use **fixed log2 buckets**: an observation lands in bucket
+``e`` when ``2**e <= value < 2**(e+1)``.  Bucket counts plus total/min/max
+give percentile *upper bounds* without retaining raw samples, so a
+histogram's memory cost is constant no matter how many stage timings a
+2000-function run records.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable, Dict, List, Mapping, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "Registry"]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (sizes, live counts)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+
+# Histogram bucket range: 2**-40 (~1e-12, well under a clock tick) to
+# 2**24 (~1.7e7 — seconds, bytes or counts alike fit).  Observations
+# outside the range land in the first/last bucket; zeros and negatives
+# are counted separately (log2 is undefined for them).
+_MIN_EXP = -40
+_MAX_EXP = 24
+
+
+class Histogram:
+    """Fixed log2-bucket histogram; constant memory, percentile bounds."""
+
+    __slots__ = ("name", "count", "total", "zeros", "minimum", "maximum", "_buckets")
+
+    MIN_EXP = _MIN_EXP
+    MAX_EXP = _MAX_EXP
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.zeros = 0  # observations <= 0 (no defined bucket)
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._buckets: Dict[int, int] = {}
+
+    @staticmethod
+    def bucket_of(value: float) -> int:
+        """The bucket exponent *e* with ``2**e <= value < 2**(e+1)``,
+        clamped to ``[MIN_EXP, MAX_EXP]``.  Requires ``value > 0``."""
+        # frexp: value = m * 2**x with 0.5 <= m < 1, so floor(log2) = x-1.
+        # Exact for powers of two, unlike floor(log(value, 2)).
+        _, exp = math.frexp(value)
+        return min(max(exp - 1, _MIN_EXP), _MAX_EXP)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if value <= 0:
+            self.zeros += 1
+            return
+        e = self.bucket_of(value)
+        self._buckets[e] = self._buckets.get(e, 0) + 1
+
+    def percentile(self, q: float) -> float:
+        """Upper-bound estimate of the *q*-quantile (``0 < q <= 1``): the
+        upper edge of the bucket where the cumulative count crosses."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must be in (0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = math.ceil(q * self.count)
+        seen = self.zeros
+        if seen >= target:
+            return 0.0
+        for e in sorted(self._buckets):
+            seen += self._buckets[e]
+            if seen >= target:
+                return float(2.0 ** (e + 1))
+        return self.maximum
+
+    def to_dict(self) -> Dict[str, object]:
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.total / self.count,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+            "zeros": self.zeros,
+            # JSON keys must be strings; "e" means [2**e, 2**(e+1)).
+            "buckets": {str(e): c for e, c in sorted(self._buckets.items())},
+        }
+
+
+class Registry:
+    """Namespace of instruments plus snapshot-time external sources."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._sources: Dict[str, Callable[[], Mapping[str, object]]] = {}
+
+    # -- instruments (get-or-create) ---------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = Counter(name)
+                self._counters[name] = inst
+            return inst
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                inst = Gauge(name)
+                self._gauges[name] = inst
+            return inst
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            inst = self._histograms.get(name)
+            if inst is None:
+                inst = Histogram(name)
+                self._histograms[name] = inst
+            return inst
+
+    # -- external sources --------------------------------------------------------------
+    def register_source(
+        self, name: str, supplier: Callable[[], Mapping[str, object]]
+    ) -> None:
+        """Absorb an existing stats owner: *supplier* is called at each
+        snapshot and its mapping lands under ``sources.<name>``.  The
+        owner keeps its counters; re-registering a name replaces it."""
+        with self._lock:
+            self._sources[name] = supplier
+
+    def absorb_counts(self, prefix: str, counts: Mapping[str, int]) -> None:
+        """Fold a one-shot ``{key: count}`` mapping into counters under
+        ``<prefix>.<key>`` (outcome tallies, per-stage attempt counts)."""
+        for key, value in counts.items():
+            self.counter(f"{prefix}.{key}").inc(int(value))
+
+    # -- snapshot ----------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """One JSON-ready view of everything the registry knows."""
+        with self._lock:
+            counters = {name: c.value for name, c in sorted(self._counters.items())}
+            gauges = {name: g.value for name, g in sorted(self._gauges.items())}
+            histograms = {
+                name: h.to_dict() for name, h in sorted(self._histograms.items())
+            }
+            sources = list(self._sources.items())
+        out: Dict[str, object] = {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "sources": {},
+        }
+        resolved: Dict[str, object] = out["sources"]  # type: ignore[assignment]
+        for name, supplier in sorted(sources):
+            try:
+                resolved[name] = dict(supplier())
+            except Exception as exc:  # a broken source must not sink a report
+                resolved[name] = {"error": f"{type(exc).__name__}: {exc}"}
+        return out

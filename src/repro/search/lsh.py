@@ -26,6 +26,7 @@ import numpy as np
 
 from ..fingerprint.fnv import fnv1a_32_array_u32
 from ..fingerprint.minhash import MinHashFingerprint
+from ..obs import trace
 
 __all__ = ["LSHIndex", "LSHQueryStats", "BucketStats"]
 
@@ -313,15 +314,22 @@ class LSHIndex(Generic[KeyT]):
         them (paper Section IV-E).
         """
         stats = stats if stats is not None else LSHQueryStats()
-        me = self._row_of[key]
-        candidates = self._candidate_rows(me, stats)
-        stats.candidates_seen += len(candidates)
-        stats.comparisons += len(candidates)
-        if not candidates:
-            return []
-        sims = self._batch_similarity(me, candidates)
-        keys = self._keys
-        return [(keys[row], float(s)) for row, s in zip(candidates, sims)]
+        with trace.span("lsh_query") as sp:
+            probed0, capped0 = stats.buckets_probed, stats.capped_buckets
+            me = self._row_of[key]
+            candidates = self._candidate_rows(me, stats)
+            stats.candidates_seen += len(candidates)
+            stats.comparisons += len(candidates)
+            sp.set(
+                buckets_probed=stats.buckets_probed - probed0,
+                capped_buckets=stats.capped_buckets - capped0,
+                candidates=len(candidates),
+            )
+            if not candidates:
+                return []
+            sims = self._batch_similarity(me, candidates)
+            keys = self._keys
+            return [(keys[row], float(s)) for row, s in zip(candidates, sims)]
 
     def _base_slice_of_key(self, bucket_key: int) -> Optional[Tuple[int, int]]:
         """Locate a bucket in the base layer by key (binary search).
@@ -425,17 +433,40 @@ class LSHIndex(Generic[KeyT]):
     ) -> Optional[Tuple[KeyT, float]]:
         """The nearest live candidate by estimated Jaccard similarity."""
         stats = stats if stats is not None else LSHQueryStats()
-        me = self._row_of[key]
-        candidates = self._candidate_rows(me, stats)
-        stats.candidates_seen += len(candidates)
-        stats.comparisons += len(candidates)
-        if not candidates:
-            return None
-        sims = self._batch_similarity(me, candidates)
-        best = int(sims.argmax())
-        return self._keys[candidates[best]], float(sims[best])
+        with trace.span("lsh_query") as sp:
+            probed0, capped0 = stats.buckets_probed, stats.capped_buckets
+            me = self._row_of[key]
+            candidates = self._candidate_rows(me, stats)
+            stats.candidates_seen += len(candidates)
+            stats.comparisons += len(candidates)
+            sp.set(
+                buckets_probed=stats.buckets_probed - probed0,
+                capped_buckets=stats.capped_buckets - capped0,
+                candidates=len(candidates),
+            )
+            if not candidates:
+                return None
+            sims = self._batch_similarity(me, candidates)
+            best = int(sims.argmax())
+            return self._keys[candidates[best]], float(sims[best])
 
     # -- diagnostics ------------------------------------------------------------------
+    def index_stats(self) -> Dict[str, int]:
+        """Structural counters for the metrics registry: live vs stored
+        rows (the difference is tombstones), compactions, layer sizes."""
+        stored = len(self._keys)
+        return {
+            "rows": self.rows,
+            "bands": self.bands,
+            "bucket_cap": self.bucket_cap if self.bucket_cap is not None else -1,
+            "live": self._live_count,
+            "stored": stored,
+            "tombstones": stored - self._live_count,
+            "compactions": self.compactions,
+            "base_rows": self._base_count,
+            "overflow_buckets": len(self._buckets),
+        }
+
     def bucket_stats(self) -> BucketStats:
         sk = self._base_sorted_keys
         if sk is not None and sk.shape[0]:

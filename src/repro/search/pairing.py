@@ -27,6 +27,7 @@ from ..fingerprint.encoding import EncodingOptions
 from ..fingerprint.minhash import MinHashConfig, MinHashFingerprint, minhash_function
 from ..fingerprint.opcode_freq import OpcodeFingerprint, fingerprint_function
 from ..ir.function import Function
+from ..obs import trace
 from .adaptive import AdaptiveParameters, adaptive_parameters
 from .lsh import LSHIndex, LSHQueryStats
 
@@ -122,8 +123,11 @@ class ExhaustiveRanker(Ranker):
         self._stats = RankingStats()
 
     def preprocess(self, functions: List[Function]) -> None:
-        for func in functions:
-            self.insert(func)
+        # One span for the whole build: the exhaustive path interleaves
+        # fingerprinting and matrix growth, so there is no index split.
+        with trace.span("fingerprint", functions=len(functions), ranker=self.name):
+            for func in functions:
+                self.insert(func)
 
     def insert(self, func: Function) -> None:
         fp = fingerprint_function(func)
@@ -272,22 +276,27 @@ class MinHashLSHRanker(Ranker):
             bands = self.bands if self.bands is not None else self.config.k // self.rows
         self._index = LSHIndex(rows=self.rows, bands=bands, bucket_cap=self.bucket_cap)
         if not self.batched:
-            for func in functions:
-                self.insert(func)
+            with trace.span(
+                "fingerprint", functions=len(functions), ranker=self.name
+            ):
+                for func in functions:
+                    self.insert(func)
             return
-        t0 = time.perf_counter()
-        fingerprints = minhash_module(
-            functions,
-            self.config,
-            self.encoding,
-            cache=self.cache,
-            workers=self.workers,
-        )
-        t1 = time.perf_counter()
-        self._index.insert_batch([id(f) for f in functions], fingerprints)
-        for func in functions:
-            self._functions[id(func)] = func
-        t2 = time.perf_counter()
+        with trace.span("fingerprint", functions=len(functions), ranker=self.name):
+            t0 = time.perf_counter()
+            fingerprints = minhash_module(
+                functions,
+                self.config,
+                self.encoding,
+                cache=self.cache,
+                workers=self.workers,
+            )
+            t1 = time.perf_counter()
+        with trace.span("index", functions=len(functions)):
+            self._index.insert_batch([id(f) for f in functions], fingerprints)
+            for func in functions:
+                self._functions[id(func)] = func
+            t2 = time.perf_counter()
         self._breakdown = {"fingerprint": t1 - t0, "index": t2 - t1}
 
     def insert(self, func: Function) -> None:

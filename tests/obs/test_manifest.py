@@ -1,0 +1,187 @@
+"""Tests for run manifests: round-trip exactness, structural diffing,
+rendering, and telemetry collection from a real pass."""
+
+import pytest
+
+from repro.harness.experiments import make_ranker
+from repro.merge import FunctionMergingPass, PassConfig
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    RunManifest,
+    build_merge_manifest,
+    collect_pass_telemetry,
+    diff_manifests,
+    git_revision,
+    load_manifest,
+    module_digest,
+    render_manifest,
+    render_manifest_diff,
+    save_manifest,
+)
+from repro.obs.metrics import Registry
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def merge_run():
+    """One real (small) pass run plus its manifest inputs."""
+    module = build_workload(40, "manifest")
+    ranker = make_ranker("f3m")
+    config = PassConfig(verify=False)
+    pass_ = FunctionMergingPass(ranker, config)
+    report = pass_.run(module)
+    registry = Registry()
+    collect_pass_telemetry(pass_, report, registry)
+    manifest = build_merge_manifest(
+        report,
+        ranker=ranker,
+        pass_config=config,
+        module=module,
+        registry=registry,
+        module_name="manifest-suite",
+        seed=42,
+    )
+    return pass_, report, registry, manifest
+
+
+class TestIdentityHelpers:
+    def test_git_revision_shape(self):
+        rev = git_revision()
+        assert rev is None or (len(rev) == 40 and int(rev, 16) >= 0)
+
+    def test_git_revision_outside_repo(self, tmp_path):
+        assert git_revision(cwd=str(tmp_path)) is None
+
+    def test_module_digest_tracks_content(self):
+        a = build_workload(5, "dig")
+        b = build_workload(5, "dig")
+        c = build_workload(6, "dig")
+        assert module_digest(a) == module_digest(b)
+        assert module_digest(a) != module_digest(c)
+        assert len(module_digest(a)) == 64
+
+
+class TestRoundTrip:
+    def test_emit_save_load_diff_empty(self, merge_run, tmp_path):
+        _, _, _, manifest = merge_run
+        path = tmp_path / "run.json"
+        save_manifest(manifest, str(path))
+        loaded = load_manifest(str(path))
+        assert diff_manifests(manifest, loaded) == {}
+        assert loaded.schema == MANIFEST_SCHEMA
+        assert loaded.size_reduction == pytest.approx(manifest.size_reduction)
+
+    def test_from_dict_ignores_unknown_fields(self):
+        m = RunManifest.from_dict({"kind": "merge", "strategy": "x", "bogus": 1})
+        assert m.kind == "merge"
+        assert not hasattr(m, "bogus")
+
+
+class TestManifestContents:
+    def test_stage_table_matches_profiler(self, merge_run):
+        from repro.harness.profile import profile_from_report
+
+        pass_, report, _, manifest = merge_run
+        profile = profile_from_report(report, pass_.ranker)
+        assert manifest.stages == profile.stages
+
+    def test_outcome_table_canonical_order(self, merge_run):
+        from repro.merge.report import OUTCOMES
+
+        _, _, _, manifest = merge_run
+        assert tuple(manifest.outcomes) == OUTCOMES
+
+    def test_static_ranker_has_no_adaptive_block(self, merge_run):
+        _, _, _, manifest = merge_run
+        assert manifest.adaptive is None
+
+    def test_adaptive_parameters_present(self):
+        module = build_workload(20, "manifest-adaptive")
+        ranker = make_ranker("f3m-adaptive")
+        report = FunctionMergingPass(ranker, PassConfig(verify=False)).run(module)
+        manifest = build_merge_manifest(report, ranker=ranker)
+        assert manifest.adaptive is not None
+        assert set(manifest.adaptive) == {
+            "threshold", "rows", "bands", "fingerprint_size",
+        }
+        assert manifest.adaptive["fingerprint_size"] == (
+            manifest.adaptive["rows"] * manifest.adaptive["bands"]
+        )
+
+    def test_config_is_the_pass_config(self, merge_run):
+        _, _, _, manifest = merge_run
+        assert manifest.config["verify"] is False
+        assert "oracle" in manifest.config
+
+
+class TestTelemetryCollection:
+    def test_outcome_counters_match_report(self, merge_run):
+        _, report, registry, _ = merge_run
+        snap = registry.snapshot()
+        for outcome, count in report.outcome_counts().items():
+            assert snap["counters"][f"merge.outcome.{outcome}"] == count
+        assert snap["counters"]["merge.attempts"] == len(report.attempts)
+        assert snap["counters"]["merge.merges"] == report.merges
+
+    def test_lsh_and_ranking_sources_registered(self, merge_run):
+        _, _, registry, _ = merge_run
+        sources = registry.snapshot()["sources"]
+        assert "ranking" in sources
+        assert sources["ranking"]["queries"] > 0
+        assert "lsh_index" in sources
+        assert sources["lsh_index"]["rows"] > 0
+
+
+class TestDiff:
+    def test_detects_leaf_changes_with_dotted_paths(self, merge_run):
+        _, _, _, manifest = merge_run
+        other = RunManifest.from_dict(manifest.to_dict())
+        other.merges = manifest.merges + 1
+        other.stages = dict(manifest.stages, rank=123.0)
+        diff = diff_manifests(manifest, other)
+        assert diff["merges"] == {"a": manifest.merges, "b": manifest.merges + 1}
+        assert "stages.rank" in diff
+
+    def test_rel_tol_forgives_timing_noise(self, merge_run):
+        _, _, _, manifest = merge_run
+        other = RunManifest.from_dict(manifest.to_dict())
+        other.total_time = manifest.total_time * 1.04
+        assert "total_time" in diff_manifests(manifest, other)
+        assert diff_manifests(manifest, other, rel_tol=0.05) == {}
+
+    def test_ignore_prefixes(self, merge_run):
+        _, _, _, manifest = merge_run
+        other = RunManifest.from_dict(manifest.to_dict())
+        other.created_unix = manifest.created_unix + 100
+        other.stages = dict(manifest.stages, rank=123.0)
+        diff = diff_manifests(manifest, other, ignore=("created_unix", "stages"))
+        assert diff == {}
+
+    def test_bool_not_conflated_with_int(self):
+        a = RunManifest(kind="merge", config={"flag": True})
+        b = RunManifest(kind="merge", config={"flag": 1})
+        # bool vs int compare equal in Python but must still round-trip;
+        # the diff treats them as equal leaves (JSON has no bool/int pun).
+        assert diff_manifests(a, b) == {}
+
+    def test_missing_key_reported(self):
+        a = RunManifest(kind="merge", config={"x": 1})
+        b = RunManifest(kind="merge", config={})
+        assert diff_manifests(a, b)["config.x"] == {"a": 1, "b": None}
+
+
+class TestRendering:
+    def test_render_manifest_shows_tables(self, merge_run):
+        _, report, _, manifest = merge_run
+        text = render_manifest(manifest)
+        assert "strategy" in text
+        assert "fingerprint" in text  # stage table
+        assert "merged" in text  # outcome table
+        assert "ranking.queries" in text  # sources metrics table
+        assert str(report.merges) in text
+
+    def test_render_diff(self, merge_run):
+        _, _, _, manifest = merge_run
+        assert render_manifest_diff({}) == "manifests identical"
+        out = render_manifest_diff({"merges": {"a": 1, "b": 2}})
+        assert "merges" in out and "1" in out and "2" in out

@@ -1,0 +1,151 @@
+"""Tests for the metrics registry: instruments, log2 bucket edges,
+percentile bounds, and snapshot-time sources."""
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, Registry
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        c = Counter("n")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("v")
+        g.set(10.0)
+        g.add(-3.0)
+        assert g.value == 7.0
+
+
+class TestHistogramBuckets:
+    # bucket e holds [2**e, 2**(e+1))
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (1.0, 0),
+            (1.5, 0),
+            (1.9999999, 0),
+            (2.0, 1),
+            (0.5, -1),
+            (0.9999999, -1),
+            (0.25, -2),
+            (1024.0, 10),
+            (3.0, 1),
+            (4.0, 2),
+        ],
+    )
+    def test_bucket_edges(self, value, expected):
+        assert Histogram.bucket_of(value) == expected
+
+    def test_bucket_exact_at_powers_of_two(self):
+        # The frexp formulation must not suffer float-log rounding: 2**e
+        # belongs to bucket e, never e-1.
+        for e in range(-30, 20):
+            assert Histogram.bucket_of(2.0 ** e) == e
+
+    def test_clamping(self):
+        assert Histogram.bucket_of(1e-300) == Histogram.MIN_EXP
+        assert Histogram.bucket_of(1e300) == Histogram.MAX_EXP
+
+    def test_zeros_and_negatives_counted_separately(self):
+        h = Histogram("t")
+        h.observe(0.0)
+        h.observe(-1.0)
+        h.observe(1.0)
+        assert h.count == 3
+        assert h.zeros == 2
+        assert sum(h._buckets.values()) == 1
+
+
+class TestHistogramPercentiles:
+    def test_percentile_is_bucket_upper_bound(self):
+        h = Histogram("t")
+        for v in [1.0, 1.0, 1.0, 1.0, 8.0]:  # four in bucket 0, one in bucket 3
+            h.observe(v)
+        assert h.percentile(0.5) == 2.0  # upper edge of bucket 0
+        assert h.percentile(1.0) == 16.0  # upper edge of bucket 3
+
+    def test_percentile_with_zeros(self):
+        h = Histogram("t")
+        for _ in range(9):
+            h.observe(0.0)
+        h.observe(4.0)
+        assert h.percentile(0.5) == 0.0
+        assert h.percentile(1.0) == 8.0
+
+    def test_percentile_validation_and_empty(self):
+        h = Histogram("t")
+        assert h.percentile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            h.percentile(0.0)
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+    def test_to_dict(self):
+        h = Histogram("t")
+        assert h.to_dict() == {"count": 0}
+        h.observe(1.0)
+        h.observe(3.0)
+        d = h.to_dict()
+        assert d["count"] == 2
+        assert d["sum"] == 4.0
+        assert d["mean"] == 2.0
+        assert d["min"] == 1.0
+        assert d["max"] == 3.0
+        assert d["buckets"] == {"0": 1, "1": 1}  # JSON-safe string keys
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        r = Registry()
+        assert r.counter("a") is r.counter("a")
+        assert r.gauge("g") is r.gauge("g")
+        assert r.histogram("h") is r.histogram("h")
+
+    def test_absorb_counts(self):
+        r = Registry()
+        r.absorb_counts("merge.outcome", {"merged": 3, "align_fail": 1})
+        snap = r.snapshot()
+        assert snap["counters"]["merge.outcome.merged"] == 3
+        assert snap["counters"]["merge.outcome.align_fail"] == 1
+
+    def test_snapshot_shape(self):
+        r = Registry()
+        r.counter("c").inc(2)
+        r.gauge("g").set(1.5)
+        r.histogram("h").observe(1.0)
+        r.register_source("owner", lambda: {"hits": 7})
+        snap = r.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["sources"] == {"owner": {"hits": 7}}
+
+    def test_broken_source_degrades_not_raises(self):
+        r = Registry()
+
+        def bad():
+            raise RuntimeError("gone")
+
+        r.register_source("bad", bad)
+        r.register_source("good", lambda: {"ok": 1})
+        snap = r.snapshot()
+        assert snap["sources"]["good"] == {"ok": 1}
+        assert snap["sources"]["bad"] == {"error": "RuntimeError: gone"}
+
+    def test_source_sampled_at_snapshot_time(self):
+        r = Registry()
+        state = {"n": 0}
+        r.register_source("live", lambda: dict(state))
+        state["n"] = 5
+        assert r.snapshot()["sources"]["live"] == {"n": 5}

@@ -210,3 +210,96 @@ class TestCompile:
         assert "merged." in merged.read_text()
         assert main(["run", str(merged), "--entry", "use", "-a", "4"]) == 0
         assert capsys.readouterr().out == ref
+
+
+class TestObservability:
+    def test_trace_and_manifest_emitted(self, module_file, tmp_path):
+        trace_path = tmp_path / "t.jsonl"
+        manifest_path = tmp_path / "run.json"
+        out = tmp_path / "out.ll"
+        assert (
+            main(
+                [
+                    "merge", str(module_file), "-s", "f3m",
+                    "--trace", str(trace_path),
+                    "--manifest", str(manifest_path),
+                    "-o", str(out),
+                ]
+            )
+            == 0
+        )
+        from repro.obs.manifest import load_manifest
+        from repro.obs.trace import load_trace, span_totals
+
+        spans = load_trace(str(trace_path))
+        totals = span_totals(spans)
+        assert totals["attempt"]["count"] >= 30  # one per candidate
+        assert "rank" in totals
+        manifest = load_manifest(str(manifest_path))
+        assert manifest.kind == "merge"
+        assert manifest.functions >= 30
+        assert tuple(manifest.outcomes)  # outcome table present
+        # Span stage totals and the manifest's profiler stage table are two
+        # views of the same timed regions.
+        assert totals["rank"]["total_s"] == pytest.approx(
+            manifest.stages["rank"], rel=0.05, abs=1e-3
+        )
+
+    def test_metrics_flag_writes_default_manifest(self, module_file, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        out = tmp_path / "out.ll"
+        assert main(["merge", str(module_file), "-s", "f3m", "--metrics", "-o", str(out)]) == 0
+        err = capsys.readouterr().err
+        assert "wrote manifest run-manifest.json" in err
+        assert "ranking.queries" in err  # rendered metrics table
+        assert (tmp_path / "run-manifest.json").exists()
+
+    def test_report_renders_and_diffs(self, module_file, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        out = tmp_path / "out.ll"
+        for path in (a, b):
+            assert (
+                main(
+                    [
+                        "merge", str(module_file), "-s", "f3m",
+                        "--manifest", str(path), "-o", str(out),
+                    ]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        assert main(["report", str(a)]) == 0
+        assert "strategy" in capsys.readouterr().out
+        # The two runs merged the same module the same way; only timing
+        # (stages, total_time, metrics histograms) and provenance differ.
+        rc = main(
+            [
+                "report", str(a), str(b),
+                "--ignore", "created_unix,git_rev,stages,total_time,metrics",
+            ]
+        )
+        assert rc == 0
+        assert "manifests identical" in capsys.readouterr().out
+
+    def test_report_diff_exits_nonzero_on_difference(self, module_file, tmp_path, capsys):
+        import json
+
+        a = tmp_path / "a.json"
+        out = tmp_path / "out.ll"
+        assert (
+            main(["merge", str(module_file), "-s", "f3m", "--manifest", str(a), "-o", str(out)]) == 0
+        )
+        payload = json.loads(a.read_text())
+        payload["merges"] += 1
+        b = tmp_path / "b.json"
+        b.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(["report", str(a), str(b)]) == 1
+        assert "merges" in capsys.readouterr().out
+
+    def test_no_flags_no_manifest(self, module_file, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        out = tmp_path / "out.ll"
+        assert main(["merge", str(module_file), "-s", "f3m", "-o", str(out)]) == 0
+        assert not (tmp_path / "run-manifest.json").exists()
