@@ -1,0 +1,113 @@
+"""Tier-2 smoke campaign: the fuzz engine at --budget 50.
+
+Gates the two campaign-level contracts that tier-1 only samples:
+
+* **determinism** — two gates-off legacy campaigns with the same seed
+  produce byte-identical manifests;
+* **discovery** — at smoke scale the campaign already rediscovers both
+  §III-E bug shapes, dedups them to exactly two signatures, and
+  minimizes each below the 15-instruction bound.
+
+Emits ``BENCH_fuzz.json`` with throughput (candidates/sec) and the
+unique-bug / dedup-rate counters.
+"""
+
+import time
+
+import pytest
+
+from repro.fuzz import FuzzConfig, run_campaign
+from repro.harness import format_table
+from repro.harness.bench import write_bench_json
+
+from conftest import header
+
+pytestmark = [pytest.mark.tier2]
+
+BUDGET = 50
+SEED = 42
+
+
+def _campaign_config(**over):
+    base = dict(
+        budget=BUDGET,
+        seed=SEED,
+        legacy_bugs=True,
+        oracle_gate=False,
+        static_gate=False,
+        workers=2,
+        timeout=60.0,
+    )
+    base.update(over)
+    return FuzzConfig(**base)
+
+
+def test_smoke_campaign(tmp_path):
+    t0 = time.perf_counter()
+    campaign = run_campaign(
+        _campaign_config(), manifest_path=str(tmp_path / "a.json")
+    )
+    elapsed = time.perf_counter() - t0
+
+    # Discovery: both legacy bug patterns, exactly two signatures.
+    shapes = {s.shape for s in campaign.signatures}
+    assert shapes == {"stale-reload", "phi-reload"}
+    assert campaign.triage.unique_bugs == 2
+    for signature in campaign.signatures:
+        reduction = campaign.reductions[signature.bug_id]
+        assert reduction["reproduced"] and reduction["instructions"] <= 15
+    assert campaign.quarantined == []
+
+    # Determinism: a second identical run produces the same bytes.
+    t1 = time.perf_counter()
+    run_campaign(_campaign_config(), manifest_path=str(tmp_path / "b.json"))
+    second = time.perf_counter() - t1
+    assert (tmp_path / "a.json").read_bytes() == (tmp_path / "b.json").read_bytes()
+
+    rows = [
+        {
+            "budget": BUDGET,
+            "seed": SEED,
+            "elapsed_s": round(elapsed, 3),
+            "candidates_per_sec": round(BUDGET / elapsed, 2),
+            "total_failures": campaign.triage.total_failures,
+            "unique_bugs": campaign.triage.unique_bugs,
+            "dedup_rate": round(campaign.triage.dedup_rate, 4),
+            "minimized_instructions": {
+                s.bug_id: campaign.reductions[s.bug_id]["instructions"]
+                for s in campaign.signatures
+            },
+        }
+    ]
+    metadata = {
+        "config": campaign.config.semantic_dict(),
+        "workers": campaign.config.workers,
+        "second_run_s": round(second, 3),
+        "manifest_identical": True,
+    }
+    write_bench_json("BENCH_fuzz.json", "fuzz_campaign", rows, metadata)
+
+    header(f"Fuzz smoke campaign — budget {BUDGET}, seed {SEED}")
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("candidates/sec", rows[0]["candidates_per_sec"]),
+                ("failures", rows[0]["total_failures"]),
+                ("unique bugs", rows[0]["unique_bugs"]),
+                ("dedup rate", rows[0]["dedup_rate"]),
+                ("manifests identical", True),
+            ],
+        )
+    )
+
+
+def test_gated_pipeline_contains_everything():
+    """Same candidates, gates on: nothing lands as a committed miscompile."""
+    campaign = run_campaign(
+        _campaign_config(oracle_gate=True, static_gate=True, budget=25),
+        minimize=False,
+    )
+    outcomes = {f["outcome"] for r in campaign.results for f in r["failures"]}
+    assert "miscompile_static" not in outcomes
+    assert "miscompile_diff" not in outcomes

@@ -350,6 +350,71 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import FuzzConfig, replay_campaign, replay_shapes, run_campaign
+    from .obs.manifest import load_manifest as _load_manifest
+
+    # --check: replay one minimized reproducer file (the .cmd contents).
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            module = parse_module(handle.read(), name=args.check)
+        verify_module(module)
+        if not args.pair:
+            print("error: --check requires --pair A,B", file=sys.stderr)
+            return 2
+        pair = args.pair.split(",")
+        shapes = replay_shapes(module, pair, legacy_bugs=args.legacy_bugs)
+        hit = args.shape in shapes if args.shape else bool(shapes)
+        print(
+            f"{args.check}: shapes={sorted(set(shapes))} "
+            f"{'REPRODUCED' if hit else 'clean'}"
+        )
+        return 1 if hit else 0
+
+    # --replay: re-run a recorded campaign's failing candidates.
+    if args.replay:
+        verdict = replay_campaign(_load_manifest(args.replay))
+        print(json.dumps(verdict, indent=2, sort_keys=True))
+        return 0 if verdict["reproduced"] else 1
+
+    config = FuzzConfig(
+        budget=args.budget,
+        seed=args.seed,
+        strategy=args.strategy,
+        legacy_bugs=args.legacy_bugs,
+        oracle_gate=not args.no_oracle_gate,
+        static_gate=not args.no_static_gate,
+        danger_bias=args.danger_bias,
+        inject_fault=args.inject_fault,
+        workers=args.workers,
+        timeout=args.timeout,
+        out_dir=args.out_dir,
+    )
+    campaign = run_campaign(config, manifest_path=args.manifest)
+    triage = campaign.triage
+    print(
+        f"fuzz: {len(campaign.results)} candidates, "
+        f"{triage.total_failures} failures, {triage.unique_bugs} unique bugs "
+        f"(dedup {triage.dedup_rate:.0%}), "
+        f"{len(campaign.quarantined)} quarantined"
+    )
+    for signature in campaign.signatures:
+        reduction = campaign.reductions.get(signature.bug_id)
+        minimized = (
+            f", minimized to {reduction['instructions']} instructions"
+            if reduction and reduction["reproduced"]
+            else ""
+        )
+        print(
+            f"  {signature.bug_id}: {signature.shape} "
+            f"[{signature.stage}/{signature.outcome}] "
+            f"x{signature.count}{minimized}"
+        )
+    if args.manifest:
+        print(f"wrote manifest {args.manifest}", file=sys.stderr)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     """Render one run manifest as tables, or diff two."""
     manifest = load_manifest(args.manifest)
@@ -516,6 +581,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write a run manifest describing this bench run",
     )
     p_perf.set_defaults(func=_cmd_bench_perf)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="run a differential-fuzzing campaign against the merge pipeline",
+    )
+    p_fuzz.add_argument("--budget", type=int, default=100, help="candidate modules to try")
+    p_fuzz.add_argument("--seed", type=int, default=0, help="campaign seed")
+    p_fuzz.add_argument(
+        "-s",
+        "--strategy",
+        choices=["hyfm", "f3m", "f3m-adaptive"],
+        default="hyfm",
+    )
+    p_fuzz.add_argument(
+        "--legacy-bugs",
+        action="store_true",
+        help="fuzz the legacy (§III-E buggy) SSA-repair path",
+    )
+    p_fuzz.add_argument(
+        "--no-oracle-gate",
+        action="store_true",
+        help="disable the differential-oracle commit gate",
+    )
+    p_fuzz.add_argument(
+        "--no-static-gate",
+        action="store_true",
+        help="disable the static merge-safety commit gate",
+    )
+    p_fuzz.add_argument("--danger-bias", type=float, default=0.5)
+    p_fuzz.add_argument("--workers", type=int, default=2, help="0 = in-process")
+    p_fuzz.add_argument(
+        "--timeout", type=float, default=30.0, help="per-candidate deadline (s)"
+    )
+    p_fuzz.add_argument(
+        "--inject-fault",
+        metavar="STAGE[:N]",
+        help="pipeline stages as in merge, plus worker_crash:N / worker_hang:N",
+    )
+    p_fuzz.add_argument("--manifest", metavar="FILE.json")
+    p_fuzz.add_argument(
+        "--out-dir", metavar="DIR", help="write per-bug reproducers here"
+    )
+    p_fuzz.add_argument(
+        "--replay",
+        metavar="MANIFEST",
+        help="re-run a recorded campaign's failing candidates",
+    )
+    p_fuzz.add_argument(
+        "--check",
+        metavar="FILE.ir",
+        help="replay one reproducer module (exit 1 if the bug reproduces)",
+    )
+    p_fuzz.add_argument("--pair", metavar="A,B", help="function pair for --check")
+    p_fuzz.add_argument("--shape", help="expected bug shape for --check")
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_report = sub.add_parser(
         "report",

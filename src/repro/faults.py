@@ -7,6 +7,10 @@ roll the module back, keep going) or lets them abort a whole build.  A
 stage so tests can prove the containment property for every stage:
 
 * ``rank``    — before the ranker is consulted for a candidate;
+* ``fingerprint`` — inside the ranker's query, before the candidate's
+  fingerprint is consulted (both ranking strategies);
+* ``lsh``     — inside the ranker's query, before the LSH bucket probe
+  (:class:`~repro.search.pairing.MinHashLSHRanker` only);
 * ``align``   — before block alignment;
 * ``codegen`` — before merged-function code generation;
 * ``verify``  — before the IR verifier runs on the merged function;
@@ -16,6 +20,11 @@ stage so tests can prove the containment property for every stage:
   original has already been redirected, so a commit-stage fault leaves
   the module genuinely half-mutated and rollback must repair it.
 
+The fuzz campaign adds two *worker* stages that live outside the merge
+pipeline (:data:`WORKER_FAULT_STAGES`): ``worker_crash`` kills a
+subprocess worker mid-candidate and ``worker_hang`` makes it sleep past
+its deadline, so quarantine behaviour is testable deterministically.
+
 Injection is deterministic: ``FaultInjector("codegen", at=2)`` fires on
 the second codegen attempt only; ``at=None`` fires on every hit.
 """
@@ -24,13 +33,35 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Type
 
-__all__ = ["FAULT_STAGES", "InjectedFault", "FaultInjector"]
+__all__ = ["FAULT_STAGES", "WORKER_FAULT_STAGES", "InjectedFault", "FaultInjector"]
 
-FAULT_STAGES = ("rank", "align", "codegen", "verify", "staticcheck", "oracle", "commit")
+FAULT_STAGES = (
+    "rank",
+    "fingerprint",
+    "lsh",
+    "align",
+    "codegen",
+    "verify",
+    "staticcheck",
+    "oracle",
+    "commit",
+)
+
+#: Campaign-level stages: faults in the crash-isolated worker itself, not
+#: in the merge pipeline it runs.  Kept out of :data:`FAULT_STAGES` so the
+#: per-stage containment tests only cover stages the pass can contain.
+WORKER_FAULT_STAGES = ("worker_crash", "worker_hang")
 
 
 class InjectedFault(RuntimeError):
-    """The synthetic failure raised by :class:`FaultInjector`."""
+    """The synthetic failure raised by :class:`FaultInjector`.
+
+    ``fault_stage`` records the stage the injector fired at, which may be
+    finer-grained than the pipeline stage the pass was executing (the
+    ``fingerprint``/``lsh`` stages fire inside the ``rank`` stage).
+    """
+
+    fault_stage: Optional[str] = None
 
 
 class FaultInjector:
@@ -42,16 +73,19 @@ class FaultInjector:
         at: Optional[int] = None,
         exception: Type[BaseException] = InjectedFault,
     ) -> None:
-        if stage not in FAULT_STAGES:
+        if stage not in FAULT_STAGES and stage not in WORKER_FAULT_STAGES:
             raise ValueError(
-                f"unknown fault stage {stage!r}; expected one of {FAULT_STAGES}"
+                f"unknown fault stage {stage!r}; expected one of "
+                f"{FAULT_STAGES + WORKER_FAULT_STAGES}"
             )
         if at is not None and at < 1:
             raise ValueError("fault ordinal is 1-based")
         self.stage = stage
         self.at = at
         self.exception = exception
-        self.hits: Dict[str, int] = {s: 0 for s in FAULT_STAGES}
+        self.hits: Dict[str, int] = {
+            s: 0 for s in FAULT_STAGES + WORKER_FAULT_STAGES
+        }
         self.fired = 0
 
     @classmethod
@@ -67,9 +101,14 @@ class FaultInjector:
             return
         if self.at is None or self.hits[stage] == self.at:
             self.fired += 1
-            raise self.exception(
+            exc = self.exception(
                 f"injected fault at stage {stage!r} (hit {self.hits[stage]})"
             )
+            try:
+                exc.fault_stage = stage
+            except AttributeError:  # exception types with __slots__
+                pass
+            raise exc
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         when = "always" if self.at is None else f"at={self.at}"

@@ -1,0 +1,48 @@
+"""Continuous differential-fuzzing campaign engine.
+
+``repro fuzz`` drives four cooperating layers, each usable on its own:
+
+* :mod:`~repro.fuzz.generate` — deterministic candidate modules from
+  ``(seed, index)``, biased toward the §III-E danger shapes;
+* :mod:`~repro.fuzz.verify` — per-candidate merge + static scan +
+  differential re-run, returning plain JSON-ready dicts;
+* :mod:`~repro.fuzz.worker` — crash-isolated subprocess pool with
+  retry-once-then-quarantine fault policy;
+* :mod:`~repro.fuzz.triage` / :mod:`~repro.fuzz.reduce` — LSH-backed
+  bug deduplication and delta-debugging minimization.
+
+:func:`~repro.fuzz.campaign.run_campaign` ties them together and emits
+a byte-reproducible :class:`~repro.obs.manifest.RunManifest`.
+"""
+
+from .campaign import CampaignResult, build_fuzz_manifest, replay_campaign, run_campaign
+from .config import SEMANTIC_FIELDS, FuzzConfig
+from .generate import FAMILIES, candidate_family, candidate_seed, generate_candidate
+from .reduce import module_instruction_count, reduce_module, replay_shapes
+from .triage import BugSignature, TriageIndex, canonical_tokens
+from .verify import behavior_snapshot, classify_diagnostic, evaluate_candidate
+from .worker import WorkerPool, run_pool
+
+__all__ = [
+    "CampaignResult",
+    "build_fuzz_manifest",
+    "replay_campaign",
+    "run_campaign",
+    "SEMANTIC_FIELDS",
+    "FuzzConfig",
+    "FAMILIES",
+    "candidate_family",
+    "candidate_seed",
+    "generate_candidate",
+    "module_instruction_count",
+    "reduce_module",
+    "replay_shapes",
+    "BugSignature",
+    "TriageIndex",
+    "canonical_tokens",
+    "behavior_snapshot",
+    "classify_diagnostic",
+    "evaluate_candidate",
+    "WorkerPool",
+    "run_pool",
+]

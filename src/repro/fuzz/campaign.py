@@ -1,0 +1,258 @@
+"""Campaign orchestration: the ``repro fuzz`` engine.
+
+A campaign is a pure function of its semantic config.  ``budget``
+candidate indices fan out over the crash-isolated
+:class:`~repro.fuzz.worker.WorkerPool`; results are re-ordered by index
+before triage, so worker scheduling can never change what the campaign
+reports.  Every failure streams through the
+:class:`~repro.fuzz.triage.TriageIndex`; each *unique* bug is then
+minimized by :func:`~repro.fuzz.reduce.reduce_module` into a replayable
+reproducer — one ``.ir`` module plus the exact ``repro fuzz --check``
+command that re-triggers it.
+
+The manifest (``--manifest``) uses the observability layer's
+:class:`~repro.obs.manifest.RunManifest` with ``kind="fuzz"``.  It
+contains only semantic facts — config, per-bug signatures, aggregate
+outcome counts, a content digest over every candidate module — and
+pins ``created_unix``/``total_time`` to ``0.0``, so two runs of the
+same ``(seed, budget)`` produce **byte-identical** files.  Wall-clock
+numbers live in the benchmark JSON, not the manifest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..ir.printer import print_module
+from ..obs.manifest import RunManifest, git_revision, save_manifest
+from .config import FuzzConfig
+from .generate import generate_candidate
+from .reduce import reduce_module
+from .triage import BugSignature, TriageIndex
+from .worker import WorkerPool
+
+__all__ = ["CampaignResult", "run_campaign", "build_fuzz_manifest", "replay_campaign"]
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign produced, in deterministic order."""
+
+    config: FuzzConfig
+    results: List[Dict[str, object]]  # by candidate index
+    triage: TriageIndex
+    reductions: Dict[str, Dict[str, object]]  # bug_id -> reduce_module output
+    quarantined: List[int]
+    manifest: RunManifest
+
+    @property
+    def signatures(self) -> List[BugSignature]:
+        return self.triage.signatures()
+
+    def reproducer_command(self, signature: BugSignature, ir_path: str) -> str:
+        """The CLI line that replays *signature* from its reproducer file."""
+        pair = signature.decisions[0] if signature.decisions else None
+        parts = ["repro", "fuzz", "--check", ir_path]
+        if pair:
+            parts.append(f"--pair {pair[0]},{pair[1]}")
+        parts.append(f"--shape {signature.shape}")
+        if self.config.legacy_bugs:
+            parts.append("--legacy-bugs")
+        return " ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Pieces
+# ---------------------------------------------------------------------------
+
+
+def _combined_digest(results: List[Dict[str, object]]) -> str:
+    """One digest over every candidate module this campaign touched."""
+    h = hashlib.sha256()
+    for result in results:
+        digest = result.get("module_digest")
+        if digest:
+            h.update(f"{result['index']}:{digest}\n".encode("ascii"))
+    return h.hexdigest()
+
+
+def _minimize(config: FuzzConfig, signature: BugSignature) -> Dict[str, object]:
+    """Reduce the first sighting of *signature* to a minimal reproducer."""
+    module = generate_candidate(config, signature.first_candidate)
+    text = print_module(module)
+    if not signature.decisions:
+        # No recorded pair to replay (e.g. a generator error): keep the
+        # whole candidate as evidence, unreduced.
+        return {
+            "text": text,
+            "instructions": sum(f.num_instructions for f in module.defined_functions()),
+            "reproduced": False,
+        }
+    return reduce_module(
+        text, signature.decisions[0], config.legacy_bugs, signature.shape
+    )
+
+
+def build_fuzz_manifest(
+    config: FuzzConfig,
+    results: List[Dict[str, object]],
+    triage: TriageIndex,
+    reductions: Dict[str, Dict[str, object]],
+    quarantined: List[int],
+) -> RunManifest:
+    """Deterministic manifest: semantic config and findings only."""
+    outcomes: Dict[str, int] = {}
+    merges = 0
+    for result in results:
+        merges += int(result.get("merges") or 0)
+        for key, value in (result.get("outcomes") or {}).items():
+            outcomes[key] = outcomes.get(key, 0) + int(value)
+        outcomes[f"candidate_{result['status']}"] = (
+            outcomes.get(f"candidate_{result['status']}", 0) + 1
+        )
+    signatures = []
+    for signature in triage.signatures():
+        payload = signature.to_dict()
+        reduction = reductions.get(signature.bug_id)
+        if reduction is not None:
+            payload["minimized_instructions"] = reduction["instructions"]
+            payload["minimized"] = reduction["reproduced"]
+        signatures.append(payload)
+    failing = sorted(
+        {f["candidate"] for r in results for f in (r.get("failures") or [])}
+    )
+    return RunManifest(
+        kind="fuzz",
+        strategy=config.strategy,
+        config=config.semantic_dict(),
+        seed=config.seed,
+        git_rev=git_revision(),
+        created_unix=0.0,  # pinned: manifests must be byte-reproducible
+        module_name=f"fuzz-campaign-{config.budget}",
+        module_digest=_combined_digest(results),
+        functions=len(results),
+        merges=merges,
+        total_time=0.0,  # timings belong in BENCH_fuzz.json, not here
+        outcomes=dict(sorted(outcomes.items())),
+        metrics={
+            "unique_bugs": triage.unique_bugs,
+            "total_failures": triage.total_failures,
+            "dedup_rate": round(triage.dedup_rate, 6),
+            "quarantined": sorted(quarantined),
+            "failing_candidates": failing,
+            "signatures": signatures,
+        },
+    )
+
+
+def _write_reproducers(
+    out_dir: str, campaign: "CampaignResult"
+) -> List[str]:
+    """One ``.ir`` + one ``.cmd`` per bug, plus ``signatures.json``."""
+    root = Path(out_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    written: List[str] = []
+    for signature in campaign.signatures:
+        reduction = campaign.reductions.get(signature.bug_id)
+        if reduction is None:
+            continue
+        ir_path = root / f"{signature.bug_id}.ir"
+        ir_path.write_text(str(reduction["text"]))
+        command = campaign.reproducer_command(signature, str(ir_path))
+        (root / f"{signature.bug_id}.cmd").write_text(command + "\n")
+        written.append(str(ir_path))
+    index = [
+        dict(
+            s.to_dict(),
+            minimized_instructions=campaign.reductions[s.bug_id]["instructions"],
+        )
+        for s in campaign.signatures
+        if s.bug_id in campaign.reductions
+    ]
+    (root / "signatures.json").write_text(
+        json.dumps(index, indent=2, sort_keys=True) + "\n"
+    )
+    return written
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def run_campaign(
+    config: FuzzConfig,
+    manifest_path: Optional[str] = None,
+    minimize: bool = True,
+) -> CampaignResult:
+    """Run one full campaign; optionally save the manifest and reproducers."""
+    indices = list(range(config.budget))
+    pool = WorkerPool(config)
+    pool.run(indices)
+    results = [pool.results[i] for i in sorted(pool.results)]
+
+    triage = TriageIndex()
+    for result in results:
+        for failure in result.get("failures") or []:
+            triage.add(failure)
+
+    reductions: Dict[str, Dict[str, object]] = {}
+    if minimize:
+        for signature in triage.signatures():
+            reductions[signature.bug_id] = _minimize(config, signature)
+
+    manifest = build_fuzz_manifest(
+        config, results, triage, reductions, pool.quarantined
+    )
+    campaign = CampaignResult(
+        config=config,
+        results=results,
+        triage=triage,
+        reductions=reductions,
+        quarantined=pool.quarantined,
+        manifest=manifest,
+    )
+    if config.out_dir:
+        _write_reproducers(config.out_dir, campaign)
+    if manifest_path:
+        save_manifest(manifest, manifest_path)
+    return campaign
+
+
+def replay_campaign(manifest: RunManifest) -> Dict[str, object]:
+    """Re-run a recorded campaign's failing candidates and re-triage.
+
+    Candidates are regenerated from the manifest's semantic config (in
+    process — replay is about reproducing findings, not stress-testing
+    isolation) and their failures deduplicated afresh.  The verdict
+    compares the new signature set against the recorded one.
+    """
+    config = FuzzConfig.from_dict(dict(manifest.config))
+    recorded = {
+        (s["stage"], s["outcome"], s["shape"])
+        for s in manifest.metrics.get("signatures", [])
+    }
+    indices = [int(i) for i in manifest.metrics.get("failing_candidates", [])]
+
+    triage = TriageIndex()
+    results = []
+    from .verify import evaluate_candidate
+
+    for index in indices:
+        result = evaluate_candidate(config, index)
+        results.append(result)
+        for failure in result.get("failures") or []:
+            triage.add(failure)
+    replayed = {(s.stage, s.outcome, s.shape) for s in triage.signatures()}
+    return {
+        "candidates": len(indices),
+        "recorded_signatures": sorted(recorded),
+        "replayed_signatures": sorted(replayed),
+        "missing": sorted(recorded - replayed),
+        "new": sorted(replayed - recorded),
+        "reproduced": recorded <= replayed,
+    }

@@ -1,0 +1,91 @@
+"""Campaign configuration.
+
+One :class:`FuzzConfig` fully determines a campaign's *results*: every
+candidate module, every merge decision inside it and every detector
+verdict derive from ``(seed, budget)`` plus the semantic knobs below.
+Operational knobs (worker count, per-candidate timeout) only change how
+fast the same answers arrive, so :meth:`FuzzConfig.semantic_dict` —
+what goes into the run manifest — deliberately excludes them: two runs
+of the same campaign on different machines produce byte-identical
+manifests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["FuzzConfig", "SEMANTIC_FIELDS"]
+
+#: Config fields that can change campaign *results* (and therefore belong
+#: in the manifest).  Everything else is operational.
+SEMANTIC_FIELDS = (
+    "budget",
+    "seed",
+    "strategy",
+    "legacy_bugs",
+    "oracle_gate",
+    "static_gate",
+    "danger_bias",
+    "fuel",
+    "inputs_per_function",
+    "inject_fault",
+)
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Everything one fuzzing campaign needs.
+
+    ``budget``/``seed`` identify the campaign; candidate ``i`` of a
+    campaign is a pure function of ``(seed, i)`` (see
+    :func:`repro.fuzz.generate.candidate_seed`).
+
+    ``legacy_bugs`` re-enables the §III-E codegen bugs inside the merge
+    pipeline under test.  ``oracle_gate``/``static_gate`` toggle the
+    pipeline's own defenses; a campaign with both off relies entirely on
+    the post-hoc detectors (the configuration that rediscovers the
+    legacy bugs as committed miscompiles).
+
+    ``inject_fault`` takes the same ``stage[:N]`` spec as ``repro merge
+    --inject-fault`` and additionally accepts the campaign-level stages
+    ``worker_crash``/``worker_hang`` (see :mod:`repro.faults`), where
+    ``N`` names the candidate index whose worker dies.
+    """
+
+    budget: int = 100
+    seed: int = 0
+    strategy: str = "hyfm"
+    legacy_bugs: bool = False
+    oracle_gate: bool = True
+    static_gate: bool = True
+    danger_bias: float = 0.5
+    fuel: int = 50_000
+    inputs_per_function: int = 4
+    inject_fault: Optional[str] = None
+    # Operational (never in the manifest).
+    workers: int = 2
+    timeout: float = 30.0
+    out_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.budget < 0:
+            raise ValueError("budget must be >= 0")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = in-process)")
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+
+    def semantic_dict(self) -> Dict[str, object]:
+        """The result-determining subset, for manifests and worker hand-off."""
+        full = dataclasses.asdict(self)
+        return {name: full[name] for name in SEMANTIC_FIELDS}
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FuzzConfig":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})

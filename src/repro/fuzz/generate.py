@@ -1,0 +1,276 @@
+"""Deterministic candidate-module generation.
+
+Candidate ``i`` of a campaign is a pure function of ``(seed, i)``:
+:func:`candidate_seed` mixes the two into a per-candidate seed, a
+``random.Random`` over that seed picks one of the :data:`FAMILIES` and
+every structural choice inside it.  Re-running any candidate — in a
+worker, in the reducer, in ``--replay`` — regenerates the exact same
+module, so results never need to ship module text across the process
+boundary.
+
+Families
+--------
+
+``twins``
+    A :class:`~repro.workloads.generator.FunctionGenerator` population
+    plus mutation-derived variants, biased toward the §III-E danger
+    shapes (invokes feeding phis, fresh diamonds, address-taken
+    function pointers) via :func:`~repro.workloads.mutate.make_danger_variant`.
+``diamond``
+    A pair sharing a long tail where one side's diamond join defines
+    phis consumed both *inside* the join block and in the shared tail —
+    the shape that forces the merger to demote a **phi** (§III-E bug 1
+    territory).
+``invoke``
+    A pair where one side's invoke result feeds a single-incoming phi
+    in its private normal destination *and* is consumed again in the
+    shared tail — the shape that forces the merger to demote an
+    **invoke** (§III-E bug 2 territory).
+``frontend``
+    MiniC sources fused from randomized snippets, compiled and
+    mem2reg-promoted, then cloned into mutated variants.
+``mixed``
+    Generator filler plus one diamond or invoke pair.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..frontend import compile_source
+from ..ir.module import Module
+from ..ir.parser import parse_module
+from ..ir.verifier import verify_module
+from ..transforms.mem2reg import promote_module
+from ..workloads.generator import FunctionGenerator, GeneratorConfig
+from ..workloads.mutate import make_danger_variant, make_variant
+from .config import FuzzConfig
+
+__all__ = ["FAMILIES", "candidate_seed", "candidate_family", "generate_candidate"]
+
+FAMILIES = ("twins", "diamond", "invoke", "frontend", "mixed")
+
+# splitmix64-style finalizer: decorrelates (seed, index) pairs so campaign
+# seeds 0..k give unrelated candidate streams.
+_MASK = (1 << 64) - 1
+
+
+def candidate_seed(seed: int, index: int) -> int:
+    """Stable per-candidate seed for candidate *index* of campaign *seed*."""
+    z = (seed * 0x9E3779B97F4A7C15 + index * 0xBF58476D1CE4E5B9 + 0x94D049BB133111EB) & _MASK
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK
+    return z ^ (z >> 31)
+
+
+def candidate_family(seed: int, index: int) -> str:
+    """Which family candidate *index* belongs to (cheap, no module built)."""
+    return FAMILIES[candidate_seed(seed, index) % len(FAMILIES)]
+
+
+# ---------------------------------------------------------------------------
+# Shared text fragments
+# ---------------------------------------------------------------------------
+
+_PAD_OPS = ("add", "xor", "mul", "sub")
+
+
+def _pad(rng: random.Random, n: int, seed_reg: str) -> str:
+    """A straight-line tail of *n* int ops ending in ``ret`` — the shared
+    region that makes the bug pairs profitable to merge."""
+    lines: List[str] = []
+    prev = seed_reg
+    for i in range(n):
+        op = rng.choice(_PAD_OPS)
+        lines.append(f"  %t{i} = {op} i32 {prev}, {rng.randint(1, 99)}")
+        prev = f"%t{i}"
+    lines.append(f"  %fin = add i32 {prev}, 1")
+    lines.append("  ret i32 %fin")
+    return "\n".join(lines)
+
+
+def _diamond_pair(rng: random.Random) -> str:
+    """Bug-1 territory: ``d1``'s join phis are used in the join block
+    (``%u = mul %p, %q``) *and* in the tail shared with ``d2``.  Merged,
+    the join is ``d1``-private, the tail shared, so ``%p`` — a phi with a
+    same-block use — violates dominance and gets demoted."""
+    ka, kb = rng.randint(1, 50), rng.randint(51, 99)
+    qa, qb = rng.randint(1, 9), rng.randint(10, 19)
+    ky, kz = rng.randint(1, 50), rng.randint(2, 9)
+    pad = _pad(rng, rng.randint(18, 26), "%r")
+    return f"""
+define i32 @d1(i32 %x, i1 %c) {{
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %va = add i32 %x, {ka}
+  br label %join
+b:
+  %vb = add i32 %x, {kb}
+  br label %join
+join:
+  %p = phi i32 [ %va, %a ], [ %vb, %b ]
+  %q = phi i32 [ {qa}, %a ], [ {qb}, %b ]
+  %u = mul i32 %p, %q
+  br label %tail
+tail:
+  %r = add i32 %p, %u
+{pad}
+}}
+define i32 @d2(i32 %x, i1 %c) {{
+entry:
+  %y = add i32 %x, {ky}
+  %z = mul i32 %y, {kz}
+  br label %tail
+tail:
+  %r = add i32 %y, %z
+{pad}
+}}
+"""
+
+
+def _invoke_pair(rng: random.Random) -> str:
+    """Bug-2 territory: ``v1``'s invoke result feeds the single-incoming
+    phi of its private normal destination *and* the shared tail.  Merged,
+    the invoke is demoted; the only legal load point for the phi use is
+    in the invoke's own block, before the invoke itself."""
+    kc = rng.randint(1, 99)
+    km = rng.randint(2, 9)
+    ky = rng.randint(1, 99)
+    pad = _pad(rng, rng.randint(18, 26), "%r")
+    return f"""
+define i32 @vcallee(i32 %x) {{
+entry:
+  %r = add i32 %x, {kc}
+  ret i32 %r
+}}
+define i32 @v1(i32 %x) {{
+entry:
+  %inv = invoke i32 @vcallee(i32 %x) to label %mid unwind label %vpad
+vpad:
+  unreachable
+mid:
+  %p = phi i32 [ %inv, %entry ]
+  %m = mul i32 %p, {km}
+  br label %tail
+tail:
+  %r = add i32 %inv, %m
+{pad}
+}}
+define i32 @v2(i32 %x) {{
+entry:
+  %y = sub i32 %x, {ky}
+  br label %tail
+tail:
+  %r = add i32 %y, %y
+{pad}
+}}
+"""
+
+
+_MINIC_SNIPPETS = (
+    "int {name}(int a, int b) {{ int s = a {op} b; while (s > {k}) {{ s = s - b; }} return s; }}",
+    "int {name}(int a, int b) {{ if (a < b) {{ return a {op} {k}; }} return b {op} a; }}",
+    "int {name}(int a, int b) {{ int i = 0; int acc = a; while (i < {k2}) {{ acc = acc {op} b; i = i + 1; }} return acc; }}",
+    "int {name}(int a, int b) {{ int m = a; if (b > {k}) {{ m = m {op} b; }} else {{ m = m - {k2}; }} return m {op} 3; }}",
+)
+
+
+def _frontend_sources(rng: random.Random, count: int) -> str:
+    """Fuse *count* randomized MiniC functions into one source string."""
+    parts = []
+    for i in range(count):
+        template = rng.choice(_MINIC_SNIPPETS)
+        parts.append(
+            template.format(
+                name=f"mc{i}",
+                op=rng.choice(("+", "-", "*")),
+                k=rng.randint(1, 30),
+                k2=rng.randint(2, 8),
+            )
+        )
+    return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Families
+# ---------------------------------------------------------------------------
+
+
+def _gen_population(module: Module, rng: random.Random, count: int) -> List:
+    config = GeneratorConfig(max_ops=rng.randint(8, 16), max_depth=2)
+    generator = FunctionGenerator(module, rng, config)
+    return [generator.generate(f"g{i}") for i in range(count)]
+
+
+def _family_twins(rng: random.Random, danger_bias: float) -> Module:
+    module = Module("fuzz.twins")
+    bases = _gen_population(module, rng, rng.randint(2, 4))
+    for i, base in enumerate(bases):
+        if rng.random() < 0.5:
+            make_danger_variant(
+                base, f"{base.name}.dv{i}", rng, rng.randint(1, 3),
+                module=module, danger_bias=danger_bias,
+            )
+        else:
+            make_variant(base, f"{base.name}.v{i}", rng, rng.randint(1, 3), module=module)
+    return module
+
+
+def _family_diamond(rng: random.Random, danger_bias: float) -> Module:
+    module = parse_module(_diamond_pair(rng), name="fuzz.diamond")
+    _gen_population(module, rng, rng.randint(1, 2))
+    return module
+
+
+def _family_invoke(rng: random.Random, danger_bias: float) -> Module:
+    module = parse_module(_invoke_pair(rng), name="fuzz.invoke")
+    _gen_population(module, rng, rng.randint(1, 2))
+    return module
+
+
+def _family_frontend(rng: random.Random, danger_bias: float) -> Module:
+    source = _frontend_sources(rng, rng.randint(2, 4))
+    module = compile_source(source, module_name="fuzz.frontend")
+    promote_module(module)
+    for func in list(module.defined_functions()):
+        if rng.random() < 0.6:
+            make_danger_variant(
+                func, f"{func.name}.dv", rng, rng.randint(1, 2),
+                module=module, danger_bias=danger_bias,
+            )
+    return module
+
+
+def _family_mixed(rng: random.Random, danger_bias: float) -> Module:
+    text = _diamond_pair(rng) if rng.random() < 0.5 else _invoke_pair(rng)
+    module = parse_module(text, name="fuzz.mixed")
+    bases = _gen_population(module, rng, rng.randint(1, 2))
+    for base in bases:
+        make_danger_variant(
+            base, f"{base.name}.dv", rng, rng.randint(1, 2),
+            module=module, danger_bias=danger_bias,
+        )
+    return module
+
+
+_BUILDERS = {
+    "twins": _family_twins,
+    "diamond": _family_diamond,
+    "invoke": _family_invoke,
+    "frontend": _family_frontend,
+    "mixed": _family_mixed,
+}
+
+
+def generate_candidate(config: FuzzConfig, index: int) -> Module:
+    """Build candidate *index* of the campaign — deterministic, verified."""
+    cseed = candidate_seed(config.seed, index)
+    family = FAMILIES[cseed % len(FAMILIES)]
+    rng = random.Random(cseed)
+    module = _BUILDERS[family](rng, config.danger_bias)
+    for func in module.defined_functions():
+        func.uniquify_names()
+    verify_module(module)
+    return module

@@ -1,0 +1,175 @@
+"""Failure triage: canonical signatures and LSH-backed deduplication.
+
+A raw failure dict (from :func:`repro.fuzz.verify.evaluate_candidate`)
+is full of run-specific noise: register names, constants, candidate
+indices.  :func:`canonical_tokens` strips all of it, leaving the stable
+skeleton ``(stage, outcome, shape, normalized diagnostic words)``.  Two
+failures are the same *bug* when their skeletons match — exactly, or
+near-exactly under the MinHash similarity the merge pipeline itself
+uses for functions.
+
+Dedup is two-layered, same pattern as the pair ranker:
+
+* an exact dict over the canonical key (the overwhelmingly common case:
+  the same bug found again has a byte-identical skeleton);
+* a banded :class:`~repro.search.lsh.LSHIndex` over MinHash
+  fingerprints of the token stream, catching near-duplicates whose
+  diagnostics differ only in drifting detail (block names, counts).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..fingerprint.fnv import fnv1a_32
+from ..fingerprint.minhash import MinHashConfig, MinHashFingerprint
+from ..search.lsh import LSHIndex
+
+__all__ = ["BugSignature", "TriageIndex", "canonical_tokens"]
+
+# Near-duplicate threshold: failures whose token fingerprints agree on
+# ≥90% of MinHash rows collapse into one bug.
+_SIMILARITY = 0.90
+
+_MINHASH = MinHashConfig(k=64, shingle_size=2)
+_LSH_ROWS = 2
+_LSH_BANDS = 32
+
+# Noise patterns, replaced before tokenization: SSA names, numbers.
+_REGISTER = re.compile(r"%[A-Za-z0-9._]+")
+_FUNCTION = re.compile(r"@[A-Za-z0-9._]+")
+_NUMBER = re.compile(r"\b\d+\b")
+
+
+def canonical_tokens(failure: Dict[str, object]) -> Tuple[str, ...]:
+    """The run-invariant skeleton of one failure dict."""
+    detail = str(failure.get("detail") or "")
+    detail = _REGISTER.sub("<reg>", detail)
+    detail = _FUNCTION.sub("<fn>", detail)
+    detail = _NUMBER.sub("<n>", detail)
+    words = tuple(w for w in re.split(r"[^a-z<>:_-]+", detail.lower()) if w)
+    return (
+        str(failure.get("stage") or ""),
+        str(failure.get("outcome") or ""),
+        str(failure.get("shape") or ""),
+    ) + words
+
+
+def _fingerprint(tokens: Tuple[str, ...]) -> MinHashFingerprint:
+    encoded = [fnv1a_32(token.encode("utf-8")) for token in tokens]
+    return MinHashFingerprint.from_encoded(encoded, _MINHASH)
+
+
+@dataclass
+class BugSignature:
+    """One deduplicated bug: identity plus everything needed to replay it."""
+
+    bug_id: str
+    stage: str
+    outcome: str
+    shape: str
+    detail: str  # first-seen diagnostic, verbatim
+    tokens: Tuple[str, ...]
+    first_candidate: int
+    family: str
+    # The merge decisions behind the first sighting (minimized later by
+    # the reducer — usually a single pair).
+    decisions: List[List[str]] = field(default_factory=list)
+    count: int = 1
+    candidates: List[int] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "bug_id": self.bug_id,
+            "stage": self.stage,
+            "outcome": self.outcome,
+            "shape": self.shape,
+            "detail": self.detail,
+            "tokens": list(self.tokens),
+            "first_candidate": self.first_candidate,
+            "family": self.family,
+            "decisions": self.decisions,
+            "count": self.count,
+            "candidates": self.candidates,
+        }
+
+
+class TriageIndex:
+    """Streaming dedup: feed failures, read back unique signatures."""
+
+    def __init__(self) -> None:
+        self._exact: Dict[Tuple[str, ...], BugSignature] = {}
+        self._lsh: LSHIndex[str] = LSHIndex(
+            rows=_LSH_ROWS, bands=_LSH_BANDS, bucket_cap=None
+        )
+        self._by_id: Dict[str, BugSignature] = {}
+        self.total_failures = 0
+
+    # -- feeding ---------------------------------------------------------------------
+    def add(self, failure: Dict[str, object]) -> Tuple[BugSignature, bool]:
+        """Record one failure; returns ``(signature, is_new_bug)``."""
+        self.total_failures += 1
+        tokens = canonical_tokens(failure)
+        candidate = int(failure.get("candidate") or 0)
+
+        signature = self._exact.get(tokens)
+        if signature is None:
+            signature = self._near_match(tokens)
+        if signature is not None:
+            signature.count += 1
+            if candidate not in signature.candidates:
+                signature.candidates.append(candidate)
+            return signature, False
+
+        bug_id = f"bug-{len(self._by_id) + 1:03d}"
+        pair = failure.get("pair")
+        signature = BugSignature(
+            bug_id=bug_id,
+            stage=str(failure.get("stage") or ""),
+            outcome=str(failure.get("outcome") or ""),
+            shape=str(failure.get("shape") or ""),
+            detail=str(failure.get("detail") or ""),
+            tokens=tokens,
+            first_candidate=candidate,
+            family=str(failure.get("family") or ""),
+            decisions=[list(pair)] if pair else [],
+            candidates=[candidate],
+        )
+        self._exact[tokens] = signature
+        self._by_id[bug_id] = signature
+        self._lsh.insert(bug_id, _fingerprint(tokens))
+        return signature, True
+
+    def _near_match(self, tokens: Tuple[str, ...]) -> Optional[BugSignature]:
+        if not len(self._lsh):
+            return None
+        probe = "probe"
+        self._lsh.insert(probe, _fingerprint(tokens))
+        try:
+            best_id, best_sim = None, 0.0
+            for key, similarity in self._lsh.query(probe):
+                if key != probe and similarity > best_sim:
+                    best_id, best_sim = key, similarity
+        finally:
+            self._lsh.remove(probe)
+        if best_id is not None and best_sim >= _SIMILARITY:
+            return self._by_id[best_id]
+        return None
+
+    # -- reading ---------------------------------------------------------------------
+    def signatures(self) -> List[BugSignature]:
+        """Unique bugs in discovery order."""
+        return list(self._by_id.values())
+
+    @property
+    def unique_bugs(self) -> int:
+        return len(self._by_id)
+
+    @property
+    def dedup_rate(self) -> float:
+        """Fraction of failures that were duplicates of a known bug."""
+        if self.total_failures == 0:
+            return 0.0
+        return 1.0 - self.unique_bugs / self.total_failures

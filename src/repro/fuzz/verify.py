@@ -1,0 +1,289 @@
+"""Per-candidate evaluation: merge, then verify two independent ways.
+
+One candidate's trip through the campaign:
+
+1. **Generate** the module from ``(seed, index)``.
+2. **Snapshot** each original function's observable behaviour on
+   synthesized inputs (the same input machinery the differential oracle
+   uses).
+3. **Merge** with the pipeline under test (gates per config; the §III-E
+   legacy bugs re-enabled when the campaign hunts them).
+4. **Detect** failures three ways:
+
+   * pipeline records — contained faults, rollbacks and gate vetoes
+     straight from the :class:`~repro.merge.report.MergeReport`;
+   * a **static scan** of every post-merge function for demote-reload
+     shapes (:func:`repro.staticcheck.lint.demote_reload_diagnostics`)
+     — this catches §III-E miscompiles even with every gate off,
+     because committed originals keep their names as thunks;
+   * a **differential re-run** of the step-2 snapshot: same function
+     names, same inputs, post-merge module — any change in value/trap
+     behaviour is a committed miscompile.
+
+Everything returned is a plain JSON-ready dict so the same function runs
+identically inside a crash-isolated worker or in-process (unit tests,
+``--replay``).
+
+Failure *shape* precedence: when a candidate produces both a static
+demote-reload shape and behavioural divergences, the divergences are
+folded into the static failure as detail — they are two observations of
+one bug, and triage must not count them twice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..faults import FAULT_STAGES, FaultInjector
+from ..harness.experiments import make_ranker
+from ..ir.function import Function
+from ..ir.interp import FuelExhausted, InterpError, Interpreter, Trap
+from ..ir.types import PointerType
+from ..merge.pass_ import FunctionMergingPass, PassConfig
+from ..obs.manifest import module_digest
+from ..oracle.inputs import materialize, synthesize_inputs
+from ..staticcheck.lint import demote_reload_diagnostics
+from .config import FuzzConfig
+from .generate import candidate_family, generate_candidate
+
+__all__ = ["evaluate_candidate", "behavior_snapshot", "classify_diagnostic"]
+
+#: Pipeline outcomes the campaign records as failures.
+_FAILURE_OUTCOMES = {
+    "static_fail",
+    "oracle_fail",
+    "oracle_timeout",
+    "internal_error",
+    "rolled_back",
+}
+
+
+def classify_diagnostic(message: str) -> str:
+    """Map a demote-reload diagnostic message onto its §III-E shape."""
+    if "feeds a phi" in message:
+        return "phi-reload"
+    return "stale-reload"
+
+
+# ---------------------------------------------------------------------------
+# Behaviour snapshots
+# ---------------------------------------------------------------------------
+
+
+def _run_one(func: Function, specs, fuel: int) -> Optional[str]:
+    """One execution, summarized as a stable string (or None = unjudgeable)."""
+    interp = Interpreter(fuel=fuel)
+    try:
+        args = materialize(specs, interp)
+        value = interp.run(func, args).value
+        return f"value:{value!r}"
+    except FuelExhausted:
+        return "timeout"
+    except Trap:
+        return "trap"
+    except (InterpError, RecursionError):
+        return None
+
+
+def behavior_snapshot(
+    module, config: FuzzConfig, names: Optional[List[str]] = None
+) -> Dict[str, List[Tuple[object, Optional[str]]]]:
+    """``{function name: [(input vector, outcome), ...]}`` for *module*.
+
+    Outcomes are printable strings (``value:…`` / ``trap`` / ``timeout``)
+    so snapshots survive a JSON round-trip unchanged.
+    """
+    snapshot: Dict[str, List[Tuple[object, Optional[str]]]] = {}
+    for func in module.defined_functions():
+        if names is not None and func.name not in names:
+            continue
+        if isinstance(func.return_type, PointerType):
+            # Raw addresses shift when merging adds allocas; the oracle
+            # skips pointer-value comparison for the same reason.
+            continue
+        vectors = synthesize_inputs(
+            func, config.inputs_per_function, seed=config.seed ^ 0xF77F
+        )
+        if vectors is None:
+            continue
+        runs = []
+        for specs in vectors:
+            runs.append((specs, _run_one(func, specs, config.fuel)))
+        snapshot[func.name] = runs
+    return snapshot
+
+
+def _diff_snapshots(before, after) -> List[Dict[str, object]]:
+    """Divergences between two snapshots of the same module's functions."""
+    divergences = []
+    for name, runs in before.items():
+        for (specs, outcome), (_specs2, outcome2) in zip(runs, after.get(name, [])):
+            if outcome is None or outcome2 is None:
+                continue  # unjudgeable on at least one side
+            if outcome != outcome2:
+                kind = "timeout" if outcome2 == "timeout" else (
+                    "trap" if "trap" in (outcome, outcome2) else "value"
+                )
+                divergences.append(
+                    {
+                        "function": name,
+                        "inputs": repr(list(specs)),
+                        "expected": outcome,
+                        "actual": outcome2,
+                        "kind": kind,
+                    }
+                )
+    return divergences
+
+
+# ---------------------------------------------------------------------------
+# Merge-decision bookkeeping
+# ---------------------------------------------------------------------------
+
+
+def _merge_decisions(report) -> List[List[str]]:
+    """The committed merges, in commit order: ``[[a, b], ...]``."""
+    return [
+        [att.function, att.candidate]
+        for att in report.attempts
+        if att.success and att.candidate is not None
+    ]
+
+
+def _pair_for(name: str, decisions: List[List[str]]) -> Optional[List[str]]:
+    """The merge decision that consumed function *name*, if any."""
+    for pair in decisions:
+        if name in pair:
+            return pair
+    # Post-merge artifacts: "merged.a.b" names the pair itself.
+    for pair in decisions:
+        if name == f"merged.{pair[0]}.{pair[1]}":
+            return pair
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The evaluator
+# ---------------------------------------------------------------------------
+
+
+def evaluate_candidate(config: FuzzConfig, index: int) -> Dict[str, object]:
+    """Generate, merge and verify candidate *index*; returns a JSON-ready
+    result dict.  Never raises for candidate-level problems — a candidate
+    whose pipeline run blows up entirely is itself a ``failure``."""
+    family = candidate_family(config.seed, index)
+    base = {"index": index, "family": family}
+    try:
+        module = generate_candidate(config, index)
+    except Exception as exc:  # generator bug: report, don't kill the campaign
+        return dict(
+            base,
+            status="failure",
+            merges=0,
+            failures=[
+                {
+                    "candidate": index,
+                    "family": family,
+                    "stage": "generate",
+                    "outcome": "generator_error",
+                    "shape": f"generate:{type(exc).__name__}",
+                    "detail": str(exc),
+                    "function": None,
+                    "pair": None,
+                }
+            ],
+        )
+
+    before = behavior_snapshot(module, config)
+
+    faults = None
+    if config.inject_fault:
+        spec = config.inject_fault.split(":", 1)[0]
+        if spec in FAULT_STAGES:
+            faults = FaultInjector.parse(config.inject_fault)
+
+    pass_config = PassConfig(
+        legacy_bugs=config.legacy_bugs,
+        oracle=config.oracle_gate,
+        static_check=config.static_gate,
+    )
+    pass_ = FunctionMergingPass(make_ranker(config.strategy), pass_config, faults=faults)
+    report = pass_.run(module)
+    decisions = _merge_decisions(report)
+
+    failures: List[Dict[str, object]] = []
+
+    # 1. Pipeline-level records: contained faults and gate vetoes.
+    for att in report.attempts:
+        outcome = str(att.outcome)
+        if outcome not in _FAILURE_OUTCOMES:
+            continue
+        failures.append(
+            {
+                "candidate": index,
+                "family": family,
+                "stage": (att.error or "unknown").split(":", 1)[0],
+                "outcome": outcome,
+                "shape": outcome,
+                "detail": att.error or "",
+                "function": att.function,
+                "pair": [att.function, att.candidate] if att.candidate else None,
+            }
+        )
+
+    # 2. Post-hoc static scan of every surviving function.
+    static_failures: List[Dict[str, object]] = []
+    for func in module.defined_functions():
+        for diag in demote_reload_diagnostics(func):
+            static_failures.append(
+                {
+                    "candidate": index,
+                    "family": family,
+                    "stage": "codegen",
+                    "outcome": "miscompile_static",
+                    "shape": classify_diagnostic(diag.message),
+                    "detail": diag.message,
+                    "function": func.name,
+                    "pair": _pair_for(func.name, decisions),
+                }
+            )
+
+    # 3. Post-hoc differential re-run of the pre-merge snapshot.
+    after = behavior_snapshot(module, config, names=list(before))
+    divergences = _diff_snapshots(before, after)
+
+    if static_failures:
+        # Shape precedence: behavioural divergence on a candidate that has
+        # a static §III-E shape is the same bug observed twice.
+        if divergences:
+            for failure in static_failures:
+                failure["detail"] += f" [+{len(divergences)} behavioural divergence(s)]"
+        failures.extend(static_failures)
+    else:
+        for div in divergences:
+            failures.append(
+                {
+                    "candidate": index,
+                    "family": family,
+                    "stage": "oracle",
+                    "outcome": "miscompile_diff",
+                    "shape": f"{div['kind']}-divergence",
+                    "detail": (
+                        f"@{div['function']} on {div['inputs']}: "
+                        f"{div['expected']} -> {div['actual']}"
+                    ),
+                    "function": div["function"],
+                    "pair": _pair_for(div["function"], decisions),
+                }
+            )
+
+    return dict(
+        base,
+        status="failure" if failures else "ok",
+        merges=report.merges,
+        attempts=len(report.attempts),
+        outcomes={k: v for k, v in report.outcome_counts().items() if v},
+        decisions=decisions,
+        module_digest=module_digest(module),
+        failures=failures,
+    )

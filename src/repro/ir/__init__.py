@@ -31,7 +31,7 @@ from .instructions import (
     Switch,
     Unreachable,
 )
-from .interp import ExecutionResult, Interpreter, InterpError, Trap
+from .interp import ExecutionResult, FuelExhausted, Interpreter, InterpError, Trap
 from .module import Module, link_modules
 from .parser import ParseError, parse_function, parse_module
 from .printer import format_instruction, print_function, print_module

@@ -50,7 +50,7 @@ from .values import (
     Value,
 )
 
-__all__ = ["Interpreter", "InterpError", "Trap", "ExecutionResult"]
+__all__ = ["Interpreter", "InterpError", "Trap", "FuelExhausted", "ExecutionResult"]
 
 
 class InterpError(Exception):
@@ -59,6 +59,15 @@ class InterpError(Exception):
 
 class Trap(InterpError):
     """Runtime trap: division by zero, unreachable, null deref, out of fuel."""
+
+
+class FuelExhausted(Trap):
+    """The step budget ran out before the function returned.
+
+    A structured subclass so callers running untrusted or merged code (the
+    differential oracle, the fuzz campaign) can tell "this execution hung"
+    from genuine runtime traps without string matching.
+    """
 
 
 @dataclass
@@ -220,7 +229,7 @@ class Interpreter:
             for inst in block.instructions[len(phis):]:
                 self._executed += 1
                 if self._executed > self.fuel:
-                    raise Trap("out of fuel")
+                    raise FuelExhausted("out of fuel")
                 outcome = self._exec(frame, inst)
                 if outcome is not None:
                     kind, payload = outcome

@@ -165,9 +165,24 @@ def _parse_type(toks: _Tokens) -> Type:
         base = StructType(fields)
     else:
         raise ParseError(f"expected a type, got {value!r}", toks.line)
-    while toks.accept("*"):
-        base = PointerType(base)
-    return base
+    # Suffixes: "(params)" builds a function type, "*" a pointer.  This is
+    # unambiguous because every call-like construct puts the callee token
+    # between the return type and its argument parenthesis, so a "(" right
+    # after a type can only be a function-type parameter list (the operand
+    # spelling of address-taken functions: ``i32 (i32)* @callee``).
+    while True:
+        if toks.accept("("):
+            params = []
+            if not toks.accept(")"):
+                params.append(_parse_type(toks))
+                while toks.accept(","):
+                    params.append(_parse_type(toks))
+                toks.expect(")")
+            base = FunctionType(base, params)
+        elif toks.accept("*"):
+            base = PointerType(base)
+        else:
+            return base
 
 
 class _FunctionParser:

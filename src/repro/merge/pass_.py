@@ -133,6 +133,11 @@ class FunctionMergingPass:
         self.metrics = metrics
         self.profitability = ProfitabilityModel()
         self.faults = faults
+        if faults is not None:
+            # Let ranking-internal stages (fingerprint, lsh) hit the same
+            # injector; their faults surface inside best_match() and are
+            # contained by the per-attempt transaction like any other.
+            ranker.faults = faults
         if oracle is None and config.oracle:
             oracle = DifferentialOracle(OracleConfig())
         self.oracle = oracle
@@ -305,8 +310,11 @@ class FunctionMergingPass:
     @staticmethod
     def _fail(ctx: "_AttemptContext", exc, outcome) -> AttemptRecord:
         record = ctx.record
+        # An injected fault may fire at a sub-stage of the pipeline stage
+        # (fingerprint/lsh inside rank); prefer its own stage when present.
+        stage = getattr(exc, "fault_stage", None) or ctx.stage
         record.outcome = outcome
-        record.error = f"{ctx.stage}:{type(exc).__name__}"
+        record.error = f"{stage}:{type(exc).__name__}"
         return record
 
     def _attempt_stages(
@@ -438,7 +446,15 @@ class FunctionMergingPass:
                     record.oracle_time = time.perf_counter() - t0
             if not verdict.equivalent:
                 txn.rollback()
-                record.outcome = Outcome.ORACLE_FAIL
+                # A merged function that only *times out* (its fuel budget,
+                # guard headroom included, ran dry while the original
+                # terminated) is a distinct outcome from a behavioural
+                # divergence: it usually means an introduced infinite loop.
+                record.outcome = (
+                    Outcome.ORACLE_TIMEOUT
+                    if verdict.timed_out
+                    else Outcome.ORACLE_FAIL
+                )
                 record.error = f"oracle:{verdict.divergences[0]}"
                 return record, None
 

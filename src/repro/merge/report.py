@@ -61,6 +61,11 @@ class Outcome(str, Enum):
     # was undone by the transaction layer.
     STATIC_FAIL = "static_fail"
     ORACLE_FAIL = "oracle_fail"
+    # The oracle could not finish the merged side within its step budget
+    # (guard/select headroom included) while the original terminated: the
+    # merge introduced an (effective) infinite loop rather than a wrong
+    # value, so it is vetoed under a distinct name.
+    ORACLE_TIMEOUT = "oracle_timeout"
     INTERNAL_ERROR = "internal_error"
     ROLLED_BACK = "rolled_back"
 

@@ -22,14 +22,25 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from ..ir.function import Function
-from ..ir.interp import InterpError, Interpreter, Trap
+from ..ir.interp import FuelExhausted, InterpError, Interpreter, Trap
 from ..ir.types import FloatType, PointerType
 from .inputs import ArgSpec, BufferSpec, materialize, synthesize_inputs
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import avoids a cycle
     from ..merge.merger import MergeResult
 
-__all__ = ["OracleConfig", "Divergence", "OracleVerdict", "DifferentialOracle"]
+__all__ = [
+    "OracleConfig",
+    "OracleTimeout",
+    "Divergence",
+    "OracleVerdict",
+    "DifferentialOracle",
+]
+
+#: The structured exception behind oracle timeouts: the interpreter's step
+#: budget ran dry.  Exported under the oracle's name so campaign-level
+#: code can catch "the oracle timed out" without importing interp details.
+OracleTimeout = FuelExhausted
 
 
 @dataclass(frozen=True)
@@ -58,7 +69,7 @@ class Divergence:
     args: Tuple[ArgSpec, ...]
     expected: object
     actual: object
-    kind: str  # "value" | "trap" | "memory"
+    kind: str  # "value" | "trap" | "memory" | "timeout"
 
     def __str__(self) -> str:
         return (
@@ -79,6 +90,15 @@ class OracleVerdict:
     @property
     def equivalent(self) -> bool:
         return not self.divergences
+
+    @property
+    def timed_out(self) -> bool:
+        """True when every divergence is a merged-side step-budget timeout
+        (the introduced-infinite-loop shape) rather than observed
+        behavioural disagreement."""
+        return bool(self.divergences) and all(
+            d.kind == "timeout" for d in self.divergences
+        )
 
 
 class _Skip(Exception):
@@ -138,8 +158,8 @@ class DifferentialOracle:
     # -- one execution pair ----------------------------------------------------------
     def _run(
         self, func: Function, specs: Sequence[ArgSpec], fuel: int, fuel_traps: bool
-    ) -> Tuple[object, Optional[str], List[object], Interpreter]:
-        """Returns ``(value, trap_kind, concrete_args, interpreter)``.
+    ) -> Tuple[object, Optional[Trap], List[object], Interpreter]:
+        """Returns ``(value, trap_or_None, concrete_args, interpreter)``.
 
         ``fuel_traps`` selects how fuel exhaustion is reported: the original
         side *skips* (we could not observe its behaviour), the merged side —
@@ -152,9 +172,9 @@ class DifferentialOracle:
             value = interp.run(func, args).value
             return value, None, args, interp
         except Trap as trap:
-            if "out of fuel" in str(trap) and not fuel_traps:
+            if isinstance(trap, FuelExhausted) and not fuel_traps:
                 raise _Skip from trap
-            return None, str(trap) or "trap", args, interp
+            return None, trap, args, interp
         except InterpError as exc:
             raise _Skip from exc
         except RecursionError as exc:  # deep interpreter stacks on hostile inputs
@@ -184,11 +204,17 @@ class DifferentialOracle:
         )
 
         if (trap_o is None) != (trap_m is None):
+            # A merged side that merely ran out of (already generous) fuel
+            # while the original terminated is reported as a *timeout*, the
+            # introduced-infinite-loop shape, distinct from a real trap.
+            kind = (
+                "timeout" if isinstance(trap_m, FuelExhausted) else "trap"
+            )
             return Divergence(
                 func.name, fid, tuple(specs),
-                trap_o if trap_o is not None else value_o,
-                trap_m if trap_m is not None else value_m,
-                "trap",
+                (str(trap_o) or "trap") if trap_o is not None else value_o,
+                (str(trap_m) or "trap") if trap_m is not None else value_m,
+                kind,
             )
         if trap_o is not None:
             # Both sides trapped; the merged trap may fire from a different

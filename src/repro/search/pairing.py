@@ -69,6 +69,15 @@ class Ranker:
     #: human-readable strategy name used in reports
     name = "abstract"
 
+    #: optional :class:`~repro.faults.FaultInjector`; the merging pass
+    #: attaches its own so ranking-internal stages (``fingerprint``,
+    #: ``lsh``) are injectable like the pipeline stages.
+    faults = None
+
+    def _fault_hit(self, stage: str) -> None:
+        if self.faults is not None:
+            self.faults.hit(stage)
+
     def preprocess(self, functions: List[Function]) -> None:
         raise NotImplementedError
 
@@ -152,6 +161,7 @@ class ExhaustiveRanker(Ranker):
 
     def best_match(self, func: Function) -> Optional[Match]:
         self._stats.queries += 1
+        self._fault_hit("fingerprint")
         n = len(self._functions)
         me = self._index_of[id(func)]
         mask = self._live[:n].copy()
@@ -316,6 +326,8 @@ class MinHashLSHRanker(Ranker):
         assert self._index is not None, "preprocess() must run first"
         qstats = LSHQueryStats()
         self._stats.queries += 1
+        self._fault_hit("fingerprint")
+        self._fault_hit("lsh")
         result = self._index.best_match(id(func), qstats)
         self._stats.comparisons += qstats.comparisons
         self._stats.buckets_probed += qstats.buckets_probed

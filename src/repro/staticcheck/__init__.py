@@ -41,6 +41,7 @@ from .dataflow import (
     tracked_slots,
 )
 from .lint import (
+    demote_reload_diagnostics,
     lint_commit,
     lint_function,
     lint_merge,
@@ -67,6 +68,7 @@ __all__ = [
     "SlotLiveness",
     "solve",
     "tracked_slots",
+    "demote_reload_diagnostics",
     "lint_commit",
     "lint_function",
     "lint_merge",

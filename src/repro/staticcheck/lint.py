@@ -40,6 +40,7 @@ from .checkers import (
 __all__ = [
     "lint_function",
     "lint_module",
+    "demote_reload_diagnostics",
     "lint_merged_function",
     "lint_commit",
     "lint_merge",
@@ -70,16 +71,21 @@ def _demote_prefix() -> str:
     return DEMOTE_PREFIX
 
 
-def lint_merged_function(result) -> List[Diagnostic]:
-    """Statically validate the merged function of a :class:`MergeResult`.
+def demote_reload_diagnostics(func: Function) -> List[Diagnostic]:
+    """§III-E placement-bug shapes in one function, as error diagnostics.
 
-    Runs the generic function checkers, then escalates uninitialized reads
-    of demotion slots to errors (see module docstring).
+    A load from a demotion slot (``demote.*``) that no store may reach is
+    exactly how both legacy placement bugs look statically: bug 1 leaves a
+    same-block reload *before* its store (the reload feeds an ordinary
+    instruction), bug 2 inserts a reload in an invoke's own block that
+    feeds a phi.  The message distinguishes the two, so triage can key on
+    it.  Works on any function — a fresh :class:`MergeResult` or a merged
+    function already committed into a module (the fuzz campaign's
+    post-hoc scan).
     """
-    merged: Function = result.merged
-    diags = run_function_checks(merged)
+    diags: List[Diagnostic] = []
     prefix = _demote_prefix()
-    _, loads = uninitialized_loads(merged)
+    _, loads = uninitialized_loads(func)
     for load, slot in loads:
         if not (slot.name or "").startswith(prefix):
             continue
@@ -99,11 +105,23 @@ def lint_merged_function(result) -> List[Diagnostic]:
                 checker=MERGE_SAFETY,
                 severity=Severity.ERROR,
                 message=message,
-                function=merged.name,
+                function=func.name,
                 block=load.parent.name if load.parent is not None else None,
                 instruction=load.name or None,
             )
         )
+    return diags
+
+
+def lint_merged_function(result) -> List[Diagnostic]:
+    """Statically validate the merged function of a :class:`MergeResult`.
+
+    Runs the generic function checkers, then escalates uninitialized reads
+    of demotion slots to errors (see module docstring).
+    """
+    merged: Function = result.merged
+    diags = run_function_checks(merged)
+    diags.extend(demote_reload_diagnostics(merged))
     return diags
 
 

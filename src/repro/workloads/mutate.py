@@ -19,18 +19,33 @@ from ..ir.clone import clone_function
 from ..ir.function import Function
 from ..ir.instructions import (
     BinaryOp,
+    Branch,
+    Call,
+    Cast,
     GetElementPtr,
     ICmp,
     ICmpPred,
     Instruction,
+    Invoke,
     Opcode,
     Phi,
+    Select,
     Switch,
+    Unreachable,
 )
 from ..ir.module import Module
+from ..ir.types import IntType
 from ..ir.values import ConstantInt
 
-__all__ = ["mutate_function", "make_variant", "shuffle_function", "make_shuffled_variant"]
+__all__ = [
+    "mutate_function",
+    "mutate_function_danger",
+    "make_variant",
+    "make_danger_variant",
+    "shuffle_function",
+    "make_shuffled_variant",
+    "DANGER_MUTATIONS",
+]
 
 _SWAP_GROUPS = [
     [Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND, Opcode.OR, Opcode.XOR],
@@ -212,6 +227,225 @@ _MUTATIONS = [
 ]
 
 
+# ---------------------------------------------------------------------------
+# §III-E danger-shape mutators (fuzz campaign bias)
+#
+# The paper's Section III-E bugs live in exactly the IR shapes hand-written
+# workloads underproduce: invoke results feeding phis, multi-phi join
+# blocks that merging must demote to stack slots, and address-taken
+# functions.  These mutators manufacture those shapes while staying
+# verifier-valid and printer/parser round-trip safe (the property tests in
+# ``tests/workloads/test_mutate_properties.py`` enforce both).
+# ---------------------------------------------------------------------------
+
+
+def _remap_phi_incomings(old_block: BasicBlock, new_block: BasicBlock) -> None:
+    """After *old_block*'s terminator moved into *new_block*, successors'
+    phis must name *new_block* as the incoming predecessor."""
+    term = new_block.terminator
+    if term is None:
+        return
+    for succ in term.successors():
+        for phi in succ.phis():
+            for i in range(1, phi.num_operands, 2):
+                if phi.operand(i) is old_block:
+                    phi.set_operand(i, new_block)
+
+
+def _mutate_call_to_invoke(func: Function, rng: random.Random) -> bool:
+    """Convert a call into an invoke whose result feeds a phi in the normal
+    destination — the §III-E bug-2 trigger: the phi's incoming block is the
+    invoke's own block, so a legacy demotion inserts its reload *before*
+    the invoke that defines the value."""
+    candidates = [
+        inst
+        for block in func.blocks
+        for inst in block.instructions
+        if isinstance(inst, Call) and isinstance(inst.callee, Function)
+    ]
+    if not candidates:
+        return False
+    call = rng.choice(candidates)
+    block = call.parent
+    pos = block.instructions.index(call)
+
+    normal = BasicBlock(func.next_name("inv.cont"))
+    unwind = BasicBlock(func.next_name("inv.pad"))
+    func.add_block(normal)
+    func.move_block_after(normal, block)
+    func.add_block(unwind)
+    func.move_block_after(unwind, normal)
+
+    # The tail (everything after the call, terminator included) moves into
+    # the normal destination; successor phis now see `normal` as their
+    # predecessor.
+    for inst in list(block.instructions[pos + 1 :]):
+        block.remove(inst)
+        normal.append(inst)
+    _remap_phi_incomings(block, normal)
+
+    invoke = Invoke(call.callee, list(call.args), normal, unwind)
+    if not call.type.is_void:
+        invoke.name = func.next_name("inv")
+        phi = Phi(call.type)
+        phi.name = func.next_name("inv.phi")
+        call.replace_all_uses_with(phi)
+        normal.insert(0, phi)
+        phi.add_incoming(invoke, block)
+    call.erase_from_parent()
+    block.append(invoke)
+    unwind.append(Unreachable())
+    return True
+
+
+def _mutate_split_diamond(func: Function, rng: random.Random) -> bool:
+    """Split a block into a two-arm diamond joined by *two* phis plus a
+    same-block use of both — the §III-E bug-1 trigger: demoting the first
+    phi under the legacy placement stores at the end of the join block,
+    after the reload the same-block use reads through."""
+    candidates = []
+    for block in func.blocks:
+        insts = block.instructions
+        for pos in range(block.first_non_phi_index(), len(insts) - 1):
+            inst = insts[pos]
+            if inst.is_terminator or inst.name.startswith("iv"):
+                continue
+            if isinstance(inst.type, IntType) and inst.type.bits > 1:
+                candidates.append((block, pos, inst))
+    if not candidates:
+        return False
+    block, pos, v = rng.choice(candidates)
+
+    left = BasicBlock(func.next_name("dm.a"))
+    right = BasicBlock(func.next_name("dm.b"))
+    join = BasicBlock(func.next_name("dm.join"))
+    for b in (left, right, join):
+        func.add_block(b)
+    # Keep source order block -> left -> right -> join.
+    func.move_block_after(left, block)
+    func.move_block_after(right, left)
+    func.move_block_after(join, right)
+
+    for inst in list(block.instructions[pos + 1 :]):
+        block.remove(inst)
+        join.append(inst)
+    _remap_phi_incomings(block, join)
+
+    va = BinaryOp(Opcode.ADD, v, ConstantInt(v.type, rng.randint(2, 31)))
+    va.name = func.next_name("dm.va")
+    vb = BinaryOp(Opcode.XOR, v, ConstantInt(v.type, rng.randint(2, 31)))
+    vb.name = func.next_name("dm.vb")
+    left.append(va)
+    left.append(Branch(join))
+    right.append(vb)
+    right.append(Branch(join))
+
+    cond = ICmp(ICmpPred.SGT, v, ConstantInt(v.type, 0))
+    cond.name = func.next_name("dm.c")
+    block.append(cond)
+    block.append(Branch(cond, left, right))
+
+    p = Phi(v.type)
+    p.name = func.next_name("dm.p")
+    p.add_incoming(va, left)
+    p.add_incoming(vb, right)
+    q = Phi(v.type)
+    q.name = func.next_name("dm.q")
+    q.add_incoming(ConstantInt(v.type, 1), left)
+    q.add_incoming(ConstantInt(v.type, 2), right)
+    join.insert(0, p)
+    join.insert(1, q)
+    u = BinaryOp(Opcode.MUL, p, q)
+    u.name = func.next_name("dm.u")
+    join.insert(2, u)
+
+    # Reroute v's later uses (now living in the join block) through the
+    # phi product so the diamond is live; a dead diamond would still be
+    # valid IR but would never reach the demotion path under merging.
+    for user, idx in list(v.uses()):
+        if (
+            isinstance(user, Instruction)
+            and user.parent is join
+            and user not in (p, q, u)
+            and not user.is_phi
+            and user.type is v.type
+            and not user.name.startswith("iv")
+        ):
+            user.set_operand(idx, u)
+            break
+    return True
+
+
+def _mutate_address_taken(func: Function, rng: random.Random) -> bool:
+    """Take the address of module functions: route two function pointers
+    through a select and compare the result — no indirect call, but the
+    functions become address-taken operands, the shape merging must keep
+    callable originals for (§III-E's third danger class)."""
+    module = func.parent
+    if module is None:
+        return False
+    pool = {}
+    for g in module.defined_functions():
+        pool.setdefault(g.type, []).append(g)
+    if not pool:
+        return False
+    candidates = []
+    for block in func.blocks:
+        for pos, inst in enumerate(block.instructions):
+            if inst.is_phi or inst.is_terminator or inst.name.startswith("iv"):
+                continue
+            if isinstance(inst.type, IntType) and inst.type.bits > 1:
+                candidates.append((block, pos, inst))
+    if not candidates:
+        return False
+    block, pos, v = rng.choice(candidates)
+    fty = rng.choice(list(pool.keys()))
+    g = rng.choice(pool[fty])
+    h = rng.choice(pool[fty])
+
+    cond = ICmp(ICmpPred.SGT, v, ConstantInt(v.type, 0))
+    cond.name = func.next_name("at.c")
+    sel = Select(cond, g, h)
+    sel.name = func.next_name("at.fp")
+    tok = ICmp(ICmpPred.EQ, sel, g)
+    tok.name = func.next_name("at.eq")
+    z = Cast(Opcode.ZEXT, tok, v.type)
+    z.name = func.next_name("at.z")
+    m = BinaryOp(Opcode.XOR, v, z)
+    m.name = func.next_name("at.m")
+    for offset, inst in enumerate((cond, sel, tok, z, m)):
+        block.insert(pos + 1 + offset, inst)
+
+    # Reroute later same-block uses of v through the token-mixed value so
+    # the address-taking survives cleanup; undo entirely when nothing can
+    # be rerouted.
+    rerouted = False
+    for user, idx in list(v.uses()):
+        if (
+            isinstance(user, Instruction)
+            and user not in (cond, sel, tok, z, m)
+            and user.parent is block
+            and not user.is_phi
+            and block.instructions.index(user) > pos + 5
+        ):
+            user.set_operand(idx, m)
+            rerouted = True
+    if not rerouted:
+        for inst in (m, z, tok, sel, cond):
+            inst.erase_from_parent()
+        return False
+    return True
+
+
+#: The §III-E-biased mutator pool: (mutator, weight), exported for the
+#: fuzz campaign's generator.
+DANGER_MUTATIONS = [
+    (_mutate_call_to_invoke, 0.40),
+    (_mutate_split_diamond, 0.40),
+    (_mutate_address_taken, 0.20),
+]
+
+
 def mutate_function(func: Function, rng: random.Random, n_mutations: int) -> int:
     """Apply up to *n_mutations* random edits in place; returns how many took."""
     applied = 0
@@ -219,6 +453,29 @@ def mutate_function(func: Function, rng: random.Random, n_mutations: int) -> int
     funcs = [fn for fn, _w in _MUTATIONS]
     for _ in range(n_mutations):
         mutation = rng.choices(funcs, weights=weights, k=1)[0]
+        if mutation(func, rng):
+            applied += 1
+    return applied
+
+
+def mutate_function_danger(
+    func: Function,
+    rng: random.Random,
+    n_mutations: int,
+    danger_bias: float = 0.5,
+) -> int:
+    """Like :func:`mutate_function`, with each edit drawn from the §III-E
+    danger pool with probability *danger_bias* (the fuzz campaign's knob)."""
+    applied = 0
+    plain_funcs = [fn for fn, _w in _MUTATIONS]
+    plain_weights = [w for _fn, w in _MUTATIONS]
+    danger_funcs = [fn for fn, _w in DANGER_MUTATIONS]
+    danger_weights = [w for _fn, w in DANGER_MUTATIONS]
+    for _ in range(n_mutations):
+        if rng.random() < danger_bias:
+            mutation = rng.choices(danger_funcs, weights=danger_weights, k=1)[0]
+        else:
+            mutation = rng.choices(plain_funcs, weights=plain_weights, k=1)[0]
         if mutation(func, rng):
             applied += 1
     return applied
@@ -262,4 +519,18 @@ def make_variant(
     """Clone *base* as *name* and mutate the clone."""
     variant = clone_function(base, name, module if module is not None else base.parent)
     mutate_function(variant, rng, n_mutations)
+    return variant
+
+
+def make_danger_variant(
+    base: Function,
+    name: str,
+    rng: random.Random,
+    n_mutations: int,
+    module: Optional[Module] = None,
+    danger_bias: float = 0.5,
+) -> Function:
+    """Clone *base* as *name* and mutate the clone with §III-E bias."""
+    variant = clone_function(base, name, module if module is not None else base.parent)
+    mutate_function_danger(variant, rng, n_mutations, danger_bias=danger_bias)
     return variant

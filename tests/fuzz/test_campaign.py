@@ -1,0 +1,91 @@
+"""Campaign orchestration: determinism, triage wiring, manifest, replay.
+
+These run the pool in-process (``workers=0``) so tier-1 stays fast;
+the subprocess path has its own suite in ``test_worker_pool.py``.
+"""
+
+import json
+
+from repro.fuzz import FuzzConfig, replay_campaign, run_campaign
+from repro.obs.manifest import load_manifest
+
+_LEGACY = dict(
+    budget=10,
+    seed=42,
+    legacy_bugs=True,
+    oracle_gate=False,
+    static_gate=False,
+    workers=0,
+)
+
+
+def test_legacy_campaign_finds_both_sec3e_bugs(tmp_path):
+    campaign = run_campaign(
+        FuzzConfig(**_LEGACY, out_dir=str(tmp_path / "bugs")),
+        manifest_path=str(tmp_path / "m.json"),
+    )
+    shapes = {s.shape for s in campaign.signatures}
+    assert shapes == {"stale-reload", "phi-reload"}
+    assert campaign.triage.unique_bugs == 2
+    assert campaign.triage.total_failures > 2  # dedup did real work
+    for signature in campaign.signatures:
+        reduction = campaign.reductions[signature.bug_id]
+        assert reduction["reproduced"]
+        assert reduction["instructions"] <= 15
+        assert (tmp_path / "bugs" / f"{signature.bug_id}.ir").exists()
+        command = (tmp_path / "bugs" / f"{signature.bug_id}.cmd").read_text()
+        assert "--legacy-bugs" in command and "--check" in command
+    index = json.loads((tmp_path / "bugs" / "signatures.json").read_text())
+    assert len(index) == 2
+
+
+def test_fixed_pipeline_campaign_is_clean():
+    campaign = run_campaign(
+        FuzzConfig(budget=8, seed=42, oracle_gate=False, static_gate=False, workers=0),
+        minimize=False,
+    )
+    assert campaign.triage.unique_bugs == 0
+    assert all(r["status"] == "ok" for r in campaign.results)
+
+
+def test_gates_veto_legacy_bugs_before_commit():
+    campaign = run_campaign(
+        FuzzConfig(budget=10, seed=42, legacy_bugs=True, workers=0),
+        minimize=False,
+    )
+    # Every failure the gated pipeline records is a contained veto, never
+    # a committed miscompile.
+    outcomes = {f["outcome"] for r in campaign.results for f in r["failures"]}
+    assert outcomes <= {"static_fail", "oracle_fail", "oracle_timeout", "rolled_back"}
+    assert "miscompile_static" not in outcomes
+    assert "miscompile_diff" not in outcomes
+
+
+def test_manifests_are_byte_identical(tmp_path):
+    config = FuzzConfig(**_LEGACY)
+    run_campaign(config, manifest_path=str(tmp_path / "a.json"), minimize=False)
+    run_campaign(config, manifest_path=str(tmp_path / "b.json"), minimize=False)
+    assert (tmp_path / "a.json").read_bytes() == (tmp_path / "b.json").read_bytes()
+
+
+def test_manifest_is_semantic_only(tmp_path):
+    run_campaign(
+        FuzzConfig(**_LEGACY), manifest_path=str(tmp_path / "m.json"), minimize=False
+    )
+    manifest = load_manifest(str(tmp_path / "m.json"))
+    assert manifest.kind == "fuzz"
+    assert manifest.created_unix == 0.0
+    assert manifest.total_time == 0.0
+    assert "workers" not in manifest.config  # infrastructure, not semantics
+    assert manifest.metrics["unique_bugs"] == 2
+    assert manifest.metrics["signatures"][0]["bug_id"] == "bug-001"
+
+
+def test_replay_reproduces_recorded_signatures(tmp_path):
+    run_campaign(
+        FuzzConfig(**_LEGACY), manifest_path=str(tmp_path / "m.json"), minimize=False
+    )
+    verdict = replay_campaign(load_manifest(str(tmp_path / "m.json")))
+    assert verdict["reproduced"]
+    assert verdict["missing"] == []
+    assert verdict["candidates"] > 0

@@ -1,0 +1,63 @@
+"""Known-bug detection over the checked-in regression corpus.
+
+Every minimized reproducer in ``corpus/`` must (a) still trigger its
+recorded §III-E shape on the legacy repair path and (b) be clean on the
+fixed path.  If (a) ever fails, the bug *model* drifted — the campaign
+would stop rediscovering the paper's bugs.  If (b) fails, the fix
+regressed.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import classify_diagnostic, replay_shapes
+from repro.ir.parser import parse_module
+from repro.ir.verifier import verify_module
+from repro.staticcheck.lint import demote_reload_diagnostics
+
+CORPUS = Path(__file__).resolve().parents[2] / "corpus"
+
+# (file, pair, shape) — keep in lockstep with corpus/README.md.
+ENTRIES = [
+    ("sec3e_stale_reload.ir", ["d1", "d2"], "stale-reload"),
+    ("sec3e_phi_reload.ir", ["v1", "v2"], "phi-reload"),
+]
+
+
+def _load(name):
+    module = parse_module((CORPUS / name).read_text(), name=name)
+    verify_module(module)
+    return module
+
+
+def test_corpus_covers_both_sec3e_shapes():
+    assert {shape for _f, _p, shape in ENTRIES} == {"stale-reload", "phi-reload"}
+    on_disk = {p.name for p in CORPUS.glob("*.ir")}
+    assert on_disk == {name for name, _p, _s in ENTRIES}
+
+
+@pytest.mark.parametrize("name,pair,shape", ENTRIES)
+def test_legacy_path_still_reproduces(name, pair, shape):
+    shapes = replay_shapes(_load(name), pair, legacy_bugs=True)
+    assert shape in shapes
+
+
+@pytest.mark.parametrize("name,pair,shape", ENTRIES)
+def test_fixed_path_is_clean(name, pair, shape):
+    assert replay_shapes(_load(name), pair, legacy_bugs=False) == []
+
+
+@pytest.mark.parametrize("name,pair,shape", ENTRIES)
+def test_reproducers_are_minimal(name, pair, shape):
+    module = _load(name)
+    total = sum(f.num_instructions for f in module.defined_functions())
+    assert total <= 15
+
+
+def test_shape_classifier_matches_lint_messages():
+    # The corpus shapes come from classify_diagnostic over real lint
+    # output; pin the mapping the campaign and corpus both rely on.
+    assert classify_diagnostic("... feeds a phi but no store reaches it ...") == "phi-reload"
+    assert classify_diagnostic("... executes before any store to it ...") == "stale-reload"
+    assert demote_reload_diagnostics is not None

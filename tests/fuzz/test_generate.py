@@ -1,0 +1,68 @@
+"""Candidate generation: determinism, validity, family coverage."""
+
+from repro.fuzz import (
+    FAMILIES,
+    FuzzConfig,
+    candidate_family,
+    candidate_seed,
+    generate_candidate,
+)
+from repro.ir.printer import print_module
+from repro.ir.verifier import verify_module
+
+
+def test_candidate_seed_decorrelates():
+    seeds = {candidate_seed(s, i) for s in range(4) for i in range(16)}
+    assert len(seeds) == 64  # no collisions across nearby (seed, index)
+
+
+def test_candidate_family_matches_generation():
+    config = FuzzConfig(seed=3)
+    for index in range(8):
+        family = candidate_family(config.seed, index)
+        assert family in FAMILIES
+        module = generate_candidate(config, index)
+        assert module.name.startswith("fuzz.") or family == "frontend"
+
+
+def test_generation_is_deterministic():
+    config = FuzzConfig(seed=42)
+    for index in range(6):
+        a = print_module(generate_candidate(config, index))
+        b = print_module(generate_candidate(config, index))
+        assert a == b
+
+
+def test_different_indices_differ():
+    config = FuzzConfig(seed=42)
+    texts = {print_module(generate_candidate(config, i)) for i in range(6)}
+    assert len(texts) == 6
+
+
+def test_all_candidates_verify():
+    config = FuzzConfig(seed=7, danger_bias=1.0)
+    for index in range(10):
+        verify_module(generate_candidate(config, index))
+
+
+def test_family_coverage_over_a_small_window():
+    families = {candidate_family(42, i) for i in range(25)}
+    assert families == set(FAMILIES)
+
+
+def test_danger_families_contain_their_shapes():
+    config = FuzzConfig(seed=42)
+    saw_diamond = saw_invoke = False
+    for index in range(25):
+        family = candidate_family(config.seed, index)
+        if family == "diamond" and not saw_diamond:
+            module = generate_candidate(config, index)
+            assert module.get_function("d1") is not None
+            assert module.get_function("d2") is not None
+            saw_diamond = True
+        if family == "invoke" and not saw_invoke:
+            module = generate_candidate(config, index)
+            assert module.get_function("v1") is not None
+            assert module.get_function("v2") is not None
+            saw_invoke = True
+    assert saw_diamond and saw_invoke

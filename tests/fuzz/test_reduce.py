@@ -1,0 +1,64 @@
+"""Reducer: minimized reproducers stay buggy, get small, and round-trip."""
+
+import pytest
+
+from repro.fuzz import (
+    FuzzConfig,
+    candidate_family,
+    generate_candidate,
+    module_instruction_count,
+    reduce_module,
+    replay_shapes,
+)
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.ir.verifier import verify_module
+
+_CFG = FuzzConfig(seed=42, legacy_bugs=True, oracle_gate=False, static_gate=False)
+
+
+def _first_candidate(family):
+    for index in range(40):
+        if candidate_family(_CFG.seed, index) == family:
+            return index
+    raise AssertionError(f"no {family} candidate in window")
+
+
+@pytest.mark.parametrize(
+    "family,pair,shape",
+    [
+        ("diamond", ["d1", "d2"], "stale-reload"),
+        ("invoke", ["v1", "v2"], "phi-reload"),
+    ],
+)
+def test_minimizes_below_fifteen_instructions(family, pair, shape):
+    index = _first_candidate(family)
+    module = generate_candidate(_CFG, index)
+    text = print_module(module)
+    before = module_instruction_count(module)
+
+    out = reduce_module(text, pair, legacy_bugs=True, shape=shape)
+
+    assert out["reproduced"]
+    assert out["instructions"] <= 15 < before
+    # The reproducer is still valid IR and still exhibits exactly the bug...
+    reduced = parse_module(str(out["text"]))
+    verify_module(reduced)
+    assert shape in replay_shapes(reduced, pair, legacy_bugs=True)
+    # ...and the fixed repair path is clean on it.
+    reduced = parse_module(str(out["text"]))
+    assert replay_shapes(reduced, pair, legacy_bugs=False) == []
+
+
+def test_non_reproducing_input_returned_unchanged():
+    index = _first_candidate("diamond")
+    text = print_module(generate_candidate(_CFG, index))
+    out = reduce_module(text, ["d1", "d2"], legacy_bugs=False, shape="stale-reload")
+    assert not out["reproduced"]
+    assert out["text"] == text
+
+
+def test_unknown_pair_yields_no_shapes():
+    index = _first_candidate("diamond")
+    module = generate_candidate(_CFG, index)
+    assert replay_shapes(module, ["nope", "d2"], legacy_bugs=True) == []

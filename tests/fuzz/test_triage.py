@@ -1,0 +1,88 @@
+"""Triage: canonicalization and two-layer deduplication."""
+
+from repro.fuzz import TriageIndex, canonical_tokens
+
+
+def _failure(**over):
+    base = {
+        "candidate": 3,
+        "family": "diamond",
+        "stage": "codegen",
+        "outcome": "miscompile_static",
+        "shape": "stale-reload",
+        "detail": (
+            "reload of demotion slot %demote.p3 executes before any store "
+            "to it (store placed after the use)"
+        ),
+        "function": "merged.d1.d2",
+        "pair": ["d1", "d2"],
+    }
+    base.update(over)
+    return base
+
+
+def test_canonical_tokens_strip_run_noise():
+    a = canonical_tokens(_failure())
+    b = canonical_tokens(
+        _failure(detail=a and _failure()["detail"].replace("%demote.p3", "%demote.q17"))
+    )
+    assert a == b
+    assert a[:3] == ("codegen", "miscompile_static", "stale-reload")
+    assert "<reg>" in a
+
+
+def test_numbers_and_function_names_normalize():
+    a = canonical_tokens(_failure(detail="@merged.d1.d2 diverges on 42 inputs"))
+    b = canonical_tokens(_failure(detail="@merged.x.y diverges on 7 inputs"))
+    assert a == b
+
+
+def test_exact_duplicates_collapse():
+    index = TriageIndex()
+    sig1, new1 = index.add(_failure(candidate=1))
+    sig2, new2 = index.add(_failure(candidate=9, detail=_failure()["detail"].replace("p3", "z9")))
+    assert new1 and not new2
+    assert sig1 is sig2
+    assert sig1.count == 2
+    assert sig1.candidates == [1, 9]
+    assert index.unique_bugs == 1
+    assert index.dedup_rate == 0.5
+
+
+def test_distinct_shapes_stay_distinct():
+    index = TriageIndex()
+    index.add(_failure())
+    _sig, new = index.add(
+        _failure(
+            shape="phi-reload",
+            detail=(
+                "reload of demotion slot %demote.inv1 feeds a phi but no "
+                "store reaches it (legacy phi/invoke placement bug)"
+            ),
+        )
+    )
+    assert new
+    assert index.unique_bugs == 2
+
+
+def test_near_duplicate_detail_drift_collapses():
+    index = TriageIndex()
+    letters = "abcdefghij"
+    long_tail = " ".join(f"w{letters[i // 10]}{letters[i % 10]}" for i in range(40))
+    index.add(_failure(detail=f"divergence in shared tail: {long_tail}"))
+    _sig, new = index.add(
+        _failure(detail=f"divergence in shared tail: {long_tail} extra")
+    )
+    assert not new  # token streams are ~98% similar -> LSH layer catches it
+    assert index.unique_bugs == 1
+
+
+def test_signature_records_first_sighting():
+    index = TriageIndex()
+    sig, _ = index.add(_failure(candidate=5))
+    assert sig.bug_id == "bug-001"
+    assert sig.first_candidate == 5
+    assert sig.decisions == [["d1", "d2"]]
+    payload = sig.to_dict()
+    assert payload["shape"] == "stale-reload"
+    assert payload["count"] == 1

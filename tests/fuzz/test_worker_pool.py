@@ -1,0 +1,60 @@
+"""The crash-isolated worker pool: isolation, quarantine, invariance.
+
+These spawn real subprocess workers, so budgets are small; the hang
+test uses a short deadline to keep the retry-then-quarantine path under
+a few seconds.
+"""
+
+import pytest
+
+from repro.fuzz import FuzzConfig, run_campaign
+from repro.fuzz.worker import WorkerPool, _parse_worker_fault
+
+_BASE = dict(budget=6, seed=7, legacy_bugs=True, oracle_gate=False, static_gate=False)
+
+
+def test_parse_worker_fault_spec():
+    assert _parse_worker_fault("worker_crash:3") == ("worker_crash", 3)
+    assert _parse_worker_fault("worker_hang:0") == ("worker_hang", 0)
+    assert _parse_worker_fault("codegen:2") is None  # pipeline fault, not ours
+    assert _parse_worker_fault(None) is None
+
+
+def test_subprocess_pool_matches_inline_results():
+    inline = WorkerPool(FuzzConfig(**_BASE, workers=0))
+    inline.run(list(range(6)))
+    isolated = WorkerPool(FuzzConfig(**_BASE, workers=2, timeout=60.0))
+    isolated.run(list(range(6)))
+    assert inline.results == isolated.results
+    assert isolated.quarantined == []
+
+
+@pytest.mark.parametrize(
+    "fault,timeout",
+    [("worker_crash:3", 60.0), ("worker_hang:3", 1.0)],
+)
+def test_fault_is_quarantined_without_collateral(fault, timeout):
+    clean = run_campaign(FuzzConfig(**_BASE, workers=0), minimize=False)
+    faulty = run_campaign(
+        FuzzConfig(**_BASE, workers=2, timeout=timeout, inject_fault=fault),
+        minimize=False,
+    )
+    assert faulty.quarantined == [3]
+    assert faulty.results[3]["status"] == "quarantined"
+    # Every other candidate's result is exactly what the clean run saw.
+    for index in range(6):
+        if index != 3:
+            assert faulty.results[index] == clean.results[index]
+
+
+def test_quarantine_is_recorded_in_manifest(tmp_path):
+    run_campaign(
+        FuzzConfig(**_BASE, workers=2, timeout=60.0, inject_fault="worker_crash:1"),
+        manifest_path=str(tmp_path / "m.json"),
+        minimize=False,
+    )
+    from repro.obs.manifest import load_manifest
+
+    manifest = load_manifest(str(tmp_path / "m.json"))
+    assert manifest.metrics["quarantined"] == [1]
+    assert manifest.outcomes.get("candidate_quarantined") == 1

@@ -9,11 +9,22 @@ continue with the remaining candidates.
 
 import pytest
 
-from repro.faults import FAULT_STAGES, FaultInjector, InjectedFault
+from repro.faults import (
+    FAULT_STAGES,
+    WORKER_FAULT_STAGES,
+    FaultInjector,
+    InjectedFault,
+)
 from repro.ir import parse_module, print_module, verify_module
 from repro.merge import FunctionMergingPass, PassConfig
-from repro.search import ExhaustiveRanker
+from repro.search import ExhaustiveRanker, MinHashLSHRanker
 from repro.workloads import build_workload
+
+
+def _ranker_for(stage):
+    """The ``lsh`` stage only exists inside the banded-LSH ranker; every
+    other stage is exercised through the exhaustive one."""
+    return MinHashLSHRanker() if stage == "lsh" else ExhaustiveRanker()
 
 
 def _mergeable_module():
@@ -55,7 +66,7 @@ class TestStageContainment:
         # Enable both gates so every fault stage is exercised.
         config = PassConfig(oracle=True, static_check=True)
         report = FunctionMergingPass(
-            ExhaustiveRanker(), config, faults=faults
+            _ranker_for(stage), config, faults=faults
         ).run(module)
 
         assert faults.fired >= 1
@@ -76,7 +87,7 @@ class TestStageContainment:
         faults = FaultInjector(stage)
         config = PassConfig(oracle=True, static_check=True, on_error="raise")
         with pytest.raises(InjectedFault):
-            FunctionMergingPass(ExhaustiveRanker(), config, faults=faults).run(module)
+            FunctionMergingPass(_ranker_for(stage), config, faults=faults).run(module)
         # The rollback runs before the re-raise.
         assert print_module(module) == before
         verify_module(module)
@@ -149,3 +160,23 @@ class TestFaultInjector:
         fi.hit("align")
         assert fi.fired == 0
         assert fi.hits["rank"] == 1
+
+    def test_worker_stages_accepted(self):
+        # Campaign-level stages parse and fire but stay out of the
+        # pipeline-stage tuple (the pass cannot contain them).
+        assert "worker_crash" not in FAULT_STAGES
+        fi = FaultInjector.parse("worker_crash:2")
+        fi.hit("worker_crash")
+        with pytest.raises(InjectedFault):
+            fi.hit("worker_crash")
+        assert fi.fired == 1
+        fi = FaultInjector("worker_hang")
+        with pytest.raises(InjectedFault):
+            fi.hit("worker_hang")
+        assert WORKER_FAULT_STAGES == ("worker_crash", "worker_hang")
+
+    def test_injected_fault_records_stage(self):
+        fi = FaultInjector("lsh")
+        with pytest.raises(InjectedFault) as excinfo:
+            fi.hit("lsh")
+        assert excinfo.value.fault_stage == "lsh"

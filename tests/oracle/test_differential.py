@@ -246,3 +246,83 @@ class TestOracleGateAcceptance:
         verify_module(module)
         assert report.outcome_counts()["oracle_fail"] == 0
         assert report.merges > 0
+
+
+class TestOracleTimeout:
+    """The step-budget guard: a merged function that loops forever must
+    surface as a structured timeout, never hang the oracle."""
+
+    @staticmethod
+    def _loop_the_merged(result):
+        # Replace the first ret's block terminator with a self-branch: the
+        # merged side now spins while both originals terminate.
+        from repro.ir import Branch, Ret
+
+        for block in result.merged.blocks:
+            term = block.instructions[-1]
+            if isinstance(term, Ret):
+                block.remove(term)
+                block.append(Branch(block))
+                return
+        raise AssertionError("merged function has no ret")
+
+    def test_fuel_exhausted_is_a_structured_trap(self):
+        from repro.ir import FuelExhausted, Interpreter, Trap
+
+        module = parse_module(
+            """
+define i32 @spin(i32 %x) {
+entry:
+  br label %loop
+loop:
+  %v = phi i32 [ %x, %entry ], [ %n, %loop ]
+  %n = add i32 %v, 1
+  br label %loop
+}
+"""
+        )
+        with pytest.raises(FuelExhausted):
+            Interpreter(fuel=500).run(module.get_function("spin"), [1])
+        assert issubclass(FuelExhausted, Trap)
+
+    def test_oracle_reports_timeout_kind(self):
+        result = _merge_text(SIMPLE_PAIR)
+        self._loop_the_merged(result)
+        verdict = DifferentialOracle(OracleConfig(fuel=2_000)).check(result)
+        assert not verdict.equivalent
+        assert verdict.timed_out
+        assert all(d.kind == "timeout" for d in verdict.divergences)
+
+    def test_timed_out_is_false_on_value_divergence(self):
+        result = _merge_text(SIMPLE_PAIR)
+        for block in result.merged.blocks:
+            for inst in block.instructions:
+                if inst.opcode == Opcode.ADD:
+                    inst.set_operand(1, ConstantInt(I32, 99))
+                    break
+        verdict = DifferentialOracle().check(result)
+        assert not verdict.equivalent
+        assert not verdict.timed_out
+
+    def test_pass_surfaces_oracle_timeout_outcome(self):
+        module = parse_module(SIMPLE_PAIR)
+        pass_ = FunctionMergingPass(
+            ExhaustiveRanker(),
+            PassConfig(oracle=True, min_instructions=0),
+            oracle=_LoopingOracle(),
+        )
+        report = pass_.run(module)
+        outcomes = {str(a.outcome) for a in report.attempts}
+        assert "oracle_timeout" in outcomes
+        # The veto rolled the module back: both originals intact.
+        assert module.get_function("f1").num_instructions == 3
+        assert module.get_function("f2").num_instructions == 3
+
+
+class _LoopingOracle:
+    """Wraps the real oracle but sabotages the merged side into a loop
+    first — exercising the pass's ORACLE_TIMEOUT path end to end."""
+
+    def check(self, result):
+        TestOracleTimeout._loop_the_merged(result)
+        return DifferentialOracle(OracleConfig(fuel=2_000)).check(result)

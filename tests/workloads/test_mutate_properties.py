@@ -1,0 +1,95 @@
+"""Property tests: every mutator preserves the campaign's two invariants.
+
+The fuzz generator leans on ``workloads/mutate.py`` to synthesize
+thousands of candidate modules, so each individual mutator — plain and
+§III-E danger pool alike — must, for *arbitrary* seeded inputs:
+
+1. leave the module verifier-valid, and
+2. leave it printable/re-parsable with a stable fixpoint
+   (print → parse → print is the identity).
+
+Hypothesis drives the seeds; every counterexample it finds is a module
+the campaign could have generated.
+"""
+
+import random
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.ir.module import Module
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.ir.verifier import verify_module
+from repro.workloads.generator import FunctionGenerator, GeneratorConfig
+from repro.workloads.mutate import (
+    DANGER_MUTATIONS,
+    _MUTATIONS,
+    make_danger_variant,
+    make_variant,
+    mutate_function,
+    mutate_function_danger,
+)
+
+ALL_MUTATORS = [fn for fn, _w in _MUTATIONS] + [fn for fn, _w in DANGER_MUTATIONS]
+
+
+def _base_module(seed: int) -> Module:
+    rng = random.Random(seed)
+    module = Module(f"prop.{seed}")
+    generator = FunctionGenerator(
+        module, rng, GeneratorConfig(max_ops=14, max_depth=2)
+    )
+    for i in range(2):
+        generator.generate(f"f{i}")
+    return module
+
+
+def _assert_valid_and_round_trips(module: Module) -> None:
+    for func in module.defined_functions():
+        func.uniquify_names()
+    verify_module(module)
+    text = print_module(module)
+    reparsed = parse_module(text)
+    verify_module(reparsed)
+    assert print_module(reparsed) == text
+
+
+@pytest.mark.parametrize("mutator", ALL_MUTATORS, ids=lambda m: m.__name__)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=12, deadline=None)
+def test_each_mutator_preserves_validity(mutator, seed):
+    module = _base_module(seed)
+    rng = random.Random(seed ^ 0xA5A5)
+    for func in list(module.defined_functions()):
+        for _ in range(3):
+            mutator(func, rng)
+    _assert_valid_and_round_trips(module)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_mixed_mutation_streams_preserve_validity(seed):
+    module = _base_module(seed)
+    rng = random.Random(seed)
+    for func in list(module.defined_functions()):
+        mutate_function(func, rng, 4)
+        mutate_function_danger(func, rng, 4, danger_bias=0.8)
+    _assert_valid_and_round_trips(module)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_variant_helpers_preserve_validity(seed):
+    module = _base_module(seed)
+    rng = random.Random(seed)
+    bases = list(module.defined_functions())
+    for i, base in enumerate(bases):
+        make_variant(base, f"{base.name}.v", rng, 3, module=module)
+        make_danger_variant(
+            base, f"{base.name}.d", rng, 3, module=module, danger_bias=1.0
+        )
+    assert len(module.defined_functions()) >= 3 * len(bases)
+    _assert_valid_and_round_trips(module)
