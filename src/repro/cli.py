@@ -14,6 +14,7 @@ Drives the library end to end from a shell::
 from __future__ import annotations
 
 import argparse
+import difflib
 import json
 import sys
 from typing import List, Optional
@@ -129,6 +130,7 @@ def _cmd_merge(args: argparse.Namespace) -> int:
             threshold=args.threshold,
             verify=not args.no_verify,
             static_check=args.static_check,
+            validate=args.validate,
             oracle=args.oracle,
             on_error=args.on_error,
         )
@@ -186,6 +188,20 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     with open(args.module, "r", encoding="utf-8") as handle:
         module = parse_module(handle.read(), name=args.module)
     checkers = args.checkers.split(",") if args.checkers else None
+    if checkers is not None:
+        # Unknown checker names are a hard usage error, not a silent no-op:
+        # a typo'd --checkers list would otherwise "pass" by running nothing.
+        known = [c.name for c in all_checkers()]
+        for name in checkers:
+            if name not in known:
+                hint = difflib.get_close_matches(name, known, n=1)
+                suggestion = f" (did you mean {hint[0]!r}?)" if hint else ""
+                print(
+                    f"error: unknown checker {name!r}{suggestion}; "
+                    f"known checkers: {', '.join(known)}",
+                    file=sys.stderr,
+                )
+                return 2
     diagnostics = lint_module(module, checkers)
     if args.min_severity is not None:
         floor = Severity.parse(args.min_severity)
@@ -467,6 +483,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--static-check",
         action="store_true",
         help="gate every commit with the static merge-safety linter",
+    )
+    p_merge.add_argument(
+        "--validate",
+        choices=["off", "observe", "gate"],
+        default="off",
+        help=(
+            "run the translation validator on every merge: observe records "
+            "the verdict, gate vetoes refuted merges and skips the oracle "
+            "on proved ones"
+        ),
     )
     p_merge.add_argument(
         "--oracle",

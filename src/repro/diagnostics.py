@@ -49,7 +49,12 @@ class Severity(enum.IntEnum):
 
 @dataclass(frozen=True)
 class Diagnostic:
-    """One finding from one checker, locatable in the IR by name."""
+    """One finding from one checker, locatable in the IR by name.
+
+    ``code`` is a stable machine-readable identifier of the finding *kind*
+    (e.g. ``"ssa-dominance/use-before-def"``); messages may be reworded
+    between releases, codes may not.
+    """
 
     checker: str
     severity: Severity
@@ -57,6 +62,7 @@ class Diagnostic:
     function: Optional[str] = None
     block: Optional[str] = None
     instruction: Optional[str] = None
+    code: Optional[str] = None
 
     @property
     def location(self) -> str:
@@ -75,6 +81,7 @@ class Diagnostic:
         return {
             "checker": self.checker,
             "severity": str(self.severity),
+            "code": self.code,
             "message": self.message,
             "function": self.function,
             "block": self.block,

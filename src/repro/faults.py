@@ -15,6 +15,7 @@ stage so tests can prove the containment property for every stage:
 * ``codegen`` — before merged-function code generation;
 * ``verify``  — before the IR verifier runs on the merged function;
 * ``staticcheck`` — before the merge-safety linter (if enabled);
+* ``validate`` — before the translation validator (if enabled);
 * ``oracle``  — before the differential-execution oracle (if enabled);
 * ``commit``  — *in the middle of* call-site rewriting, after the first
   original has already been redirected, so a commit-stage fault leaves
@@ -43,6 +44,7 @@ FAULT_STAGES = (
     "codegen",
     "verify",
     "staticcheck",
+    "validate",
     "oracle",
     "commit",
 )

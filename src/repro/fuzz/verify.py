@@ -20,6 +20,12 @@ One candidate's trip through the campaign:
      names, same inputs, post-merge module — any change in value/trap
      behaviour is a committed miscompile.
 
+5. **Cross-check** the translation validator: every merge attempt runs
+   with ``validate="observe"``, and a committed merge the validator
+   ``proved`` that then shows a static demote shape or a behavioural
+   divergence is reported as ``validator_false_proved`` — a soundness
+   bug in the validator itself, distinct from the miscompile it missed.
+
 Everything returned is a plain JSON-ready dict so the same function runs
 identically inside a crash-isolated worker or in-process (unit tests,
 ``--replay``).
@@ -51,6 +57,7 @@ __all__ = ["evaluate_candidate", "behavior_snapshot", "classify_diagnostic"]
 #: Pipeline outcomes the campaign records as failures.
 _FAILURE_OUTCOMES = {
     "static_fail",
+    "validate_fail",
     "oracle_fail",
     "oracle_timeout",
     "internal_error",
@@ -206,10 +213,27 @@ def evaluate_candidate(config: FuzzConfig, index: int) -> Dict[str, object]:
         legacy_bugs=config.legacy_bugs,
         oracle=config.oracle_gate,
         static_check=config.static_gate,
+        # Third verifier: always observe (never gate) so the validator's
+        # verdicts can be cross-checked against the other two detectors
+        # without changing which merges commit.
+        validate="observe",
     )
     pass_ = FunctionMergingPass(make_ranker(config.strategy), pass_config, faults=faults)
     report = pass_.run(module)
     decisions = _merge_decisions(report)
+
+    # Validator verdict tallies plus the set of committed pairs the
+    # validator claimed to have *proved* correct.
+    validate_counts: Dict[str, int] = {}
+    proved_pairs: Dict[Tuple[str, str], str] = {}
+    for att in report.attempts:
+        if att.validate_verdict is None:
+            continue
+        validate_counts[att.validate_verdict] = (
+            validate_counts.get(att.validate_verdict, 0) + 1
+        )
+        if att.success and att.candidate and att.validate_verdict == "proved":
+            proved_pairs[(att.function, att.candidate)] = att.validate_verdict
 
     failures: List[Dict[str, object]] = []
 
@@ -277,12 +301,44 @@ def evaluate_candidate(config: FuzzConfig, index: int) -> Dict[str, object]:
                 }
             )
 
+    # 4. Validator cross-check: a committed merge the validator *proved*
+    # must never be caught by the static scan or the differential re-run.
+    # One such sighting is a one-sided-soundness violation in the
+    # validator, which triages separately from the miscompile it missed.
+    if proved_pairs:
+        flagged_pairs: set = set()
+        for failure in list(failures):
+            pair = failure.get("pair")
+            if not pair or tuple(pair) not in proved_pairs:
+                continue
+            if failure["outcome"] not in ("miscompile_static", "miscompile_diff"):
+                continue
+            if tuple(pair) in flagged_pairs:
+                continue
+            flagged_pairs.add(tuple(pair))
+            failures.append(
+                {
+                    "candidate": index,
+                    "family": family,
+                    "stage": "validate",
+                    "outcome": "validator_false_proved",
+                    "shape": "validator-false-proved",
+                    "detail": (
+                        f"validator proved merge {pair[0]},{pair[1]} but "
+                        f"{failure['outcome']} was observed: {failure['detail']}"
+                    ),
+                    "function": failure["function"],
+                    "pair": pair,
+                }
+            )
+
     return dict(
         base,
         status="failure" if failures else "ok",
         merges=report.merges,
         attempts=len(report.attempts),
         outcomes={k: v for k, v in report.outcome_counts().items() if v},
+        validate=validate_counts,
         decisions=decisions,
         module_digest=module_digest(module),
         failures=failures,

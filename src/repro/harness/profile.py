@@ -6,7 +6,7 @@ Two layers:
   stage accounting (:class:`~repro.merge.report.MergeReport` attempt times
   plus the ranker's preprocess breakdown) into a flat
   :class:`PipelineProfile` — wall-clock total and per-stage seconds for
-  fingerprint / index / rank / align / codegen / staticcheck / oracle /
+  fingerprint / index / rank / align / codegen / staticcheck / validate / oracle /
   commit.
 * :func:`fingerprint_microbench` and :func:`run_perf_bench` drive the
   batched-vs-per-function comparison the PR's headline claim rests on:
@@ -60,6 +60,7 @@ PERF_STAGES = (
     "align",
     "codegen",
     "staticcheck",
+    "validate",
     "oracle",
     "commit",
 )
@@ -117,6 +118,7 @@ def profile_from_report(report: MergeReport, ranker=None) -> PipelineProfile:
         "align": sum(a.align_time for a in report.attempts),
         "codegen": sum(a.codegen_time for a in report.attempts),
         "staticcheck": sum(a.static_time for a in report.attempts),
+        "validate": sum(a.validate_time for a in report.attempts),
         "oracle": sum(a.oracle_time for a in report.attempts),
         "commit": sum(a.update_time for a in report.attempts),
     }

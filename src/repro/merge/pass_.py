@@ -39,6 +39,7 @@ from ..obs import trace
 from ..oracle.differential import DifferentialOracle, OracleConfig
 from ..search.pairing import Ranker
 from ..staticcheck.lint import lint_commit, lint_merge
+from ..staticcheck.validate import PROVED, REFUTED, validate_merge
 from .errors import MergeError
 from .merger import MergeOptions, MergeResult, merge_functions
 from .profitability import ProfitabilityBound, ProfitabilityModel
@@ -73,6 +74,15 @@ class PassConfig:
     transaction is finalized.
     ``oracle`` — gate every profitable merge with the differential-execution
     oracle; divergence vetoes the commit with an ``oracle_fail`` outcome.
+    ``validate`` — run the translation validator
+    (:func:`repro.staticcheck.validate.validate_merge`) on every
+    profitable merge.  ``"off"`` skips it; ``"observe"`` records the
+    verdict and timing on the attempt without influencing the decision
+    (the fuzz campaign's cross-check mode); ``"gate"`` enforces it —
+    ``refuted`` vetoes the commit with a ``validate_fail`` outcome,
+    ``proved`` skips the differential oracle entirely (the simulation
+    relation already covers what the oracle would sample), and
+    ``unknown`` escalates to the oracle when one is configured.
     ``on_error`` — ``"skip"`` (default) contains unexpected exceptions:
     the attempt is rolled back, recorded, and the pass continues.
     ``"raise"`` re-raises after the rollback (debugging).
@@ -94,6 +104,7 @@ class PassConfig:
     min_instructions: int = 1
     remerge: bool = True
     static_check: bool = False
+    validate: str = "off"
     oracle: bool = False
     on_error: str = "skip"
     batch_alignment: bool = True
@@ -103,6 +114,10 @@ class PassConfig:
         if self.on_error not in ("skip", "raise"):
             raise ValueError(
                 f"on_error must be 'skip' or 'raise', got {self.on_error!r}"
+            )
+        if self.validate not in ("off", "observe", "gate"):
+            raise ValueError(
+                f"validate must be 'off', 'observe' or 'gate', got {self.validate!r}"
             )
 
 
@@ -226,6 +241,7 @@ class FunctionMergingPass:
             "align": metrics.histogram("merge.stage.align_s"),
             "codegen": metrics.histogram("merge.stage.codegen_s"),
             "staticcheck": metrics.histogram("merge.stage.staticcheck_s"),
+            "validate": metrics.histogram("merge.stage.validate_s"),
             "oracle": metrics.histogram("merge.stage.oracle_s"),
             "commit": metrics.histogram("merge.stage.commit_s"),
         }
@@ -239,6 +255,10 @@ class FunctionMergingPass:
                 stage_hists["codegen"].observe(att.codegen_time)
             if att.static_time:
                 stage_hists["staticcheck"].observe(att.static_time)
+            if att.validate_time:
+                stage_hists["validate"].observe(att.validate_time)
+            if att.validate_verdict is not None:
+                metrics.counter(f"merge.validate.{att.validate_verdict}").inc()
             if att.oracle_time:
                 stage_hists["oracle"].observe(att.oracle_time)
             if att.update_time:
@@ -434,7 +454,33 @@ class FunctionMergingPass:
                 record.error = f"static:{first.checker}:{first.message}"
                 return record, None
 
-        if self.oracle is not None:
+        run_oracle = self.oracle is not None
+        if self.config.validate != "off":
+            ctx.stage = "validate"
+            with trace.span("validate"):
+                t0 = time.perf_counter()
+                try:
+                    if self.faults is not None:
+                        self.faults.hit("validate")
+                    validation = validate_merge(result)
+                finally:
+                    record.validate_time = time.perf_counter() - t0
+            record.validate_verdict = validation.verdict
+            if self.config.validate == "gate":
+                if validation.verdict == REFUTED:
+                    txn.rollback()
+                    record.outcome = Outcome.VALIDATE_FAIL
+                    first = validation.diagnostics[0]
+                    record.error = f"validate:{first.code}:{first.message}"
+                    return record, None
+                if validation.verdict == PROVED:
+                    # The simulation relation covers every input the
+                    # oracle could sample; skip the expensive re-execution.
+                    run_oracle = False
+                # unknown: fall through — escalate to the oracle when one
+                # is configured, otherwise let the remaining gates decide.
+
+        if run_oracle:
             ctx.stage = "oracle"
             with trace.span("oracle"):
                 t0 = time.perf_counter()

@@ -25,6 +25,7 @@ STAGES = (
     "align",
     "codegen",
     "staticcheck",
+    "validate",
     "oracle",
     "update",
 )
@@ -60,6 +61,10 @@ class Outcome(str, Enum):
     # contained before any module mutation, or a partially applied commit
     # was undone by the transaction layer.
     STATIC_FAIL = "static_fail"
+    # The translation validator refuted the merge: the product-CFG walk
+    # found a definitive miscompile (demote-contract violation or a
+    # constant return divergence) without executing anything.
+    VALIDATE_FAIL = "validate_fail"
     ORACLE_FAIL = "oracle_fail"
     # The oracle could not finish the merged side within its step budget
     # (guard/select headroom included) while the original terminated: the
@@ -93,8 +98,12 @@ class AttemptRecord:
     align_time: float = 0.0
     codegen_time: float = 0.0
     static_time: float = 0.0
+    validate_time: float = 0.0
     oracle_time: float = 0.0
     update_time: float = 0.0
+    # Translation-validator verdict ("proved" | "refuted" | "unknown")
+    # when the validate stage ran; None when it was off.
+    validate_verdict: Optional[str] = None
     # Structured failure detail: "<stage>:<ExceptionType>" for contained
     # faults, or the oracle's first divergence description.
     error: Optional[str] = None
@@ -151,6 +160,7 @@ class MergeReport:
             "codegen_success": 0.0,
             "codegen_fail": 0.0,
             "staticcheck": 0.0,
+            "validate": 0.0,
             "oracle": 0.0,
             "update": 0.0,
         }
@@ -161,6 +171,7 @@ class MergeReport:
             buckets[f"align_{key}"] += att.align_time
             buckets[f"codegen_{key}"] += att.codegen_time
             buckets["staticcheck"] += att.static_time
+            buckets["validate"] += att.validate_time
             buckets["oracle"] += att.oracle_time
             buckets["update"] += att.update_time
         out.update(buckets)

@@ -20,7 +20,32 @@ from ..ir.values import ConstantInt, UndefValue, Value
 from .errors import CommitError
 from .merger import MergeResult
 
-__all__ = ["commit_merge", "rewrite_call_sites", "make_thunk"]
+__all__ = ["commit_merge", "rewrite_call_sites", "make_thunk", "thunk_target"]
+
+
+def thunk_target(func: Function) -> Optional[Call]:
+    """The forwarding call if *func* has :func:`make_thunk` shape, else ``None``.
+
+    A thunk is a single block holding exactly a direct call plus a ``ret``
+    of that call's result (or ``ret void``).  Callers — notably the
+    translation validator — use this to redirect a call *through* the
+    thunk to the underlying merged function; the rewrite is
+    behaviour-preserving for any function of this shape, thunk or not.
+    """
+    blocks = func.blocks
+    if len(blocks) != 1:
+        return None
+    insts = blocks[0].instructions
+    if len(insts) != 2:
+        return None
+    call, ret = insts
+    if not isinstance(call, Call) or not isinstance(ret, Ret):
+        return None
+    if not isinstance(call.callee, Function):
+        return None
+    if ret.value is not None and ret.value is not call:
+        return None
+    return call
 
 
 def _merged_args(

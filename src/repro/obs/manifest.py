@@ -150,6 +150,10 @@ def collect_pass_telemetry(pass_, report, registry) -> None:
     if index is not None and hasattr(index, "index_stats"):
         registry.register_source("lsh_index", index.index_stats)
 
+    from ..staticcheck.dataflow import solver_stats
+
+    registry.register_source("staticcheck.dataflow", solver_stats)
+
     stats = getattr(ranker, "stats", None)
     if stats is not None:
         registry.register_source(

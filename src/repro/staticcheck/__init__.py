@@ -14,6 +14,12 @@ Layers:
   ``dead-store``, ``type-consistency``, ``callgraph``).
 * :mod:`repro.staticcheck.lint` — module/function linting plus the
   merge-safety linter used by the pass's ``--static-check`` gate.
+* :mod:`repro.staticcheck.symeval` / :mod:`repro.staticcheck.simrel` /
+  :mod:`repro.staticcheck.validate` — translation validation: a
+  product-CFG refinement checker that symbolically proves a merged
+  function equivalent to each original (``proved | refuted | unknown``),
+  used by the pass's ``--validate`` gate and the fuzz campaign's third
+  verifier.
 
 Diagnostics are :class:`repro.diagnostics.Diagnostic` objects — the same
 type the IR verifier raises — so ``repro lint --json`` serializes all of
@@ -37,7 +43,9 @@ from .dataflow import (
     Liveness,
     ReachingStores,
     SlotLiveness,
+    reset_solver_stats,
     solve,
+    solver_stats,
     tracked_slots,
 )
 from .lint import (
@@ -47,6 +55,15 @@ from .lint import (
     lint_merge,
     lint_merged_function,
     lint_module,
+)
+from .simrel import Caps, ProductWalker, SideReport
+from .validate import (
+    PROVED,
+    REFUTED,
+    UNKNOWN,
+    ValidationReport,
+    specialized_demote_diagnostics,
+    validate_merge,
 )
 
 __all__ = [
@@ -68,10 +85,21 @@ __all__ = [
     "SlotLiveness",
     "solve",
     "tracked_slots",
+    "solver_stats",
+    "reset_solver_stats",
     "demote_reload_diagnostics",
     "lint_commit",
     "lint_function",
     "lint_merge",
     "lint_merged_function",
     "lint_module",
+    "Caps",
+    "ProductWalker",
+    "SideReport",
+    "PROVED",
+    "REFUTED",
+    "UNKNOWN",
+    "ValidationReport",
+    "validate_merge",
+    "specialized_demote_diagnostics",
 ]

@@ -134,6 +134,7 @@ def _diag(
     func: Optional[Function] = None,
     block: Optional[BasicBlock] = None,
     inst: Optional[Instruction] = None,
+    code: Optional[str] = None,
 ) -> Diagnostic:
     return Diagnostic(
         checker=name,
@@ -142,6 +143,7 @@ def _diag(
         function=func.name if func is not None else None,
         block=block.name if block is not None else None,
         instruction=(inst.name or None) if inst is not None else None,
+        code=f"{name}/{code}" if code is not None else None,
     )
 
 
@@ -179,6 +181,7 @@ def dominance_diagnostics(func: Function, dt=None) -> List[Diagnostic]:
                             func,
                             block,
                             inst,
+                            code="use-before-def",
                         )
                     )
     return diags
@@ -234,6 +237,7 @@ def _check_maybe_uninit(func: Function) -> List[Diagnostic]:
             func,
             load.parent,
             load,
+            code="no-reaching-store",
         )
         for load, slot in loads
     ]
@@ -254,6 +258,7 @@ def _check_unreachable(func: Function) -> List[Diagnostic]:
             f"block %{block.name} is unreachable from the entry",
             func,
             block,
+            code="dead-block",
         )
         for block in func.blocks
         if id(block) not in reachable
@@ -291,6 +296,7 @@ def _check_dead_store(func: Function) -> List[Diagnostic]:
                         func,
                         block,
                         inst,
+                        code="never-read",
                     )
                 )
     return diags
@@ -317,9 +323,12 @@ def _callee_ftype(callee) -> Optional[FunctionType]:
 def _check_types(func: Function) -> List[Diagnostic]:
     diags: List[Diagnostic] = []
 
-    def bad(message: str, block: BasicBlock, inst: Instruction) -> None:
+    def bad(message: str, block: BasicBlock, inst: Instruction, code: str) -> None:
         diags.append(
-            _diag("type-consistency", Severity.ERROR, message, func, block, inst)
+            _diag(
+                "type-consistency", Severity.ERROR, message, func, block, inst,
+                code=code,
+            )
         )
 
     for block in func.blocks:
@@ -327,7 +336,7 @@ def _check_types(func: Function) -> List[Diagnostic]:
             if isinstance(inst, (Call, Invoke)):
                 ftype = _callee_ftype(inst.callee)
                 if ftype is None:
-                    bad(f"callee is not a function: {inst.callee.type}", block, inst)
+                    bad(f"callee is not a function: {inst.callee.type}", block, inst, "bad-callee")
                     continue
                 args = inst.args
                 if len(args) != len(ftype.params):
@@ -336,6 +345,7 @@ def _check_types(func: Function) -> List[Diagnostic]:
                         f"expects {len(ftype.params)}",
                         block,
                         inst,
+                        "call-arity",
                     )
                 else:
                     for i, (arg, param) in enumerate(zip(args, ftype.params)):
@@ -345,6 +355,7 @@ def _check_types(func: Function) -> List[Diagnostic]:
                                 f"expected {param}",
                                 block,
                                 inst,
+                                "call-arg-type",
                             )
                 if inst.type is not ftype.ret:
                     bad(
@@ -352,6 +363,7 @@ def _check_types(func: Function) -> List[Diagnostic]:
                         f"type {ftype.ret}",
                         block,
                         inst,
+                        "call-ret-type",
                     )
             elif isinstance(inst, Phi):
                 for value, pred in inst.incoming:
@@ -361,41 +373,44 @@ def _check_types(func: Function) -> List[Diagnostic]:
                             f"{value.type}, phi is {inst.type}",
                             block,
                             inst,
+                            "phi-incoming-type",
                         )
             elif isinstance(inst, Ret):
                 if func.return_type.is_void:
                     if inst.value is not None:
-                        bad("ret with value in void function", block, inst)
+                        bad("ret with value in void function", block, inst, "ret-arity")
                 elif inst.value is None:
-                    bad("ret void in non-void function", block, inst)
+                    bad("ret void in non-void function", block, inst, "ret-arity")
                 elif inst.value.type is not func.return_type:
                     bad(
                         f"ret type {inst.value.type} != {func.return_type}",
                         block,
                         inst,
+                        "ret-type",
                     )
             elif isinstance(inst, Store):
                 ptype = inst.pointer.type
                 if not ptype.is_pointer:
-                    bad(f"store through non-pointer {ptype}", block, inst)
+                    bad(f"store through non-pointer {ptype}", block, inst, "memory-type")
                 elif inst.value.type is not ptype.pointee:
                     bad(
                         f"store of {inst.value.type} into {ptype}",
                         block,
                         inst,
+                        "memory-type",
                     )
             elif isinstance(inst, Load):
                 ptype = inst.pointer.type
                 if not ptype.is_pointer:
-                    bad(f"load through non-pointer {ptype}", block, inst)
+                    bad(f"load through non-pointer {ptype}", block, inst, "memory-type")
                 elif inst.type is not ptype.pointee:
-                    bad(f"load of {inst.type} from {ptype}", block, inst)
+                    bad(f"load of {inst.type} from {ptype}", block, inst, "memory-type")
             elif isinstance(inst, Select):
                 if inst.condition.type is not I1:
-                    bad("select condition is not i1", block, inst)
+                    bad("select condition is not i1", block, inst, "cond-type")
             elif isinstance(inst, Branch):
                 if inst.is_conditional and inst.condition.type is not I1:
-                    bad("branch condition is not i1", block, inst)
+                    bad("branch condition is not i1", block, inst, "cond-type")
             elif inst.is_binary:
                 lhs, rhs = inst.operand(0), inst.operand(1)
                 if lhs.type is not rhs.type or lhs.type is not inst.type:
@@ -404,6 +419,7 @@ def _check_types(func: Function) -> List[Diagnostic]:
                         f"match result {inst.type}",
                         block,
                         inst,
+                        "binary-type",
                     )
     return diags
 
@@ -432,6 +448,7 @@ def _check_callgraph(module: Module) -> List[Diagnostic]:
                 site.caller,
                 site.inst.parent,
                 site.inst,
+                code="arity-mismatch",
             )
         )
     for group in graph.recursive_groups():
@@ -441,6 +458,6 @@ def _check_callgraph(module: Module) -> List[Diagnostic]:
         else:
             message = f"recursion cycle: {names}"
         diags.append(
-            _diag("callgraph", Severity.INFO, message, func=group[0])
+            _diag("callgraph", Severity.INFO, message, func=group[0], code="recursive")
         )
     return diags

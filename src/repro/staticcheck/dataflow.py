@@ -25,6 +25,7 @@ comparable state.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
@@ -39,11 +40,58 @@ __all__ = [
     "DataflowProblem",
     "DataflowResult",
     "solve",
+    "solver_stats",
+    "reset_solver_stats",
     "ReachingStores",
     "Liveness",
     "SlotLiveness",
     "tracked_slots",
 ]
+
+
+# ---------------------------------------------------------------------------
+# Solver telemetry: per-problem-class worklist statistics.
+# ---------------------------------------------------------------------------
+
+#: ``{problem class name: [solves, total iterations, max iterations,
+#: total blocks]}`` — every :func:`solve` call lands here so the cost of
+#: each analysis (and of new clients like the translation validator) is
+#: visible in ``repro report`` via the obs metrics registry.
+_SOLVER_STATS: Dict[str, List[int]] = {}
+_SOLVER_LOCK = threading.Lock()
+
+
+def _record_solve(problem: DataflowProblem, iterations: int, blocks: int) -> None:
+    name = type(problem).__name__
+    with _SOLVER_LOCK:
+        row = _SOLVER_STATS.setdefault(name, [0, 0, 0, 0])
+        row[0] += 1
+        row[1] += iterations
+        row[2] = max(row[2], iterations)
+        row[3] += blocks
+
+
+def solver_stats() -> Dict[str, object]:
+    """Flat snapshot of the worklist counters, JSON/metrics-source ready.
+
+    Keys are ``<Problem>.<stat>``; ``iterations_per_block`` is the mean
+    number of worklist visits each reachable block needed to converge —
+    near 1.0 means the analyses are running in almost one pass.
+    """
+    out: Dict[str, object] = {}
+    with _SOLVER_LOCK:
+        for name, (solves, iters, peak, blocks) in sorted(_SOLVER_STATS.items()):
+            out[f"{name}.solves"] = solves
+            out[f"{name}.iterations"] = iters
+            out[f"{name}.max_iterations"] = peak
+            if blocks:
+                out[f"{name}.iterations_per_block"] = round(iters / blocks, 3)
+    return out
+
+
+def reset_solver_stats() -> None:
+    with _SOLVER_LOCK:
+        _SOLVER_STATS.clear()
 
 
 class DataflowProblem:
@@ -141,6 +189,7 @@ def solve(problem: DataflowProblem, func: Function) -> DataflowResult:
     result = DataflowResult(problem, func)
     rpo = reverse_postorder(func)
     if not rpo:
+        _record_solve(problem, 0, 0)
         return result
     if problem.direction not in ("forward", "backward"):
         raise ValueError(f"unknown dataflow direction {problem.direction!r}")
@@ -202,6 +251,7 @@ def solve(problem: DataflowProblem, func: Function) -> DataflowResult:
                         queued.add(id(pred))
                         work.append(pred)
     result.iterations = iterations
+    _record_solve(problem, iterations, len(rpo))
     return result
 
 

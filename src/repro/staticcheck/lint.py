@@ -95,11 +95,13 @@ def demote_reload_diagnostics(func: Function) -> List[Diagnostic]:
                 f"reload of demotion slot %{slot.name} feeds a phi but no "
                 "store reaches it (legacy phi/invoke placement bug)"
             )
+            code = f"{MERGE_SAFETY}/phi-reload"
         else:
             message = (
                 f"reload of demotion slot %{slot.name} executes before any "
                 "store to it (store placed after the use)"
             )
+            code = f"{MERGE_SAFETY}/stale-reload"
         diags.append(
             Diagnostic(
                 checker=MERGE_SAFETY,
@@ -108,6 +110,7 @@ def demote_reload_diagnostics(func: Function) -> List[Diagnostic]:
                 function=func.name,
                 block=load.parent.name if load.parent is not None else None,
                 instruction=load.name or None,
+                code=code,
             )
         )
     return diags
@@ -131,6 +134,7 @@ def _thunk_diag(func: Function, message: str) -> Diagnostic:
         severity=Severity.ERROR,
         message=message,
         function=func.name,
+        code=f"{MERGE_SAFETY}/bad-thunk",
     )
 
 

@@ -1,0 +1,947 @@
+"""Product-CFG simulation-relation checker.
+
+:class:`ProductWalker` explores the product of one *original* function
+and the *merged* function specialized to one ``funcId`` constant, and
+tries to establish a simulation relation between the two by symbolic
+evaluation (:mod:`repro.staticcheck.symeval`).
+
+The exploration is an abstract lockstep execution.  A **product node**
+is a pair of block cut-points; from each node both sides run forward
+through straight-line code — following unconditional branches, folding
+merged-side branches and selects whose condition is the ``funcId``
+constant — until each reaches its next *observable event*: a store or
+load through unmodelled memory, a call, or a terminator (conditional
+branch, switch, invoke, return, unreachable).  The two event streams
+must pair one-to-one with structurally equal terms; a paired terminator
+spawns successor product nodes edge-by-edge.  States are memoized per
+``(node, state)`` pair, and the whole search is parameter-bounded — any
+budget overrun degrades the verdict to ``unknown``, never to a wrong
+``proved``.
+
+Three mechanisms make the common merge shapes go through:
+
+* **phi abstraction** — at every block crossing, each original phi is
+  rebound to a fresh opaque leaf after its concrete incoming term is
+  recorded; a merged phi whose incoming term matches is bound to the
+  same leaf.  This is what lets loops reach a fixpoint (the loop body
+  re-walks with identical abstract state) while still proving the
+  merged phi tracks the original one.
+* **slot state** — non-escaping allocas (``tracked_slots``) are modelled
+  as a per-side store map; a load with no reaching store
+  (:class:`~repro.staticcheck.dataflow.ReachingStores`) reads the
+  interpreter's deterministic zero.  A merged-side ``demote.*`` slot —
+  an SSA-repair spill with no original counterpart — whose reload has
+  *no* reaching store is the §III-E contract violation and is the one
+  shape the checker reports as definitively ``refuted``.
+* **leaf freshness** — whenever an original instruction that produces an
+  opaque leaf (phi, call, invoke, load, escaping alloca) re-executes,
+  every state entry mentioning that leaf is purged first.  Leaves always
+  denote the *latest* value, so stale claims can never survive a loop
+  iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..diagnostics import Diagnostic, Severity
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    Alloca,
+    Branch,
+    Call,
+    Instruction,
+    Invoke,
+    Load,
+    Opcode,
+    Phi,
+    Ret,
+    Store,
+    Switch,
+    Unreachable,
+)
+from ..ir.types import VOID
+from ..ir.values import Argument, Constant, Value
+from .dataflow import ReachingStores, solve, tracked_slots
+from .symeval import (
+    Serials,
+    Term,
+    arg_term,
+    const_int_value,
+    const_term,
+    fn_term,
+    is_pure,
+    leaf_term,
+    pure_term,
+    term_mentions,
+    zero_term,
+)
+
+__all__ = ["Caps", "SideReport", "ProductWalker", "VALIDATE"]
+
+#: Checker name stamped on every diagnostic the walker emits.
+VALIDATE = "validate"
+
+# Dispatch codes for the classified instruction stream (:meth:`ProductWalker
+# .block_ops`).  ``advance`` is the single hottest loop in the validator;
+# classifying each block once per walker replaces its per-step isinstance
+# chain with an integer compare and lets the payload slot pre-resolve
+# whatever the isinstance arm would have recomputed every visit (tracked
+# alloca slots, branch targets, switch tables).
+(
+    _OP_PURE,
+    _OP_PHI,
+    _OP_ALLOCA_TRACKED,
+    _OP_ALLOCA,
+    _OP_LOAD_TRACKED,
+    _OP_LOAD,
+    _OP_STORE_TRACKED,
+    _OP_STORE,
+    _OP_CALL,
+    _OP_INVOKE,
+    _OP_BR_UNCOND,
+    _OP_BR_COND,
+    _OP_SWITCH,
+    _OP_RET,
+    _OP_UNREACH,
+    _OP_OTHER,
+) = range(16)
+
+
+def _classify_block(block: BasicBlock, tracked: Dict) -> List[Tuple]:
+    """One ``(code, inst, payload)`` triple per instruction of *block*."""
+    ops: List[Tuple] = []
+    for inst in block.instructions:
+        if isinstance(inst, Phi):
+            ops.append((_OP_PHI, inst, None))
+        elif is_pure(inst):
+            ops.append((_OP_PURE, inst, None))
+        elif isinstance(inst, Alloca):
+            code = _OP_ALLOCA_TRACKED if id(inst) in tracked else _OP_ALLOCA
+            ops.append((code, inst, None))
+        elif isinstance(inst, Load):
+            pointer = inst.pointer
+            if isinstance(pointer, Alloca) and id(pointer) in tracked:
+                ops.append((_OP_LOAD_TRACKED, inst, pointer))
+            else:
+                ops.append((_OP_LOAD, inst, None))
+        elif isinstance(inst, Store):
+            pointer = inst.pointer
+            if isinstance(pointer, Alloca) and id(pointer) in tracked:
+                ops.append((_OP_STORE_TRACKED, inst, pointer))
+            else:
+                ops.append((_OP_STORE, inst, None))
+        elif isinstance(inst, Call):
+            ops.append((_OP_CALL, inst, None))
+        elif isinstance(inst, Invoke):
+            ops.append((_OP_INVOKE, inst, None))
+        elif isinstance(inst, Branch):
+            succs = inst.successors()
+            if inst.is_conditional:
+                ops.append((_OP_BR_COND, inst, (succs[0], succs[1])))
+            else:
+                ops.append((_OP_BR_UNCOND, inst, succs[0]))
+        elif isinstance(inst, Switch):
+            table = [(const.value, target) for const, target in inst.cases]
+            ops.append((_OP_SWITCH, inst, (inst.default, table)))
+        elif isinstance(inst, Ret):
+            ops.append((_OP_RET, inst, None))
+        elif isinstance(inst, Unreachable):
+            ops.append((_OP_UNREACH, inst, None))
+        else:
+            ops.append((_OP_OTHER, inst, None))
+    return ops
+
+
+def _demote_prefix() -> str:
+    # Lazy: repro.merge imports repro.staticcheck for the pass gate, so the
+    # top level here must not import repro.merge back (same rule as lint.py).
+    from ..merge.ssa_repair import DEMOTE_PREFIX
+
+    return DEMOTE_PREFIX
+
+
+def _thunk_target(func: Function):
+    from ..merge.thunks import thunk_target
+
+    return thunk_target(func)
+
+
+@dataclass(frozen=True)
+class Caps:
+    """Search budgets; exceeding any of them yields ``unknown``."""
+
+    max_tasks: int = 512
+    max_steps: int = 100_000
+    max_unfold: int = 4
+
+
+@dataclass
+class SideReport:
+    """Outcome of one specialized side (one ``funcId`` vs one original)."""
+
+    verdict: str  # proved | refuted | unknown
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    tasks: int = 0
+    steps: int = 0
+    memo_hits: int = 0
+
+
+class _Refuted(Exception):
+    def __init__(self, diag: Diagnostic) -> None:
+        super().__init__(diag.message)
+        self.diag = diag
+
+
+class _Unknown(Exception):
+    def __init__(self, diag: Diagnostic) -> None:
+        super().__init__(diag.message)
+        self.diag = diag
+
+
+def _eq(a: Optional[Term], b: Optional[Term]) -> bool:
+    return a is not None and b is not None and a == b
+
+
+@dataclass
+class _Resolution:
+    """One original phi resolved at a block crossing during one walk.
+
+    ``term`` is the phi's concrete incoming expression read from the
+    *pre-crossing* state.  When it mentions a leaf that the same crossing
+    rebinds (a loop-carried dependency between phis), the term denotes
+    the previous generation of that leaf; it is only safe to match it
+    against a merged incoming computed at the *same simultaneous*
+    crossing, so ``_pair_phis`` invalidates it afterwards (``term=None``).
+    """
+
+    term: Optional[Term]
+    leaf: Term
+    name: str
+    cross_gen: bool = False
+
+
+class _Runner:
+    """One side of the lockstep walk: straight-line abstract execution."""
+
+    def __init__(
+        self,
+        walker: "ProductWalker",
+        func: Function,
+        block: BasicBlock,
+        env: Dict[int, Term],
+        sigma: Dict[int, Term],
+        is_merged: bool,
+    ) -> None:
+        self.walker = walker
+        self.func = func
+        self.block = block
+        self.env = env
+        self.sigma = sigma
+        self.is_merged = is_merged
+        self.index = 0
+        self.tracked = walker.merged_tracked if is_merged else walker.orig_tracked
+
+    # -- value lookup -------------------------------------------------------------
+    def lookup(self, value: Value) -> Optional[Term]:
+        # Ordered by operand frequency: instruction results dominate.
+        if isinstance(value, Instruction):
+            return self.env.get(id(value))
+        if isinstance(value, Constant):
+            cache = self.walker.const_cache
+            term = cache.get(id(value))
+            if term is None:
+                term = const_term(value)
+                cache[id(value)] = term
+            return term
+        if isinstance(value, Argument):
+            if self.is_merged:
+                return self.env.get(id(value))
+            return arg_term(value.index)
+        if isinstance(value, Function):
+            return fn_term(value)
+        return None
+
+    # -- phi resolution -----------------------------------------------------------
+    def phi_incoming(
+        self, pred: Optional[BasicBlock]
+    ) -> List[Tuple[Phi, Optional[Term]]]:
+        """Incoming terms of this block's phis, read from pre-crossing state.
+
+        Pure except for positioning ``index`` past the phi group.  Kept
+        separate from :meth:`apply_phis` so a product-node crossing can
+        read *both* sides before the original side's rebinds purge the
+        shared state (the merged incoming must see the same generation of
+        every leaf the original incoming saw).
+        """
+        phis, self.index = self.walker.phi_prefix(self.block)
+        if not phis:
+            return []
+        if pred is None:
+            raise _Unknown(self.walker.diag("phi in an entry block", code="unsupported"))
+        # Parallel semantics: all incoming terms read the pre-crossing state.
+        return [
+            (
+                phi,
+                None
+                if phi.incoming_for(pred) is None
+                else self.lookup(phi.incoming_for(pred)),
+            )
+            for phi in phis
+        ]
+
+    def apply_phis(
+        self,
+        incoming: List[Tuple[Phi, Optional[Term]]],
+        rebound: frozenset = frozenset(),
+    ) -> frozenset:
+        """Rebind (original) or match (merged) a crossing's phis.
+
+        Original side: each phi is rebound to its opaque leaf — purging
+        every state entry and resolution that mentions the old
+        generation — and its concrete incoming term is recorded for the
+        merged side to match.  Returns the set of leaves rebound here.
+
+        Merged side: each phi whose incoming term equals a recorded
+        resolution (name-preferred among equal terms) binds to that
+        resolution's leaf; an unmatched term survives concretely unless
+        it mentions a leaf in *rebound* — then it denotes the previous
+        generation and must be dropped.
+        """
+        if not self.is_merged:
+            newly = frozenset(
+                leaf_term("phi", self.walker.orig_serials.of(phi))
+                for phi, _term in incoming
+            )
+            # One batched purge for the whole crossing: incoming terms were
+            # already read pre-crossing, and a resolution whose term
+            # mentions a rebound leaf survives as ``cross_gen`` (matchable
+            # only at this simultaneous crossing) instead of being purged.
+            if incoming:
+                self.walker.purge(newly)
+            for phi, term in incoming:
+                leaf = leaf_term("phi", self.walker.orig_serials.of(phi))
+                self.env[id(phi)] = leaf
+                self.walker.resolutions.append(
+                    _Resolution(term, leaf, phi.name, term_mentions(term, newly)
+                                if term is not None else False)
+                )
+            return newly
+        for phi, term in incoming:
+            bound = None
+            if term is not None:
+                # Among term-equal resolutions (any of which is a sound
+                # binding — equal incoming terms mean equal values at this
+                # crossing), prefer the name-compatible one: the merger
+                # suffixes side-B registers (``%i`` -> ``%i.1``), so a
+                # merged phi whose base name matches the original's is
+                # almost always its counterpart.  A wrong pick here only
+                # costs precision (mismatch -> unknown), never soundness.
+                match = None
+                for res in self.walker.resolutions:
+                    if res.term is None or res.term != term:
+                        continue
+                    if res.name and (
+                        phi.name == res.name or phi.name.startswith(res.name + ".")
+                    ):
+                        match = res
+                        break
+                    if match is None:
+                        match = res
+                if match is not None:
+                    bound = match.leaf
+                elif term_mentions(term, rebound):
+                    bound = None  # stale: refers to the purged generation
+                else:
+                    bound = term
+            if bound is None:
+                self.env.pop(id(phi), None)
+            else:
+                self.env[id(phi)] = bound
+        return frozenset()
+
+    def resolve_phis(self, pred: Optional[BasicBlock]) -> None:
+        """Single-side crossing (glue): read and apply in one step.
+
+        A cross-generation resolution recorded here has no simultaneous
+        merged crossing to match it, so it is invalidated immediately.
+        """
+        self.apply_phis(self.phi_incoming(pred))
+        if not self.is_merged:
+            self.walker.resolutions = [
+                r for r in self.walker.resolutions if not r.cross_gen
+            ]
+
+    # -- straight-line execution ----------------------------------------------------
+    def _cross(self, target: BasicBlock) -> None:
+        pred = self.block
+        self.block = target
+        self.resolve_phis(pred)
+
+    def _glue(self, inst: Instruction, target: BasicBlock) -> Optional[Tuple]:
+        """Take an unconditional (or folded) edge; event iff *target* has phis.
+
+        A phi crossing rebinds original leaves and purges shared state, so
+        it must happen *simultaneously* on both sides — it is surfaced as
+        a ``cross`` event that cuts a product node instead of being glued
+        through here mid-segment.  Phi-less targets rebind nothing and
+        stay glue.
+        """
+        if self.walker.phi_prefix(target)[0]:
+            return ("cross", inst, target)
+        self._cross(target)
+        return None
+
+    def _tracked_load(self, inst: Load, slot: Alloca) -> None:
+        if id(slot) in self.sigma:
+            self.env[id(inst)] = self.sigma[id(slot)]
+            return
+        reach, reach_result = self.walker.reaching(self.is_merged)
+        reaching = reach.reaching_stores(reach_result, inst)
+        if not reaching:
+            if self.is_merged and slot.name.startswith(_demote_prefix()):
+                raise _Refuted(
+                    self.walker.diag(
+                        f"reload %{inst.name} of SSA-repair slot %{slot.name} "
+                        "executes before any store to it (§III-E demote contract)",
+                        code="demote-reload",
+                        instruction=inst.name,
+                    )
+                )
+            # No store ever reaches: the interpreter reads a deterministic zero.
+            self.env[id(inst)] = zero_term(inst.type)
+        else:
+            self.env.pop(id(inst), None)
+
+    def _call_event(self, kind: str, inst: Instruction) -> Tuple:
+        callee = inst.callee  # type: ignore[attr-defined]
+        args: List[Optional[Term]] = [self.lookup(a) for a in inst.args]  # type: ignore[attr-defined]
+        callee, args = self.walker.unfold(callee, args)
+        return (kind, inst, self.lookup(callee), tuple(args))
+
+    def advance(self) -> Tuple:
+        """Run to the next observable event and return it (un-consumed)."""
+        walker = self.walker
+        report = walker.report
+        max_steps = walker.caps.max_steps
+        block = self.block
+        ops = walker.block_ops(block, self.tracked)
+        while True:
+            if self.block is not block:  # _glue crossed an edge
+                block = self.block
+                ops = walker.block_ops(block, self.tracked)
+            report.steps += 1
+            if report.steps > max_steps:
+                raise _Unknown(walker.diag("step budget exhausted", code="budget"))
+            if self.index >= len(ops):
+                raise _Unknown(
+                    walker.diag(
+                        f"block %{block.name} is not terminated", code="unsupported"
+                    )
+                )
+            code, inst, payload = ops[self.index]
+            self.index += 1
+            if code == _OP_PURE:
+                term = pure_term(inst, self.lookup)
+                if term is None:
+                    self.env.pop(id(inst), None)
+                else:
+                    self.env[id(inst)] = term
+                continue
+            if code == _OP_BR_UNCOND:
+                event = self._glue(inst, payload)
+                if event is None:
+                    continue
+                return event
+            if code == _OP_BR_COND:
+                cond = self.lookup(inst.condition)
+                taken = None if cond is None else const_int_value(cond)
+                if taken is not None:
+                    event = self._glue(inst, payload[0 if taken else 1])
+                    if event is None:
+                        continue
+                    return event
+                return ("br", inst, cond)
+            if code == _OP_LOAD_TRACKED:
+                self._tracked_load(inst, payload)
+                continue
+            if code == _OP_STORE_TRACKED:
+                value = self.lookup(inst.value)
+                if value is None:
+                    self.sigma.pop(id(payload), None)
+                else:
+                    self.sigma[id(payload)] = value
+                continue
+            if code == _OP_CALL:
+                return self._call_event("call", inst)
+            if code == _OP_RET:
+                value = inst.value
+                return ("ret", inst, None if value is None else self.lookup(value))
+            if code == _OP_ALLOCA_TRACKED:
+                self.sigma.pop(id(inst), None)  # fresh slot: back to uninit
+                continue
+            if code == _OP_ALLOCA:
+                return ("alloca", inst)
+            if code == _OP_LOAD:
+                return ("load", inst, self.lookup(inst.pointer))
+            if code == _OP_STORE:
+                return ("store", inst, self.lookup(inst.pointer), self.lookup(inst.value))
+            if code == _OP_INVOKE:
+                return self._call_event("invoke", inst)
+            if code == _OP_SWITCH:
+                value = self.lookup(inst.value)
+                chosen = None if value is None else const_int_value(value)
+                if chosen is not None:
+                    default, table = payload
+                    target = default
+                    for case_value, case_block in table:
+                        if case_value == chosen:
+                            target = case_block
+                            break
+                    event = self._glue(inst, target)
+                    if event is None:
+                        continue
+                    return event
+                return ("switch", inst, value)
+            if code == _OP_UNREACH:
+                return ("unreach", inst)
+            if code == _OP_PHI:
+                raise _Unknown(walker.diag("phi after block head", code="unsupported"))
+            raise _Unknown(
+                walker.diag(f"unmodelled opcode {inst.opcode.name}", code="unsupported")
+            )
+
+
+class ProductWalker:
+    """Check one specialized side: ``merged(fid, ...)`` refines ``original``."""
+
+    def __init__(
+        self,
+        original: Function,
+        merged: Function,
+        fid: int,
+        param_map: List[int],
+        caps: Optional[Caps] = None,
+    ) -> None:
+        self.original = original
+        self.merged = merged
+        self.fid = fid
+        self.param_map = param_map
+        self.caps = caps or Caps()
+        self.orig_serials = Serials(original)
+        self.orig_tracked = tracked_slots(original)
+        self.merged_tracked = tracked_slots(merged)
+        # Reaching-stores is only consulted on a σ-miss (a tracked load
+        # whose slot has no symbolic value in this segment), which most
+        # walks never hit — solve lazily, once per side.
+        self._reach: Dict[bool, Tuple[ReachingStores, object]] = {}
+        # Per-block phi prefix, scanned once: (phis, first non-phi index).
+        self._phi_cache: Dict[int, Tuple[List[Phi], int]] = {}
+        # Per-block classified instruction stream (``advance``'s dispatch).
+        self._ops_cache: Dict[int, List[Tuple]] = {}
+        # Per-function block-escaping value ids (snapshot filter).
+        self._keep_cache: Dict[int, set] = {}
+        # Constant -> term, shared by both runners (same Constant objects
+        # are looked up on every pass over a block).
+        self.const_cache: Dict[int, Term] = {}
+        # Walk-scoped mutable context (reset per task).
+        self.omega: Dict[int, Term] = {}
+        self.phi_env: Dict[int, Term] = {}
+        self.sig_o: Dict[int, Term] = {}
+        self.sig_m: Dict[int, Term] = {}
+        self.resolutions: List[_Resolution] = []
+        self.o_block: BasicBlock = original.entry
+        self.m_block: BasicBlock = merged.entry
+        self.report = SideReport(verdict="unknown")
+
+    # -- shared helpers -----------------------------------------------------------
+    def diag(
+        self,
+        message: str,
+        code: str,
+        severity: Severity = Severity.ERROR,
+        instruction: Optional[str] = None,
+    ) -> Diagnostic:
+        """A diagnostic naming the current product-node pair."""
+        return Diagnostic(
+            checker=VALIDATE,
+            severity=severity,
+            message=(
+                f"product node (%{self.o_block.name}, %{self.m_block.name}) "
+                f"[funcId={self.fid}]: {message}"
+            ),
+            function=self.merged.name,
+            block=self.m_block.name,
+            instruction=instruction,
+            code=f"{VALIDATE}/{code}",
+        )
+
+    def adopt_caches(self, other: "ProductWalker") -> None:
+        """Share the structural caches of *other* (same merged function).
+
+        ``validate_merge`` walks the merged function once per funcId; the
+        second walker would otherwise re-classify and re-scan every
+        merged block.  All shared caches are keyed by object identity
+        (block / constant / function ids), so entries for the *other*
+        original can never collide with this side's.
+        """
+        self._ops_cache = other._ops_cache
+        self._phi_cache = other._phi_cache
+        self._keep_cache = other._keep_cache
+        self.const_cache = other.const_cache
+        self.merged_tracked = other.merged_tracked
+
+    def keep_ids(self, is_merged: bool) -> set:
+        """Value ids worth carrying across a task boundary (one side).
+
+        A successor task starts at a block head, so the only snapshot
+        entries it can ever read are values that *escape* their defining
+        block: operands used from another block, arguments, and every phi
+        incoming (the child's ``resolve_phis`` reads those from the
+        inherited state).  A value used only inside its defining block is
+        re-defined there before any use if the block re-executes (SSA
+        dominance), so dropping it is sound — and, unlike a liveness
+        fixpoint, this set takes one linear pass to build.  Smaller
+        snapshots also collide in the memo more often (states differing
+        only in block-local temporaries now dedupe).
+        """
+        func = self.merged if is_merged else self.original
+        keep = self._keep_cache.get(id(func))
+        if keep is None:
+            keep = set()
+            for block in func.blocks:
+                for inst in block.instructions:
+                    if isinstance(inst, Phi):
+                        for value, _pred in inst.incoming:
+                            keep.add(id(value))
+                        continue
+                    for op in inst.operands:
+                        if isinstance(op, Argument) or (
+                            isinstance(op, Instruction) and op.parent is not block
+                        ):
+                            keep.add(id(op))
+            self._keep_cache[id(func)] = keep
+        return keep
+
+    def block_ops(self, block: BasicBlock, tracked: Dict) -> List[Tuple]:
+        """Cached instruction classification of *block* (see ``_classify_block``).
+
+        Keyed by block identity alone: every block belongs to exactly one
+        side's function, so the *tracked* set used on first classification
+        is the only one it will ever be asked with.
+        """
+        ops = self._ops_cache.get(id(block))
+        if ops is None:
+            ops = _classify_block(block, tracked)
+            self._ops_cache[id(block)] = ops
+        return ops
+
+    def phi_prefix(self, block: BasicBlock) -> Tuple[List[Phi], int]:
+        """Cached ``(block.phis(), block.first_non_phi_index())``."""
+        cached = self._phi_cache.get(id(block))
+        if cached is None:
+            phis = block.phis()
+            cached = (phis, len(phis))
+            self._phi_cache[id(block)] = cached
+        return cached
+
+    def reaching(self, is_merged: bool) -> Tuple[ReachingStores, object]:
+        """The (lazily solved) reaching-stores analysis for one side."""
+        cached = self._reach.get(is_merged)
+        if cached is None:
+            func = self.merged if is_merged else self.original
+            problem = ReachingStores(func)
+            cached = (problem, solve(problem, func))
+            self._reach[is_merged] = cached
+        return cached
+
+    def purge(self, leaves: frozenset) -> None:
+        """Drop every state entry that mentions a leaf in *leaves* (all of
+        which are being rebound) — one pass over the state, however many
+        phis the crossing rebinds."""
+        for state in (self.omega, self.phi_env, self.sig_o, self.sig_m):
+            stale = [k for k, t in state.items() if term_mentions(t, leaves)]
+            for k in stale:
+                del state[k]
+        self.resolutions = [
+            r
+            for r in self.resolutions
+            if r.term is None or not term_mentions(r.term, leaves)
+        ]
+
+    def unfold(
+        self, callee: Value, args: List[Optional[Term]]
+    ) -> Tuple[Value, List[Optional[Term]]]:
+        """Redirect a call through thunks to the underlying merged function."""
+        for _ in range(self.caps.max_unfold):
+            if not isinstance(callee, Function):
+                return callee, args
+            inner = _thunk_target(callee)
+            if inner is None or inner.callee is callee:
+                return callee, args
+            mapped: List[Optional[Term]] = []
+            for op in inner.args:
+                if isinstance(op, Argument):
+                    mapped.append(args[op.index] if op.index < len(args) else None)
+                elif isinstance(op, Constant):
+                    mapped.append(const_term(op))
+                else:
+                    return callee, args
+            callee, args = inner.callee, mapped
+        return callee, args
+
+    def bind_result(self, kind: str, o_inst: Instruction, m_inst: Instruction) -> None:
+        """Pair an event's results: both sides now denote one fresh leaf."""
+        if o_inst.type is VOID:
+            return
+        leaf = leaf_term(kind, self.orig_serials.of(o_inst))
+        self.purge(frozenset((leaf,)))
+        self.omega[id(o_inst)] = leaf
+        self.phi_env[id(m_inst)] = leaf
+
+    # -- task plumbing ------------------------------------------------------------
+    def _snapshot(self) -> Tuple:
+        # Sibling tasks spawned from one product node share the snapshot —
+        # each copies privately at walk start (:meth:`_walk`) — and memo-
+        # skipped tasks never pay for a copy at all.  Block-local
+        # temporaries are filtered out (:meth:`keep_ids`); filtering by a
+        # full liveness solve was tried and lost, the per-function
+        # fixpoint costing more than the smaller states saved.
+        o_keep = self.keep_ids(False)
+        m_keep = self.keep_ids(True)
+        return (
+            {k: v for k, v in self.omega.items() if k in o_keep},
+            {k: v for k, v in self.phi_env.items() if k in m_keep},
+            dict(self.sig_o),
+            dict(self.sig_m),
+        )
+
+    @staticmethod
+    def _freeze(state: Tuple) -> Tuple:
+        return tuple(frozenset(d.items()) for d in state)
+
+    def _spawn(
+        self,
+        tasks: List[Tuple],
+        o_succ: BasicBlock,
+        m_succ: BasicBlock,
+        o_pred: BasicBlock,
+        m_pred: BasicBlock,
+    ) -> None:
+        tasks.append((o_succ, m_succ, o_pred, m_pred, self._snapshot()))
+
+    # -- event pairing ------------------------------------------------------------
+    def _mismatch(self, oev: Tuple, mev: Tuple, what: str) -> _Unknown:
+        o_inst, m_inst = oev[1], mev[1]
+        return _Unknown(
+            self.diag(
+                f"{what}: original {o_inst.opcode.name.lower()}"
+                f" %{o_inst.name or '<anon>'} vs merged"
+                f" {m_inst.opcode.name.lower()} %{m_inst.name or '<anon>'}",
+                code="mismatch",
+                instruction=m_inst.name or None,
+            )
+        )
+
+    def _pair(self, oev: Tuple, mev: Tuple, tasks: List[Tuple]) -> bool:
+        """Match one event pair; returns True when the path is fully proved."""
+        okind, mkind = oev[0], mev[0]
+        if okind != mkind:
+            raise self._mismatch(oev, mev, "unmatched effectful instruction")
+        o_inst, m_inst = oev[1], mev[1]
+        if okind == "cross":
+            # Both sides stand before a phi crossing; cut the segment so
+            # the successor task resolves the phis simultaneously.
+            self._spawn(tasks, oev[2], mev[2], self.o_block, self.m_block)
+            return True
+        if okind == "alloca":
+            if str(o_inst.allocated_type) != str(m_inst.allocated_type):
+                raise self._mismatch(oev, mev, "alloca type mismatch")
+            self.bind_result("alloca", o_inst, m_inst)
+            return False
+        if okind == "load":
+            if not _eq(oev[2], mev[2]):
+                raise self._mismatch(oev, mev, "load address mismatch")
+            self.bind_result("load", o_inst, m_inst)
+            return False
+        if okind == "store":
+            if not _eq(oev[2], mev[2]) or not _eq(oev[3], mev[3]):
+                raise self._mismatch(oev, mev, "store mismatch")
+            return False
+        if okind in ("call", "invoke"):
+            if (
+                not _eq(oev[2], mev[2])
+                or len(oev[3]) != len(mev[3])
+                or not all(_eq(a, b) for a, b in zip(oev[3], mev[3]))
+            ):
+                raise self._mismatch(oev, mev, f"{okind} argument mismatch")
+            self.bind_result(okind, o_inst, m_inst)
+            if okind == "invoke":
+                self._spawn(
+                    tasks,
+                    o_inst.normal_dest,
+                    m_inst.normal_dest,
+                    self.o_block,
+                    self.m_block,
+                )
+                self._spawn(
+                    tasks,
+                    o_inst.unwind_dest,
+                    m_inst.unwind_dest,
+                    self.o_block,
+                    self.m_block,
+                )
+                return True
+            return False
+        if okind == "ret":
+            if (o_inst.value is None) != (m_inst.value is None):
+                raise self._mismatch(oev, mev, "return arity mismatch")
+            if o_inst.value is None:
+                return True
+            o_val, m_val = oev[2], mev[2]
+            if _eq(o_val, m_val):
+                return True
+            if (
+                o_val is not None
+                and m_val is not None
+                and o_val[0] == "c"
+                and m_val[0] == "c"
+            ):
+                raise _Refuted(
+                    self.diag(
+                        f"divergent return: original returns {o_val[2]}, "
+                        f"merged returns {m_val[2]}",
+                        code="ret-mismatch",
+                        instruction=m_inst.name or None,
+                    )
+                )
+            raise self._mismatch(oev, mev, "divergent return value")
+        if okind == "br":
+            if not _eq(oev[2], mev[2]):
+                raise self._mismatch(oev, mev, "branch condition mismatch")
+            o_succ, m_succ = o_inst.successors(), m_inst.successors()
+            for o_s, m_s in zip(o_succ, m_succ):
+                self._spawn(tasks, o_s, m_s, self.o_block, self.m_block)
+            return True
+        if okind == "switch":
+            if not _eq(oev[2], mev[2]):
+                raise self._mismatch(oev, mev, "switch value mismatch")
+            o_cases = {c.value: b for c, b in o_inst.cases}
+            m_cases = {c.value: b for c, b in m_inst.cases}
+            if set(o_cases) != set(m_cases):
+                raise self._mismatch(oev, mev, "switch case-set mismatch")
+            self._spawn(tasks, o_inst.default, m_inst.default, self.o_block, self.m_block)
+            for key in sorted(o_cases):
+                self._spawn(tasks, o_cases[key], m_cases[key], self.o_block, self.m_block)
+            return True
+        if okind == "unreach":
+            return True
+        raise self._mismatch(oev, mev, "unmodelled event")  # pragma: no cover
+
+    # -- one task -----------------------------------------------------------------
+    def _walk(self, task: Tuple) -> List[Tuple]:
+        o_block, m_block, o_pred, m_pred, state = task
+        # Private copies: the snapshot dicts are shared with sibling tasks
+        # and with the memo key already taken from them.
+        self.omega = dict(state[0])
+        self.phi_env = dict(state[1])
+        self.sig_o = dict(state[2])
+        self.sig_m = dict(state[3])
+        self.resolutions = []
+        self.o_block, self.m_block = o_block, m_block
+        o_run = _Runner(self, self.original, o_block, self.omega, self.sig_o, False)
+        m_run = _Runner(self, self.merged, m_block, self.phi_env, self.sig_m, True)
+        # Simultaneous crossing: both sides read their incoming phi terms
+        # from the shared pre-crossing state, then the original rebinds
+        # (purging old generations) and the merged side matches.  Cross-
+        # generation resolutions are only valid for this one match.
+        o_inc = o_run.phi_incoming(o_pred)
+        m_inc = m_run.phi_incoming(m_pred)
+        rebound = o_run.apply_phis(o_inc)
+        m_run.apply_phis(m_inc, rebound)
+        self.resolutions = [r for r in self.resolutions if not r.cross_gen]
+        tasks: List[Tuple] = []
+        while True:
+            oev = o_run.advance()
+            self.o_block = o_run.block
+            mev = m_run.advance()
+            self.m_block = m_run.block
+            if self._pair(oev, mev, tasks):
+                return tasks
+
+    # -- driver -------------------------------------------------------------------
+    def _initial_state(self) -> Tuple:
+        phi_env: Dict[int, Term] = {}
+        margs = self.merged.args
+        if margs:
+            phi_env[id(margs[0])] = const_term_fid(self.fid)
+        routed = set()
+        for orig_index, slot in enumerate(self.param_map):
+            if 0 <= slot < len(margs):
+                phi_env[id(margs[slot])] = arg_term(orig_index)
+                routed.add(slot)
+        for slot, arg in enumerate(margs):
+            if slot != 0 and slot not in routed:
+                # Thunks pass undef here; the interpreter reads zero.
+                phi_env[id(arg)] = zero_term(arg.type)
+        return ({}, phi_env, {}, {})
+
+    def run(self) -> SideReport:
+        try:
+            entry = (self.original.entry, self.merged.entry, None, None,
+                     self._initial_state())
+            pending: List[Tuple] = [entry]
+            seen = set()
+            while pending:
+                task = pending.pop()
+                key = (
+                    id(task[0]),
+                    id(task[1]),
+                    None if task[2] is None else id(task[2]),
+                    None if task[3] is None else id(task[3]),
+                    self._freeze(task[4]),
+                )
+                if key in seen:
+                    self.report.memo_hits += 1
+                    continue
+                seen.add(key)
+                self.report.tasks += 1
+                if self.report.tasks > self.caps.max_tasks:
+                    raise _Unknown(self.diag("product-node budget exhausted", code="budget"))
+                pending.extend(self._walk(task))
+            self.report.verdict = "proved"
+        except _Refuted as stop:
+            self.report.verdict = "refuted"
+            self.report.diagnostics.append(stop.diag)
+        except _Unknown as stop:
+            self.report.verdict = "unknown"
+            self.report.diagnostics.append(
+                Diagnostic(
+                    checker=stop.diag.checker,
+                    severity=Severity.WARNING,
+                    message=stop.diag.message,
+                    function=stop.diag.function,
+                    block=stop.diag.block,
+                    instruction=stop.diag.instruction,
+                    code=stop.diag.code,
+                )
+            )
+        except RecursionError:
+            self.report.verdict = "unknown"
+            self.report.diagnostics.append(
+                Diagnostic(
+                    checker=VALIDATE,
+                    severity=Severity.WARNING,
+                    message="term depth budget exhausted",
+                    function=self.merged.name,
+                    code=f"{VALIDATE}/budget",
+                )
+            )
+        return self.report
+
+
+def const_term_fid(fid: int) -> Term:
+    """The ``i1`` discriminator constant the dispatch block folds on."""
+    return ("c", "i1", fid)

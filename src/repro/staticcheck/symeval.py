@@ -1,0 +1,211 @@
+"""Symbolic terms for translation validation.
+
+The product-CFG refinement checker (:mod:`repro.staticcheck.simrel`)
+relates values of a merged function to values of one original by
+*symbolic evaluation*: every SSA value is mapped to a **term** — a small,
+hashable, structurally comparable tuple — and two values are considered
+equal exactly when their terms are equal.  The vocabulary is chosen so
+that equality of terms implies equality of runtime values under the
+repro interpreter's semantics:
+
+``("c", type_str, repr)``
+    A constant.  ``undef`` and ``null`` normalize to the zero constant of
+    their type because the interpreter evaluates both to zero; floats are
+    keyed by ``repr`` so ``nan`` compares equal to itself and ``-0.0``
+    stays distinct from ``0.0``.
+
+``("a", index)``
+    The *original* function's argument ``index``.  Merged arguments are
+    translated through the parameter map at walk entry, so both sides
+    speak in original argument indices.
+
+``("fn", name)``
+    A reference to a module function (call targets).
+
+``("leaf", kind, serial)``
+    An opaque value produced by an original-side instruction whose result
+    the checker does not interpret: ``phi`` (abstracted at block entry),
+    ``call``/``invoke`` results, ``load`` from unmodelled memory,
+    escaping ``alloca`` addresses.  ``serial`` is the instruction's
+    stable position in the original function.  A leaf names *the value
+    most recently produced* by that instruction; the walker purges state
+    entries that mention a leaf whenever the producing instruction
+    (re-)executes, which is what keeps leaves fresh across loop
+    iterations.
+
+``(opcode, extra, operand_terms...)``
+    A pure application: binary ops, comparisons (``extra`` is the
+    predicate), casts (``extra`` is the destination type string),
+    ``select`` and ``gep``.
+
+Terms are *never* arithmetic-folded: the only evaluation rules are
+``select`` on a constant condition and the normalization of
+``undef``/``null`` to zero.  Less folding means fewer chances to prove
+something false — an unmatched value can only yield ``unknown``, never a
+false ``proved``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..ir.function import Function
+from ..ir.instructions import (
+    BINARY_OPCODES,
+    CAST_OPCODES,
+    Cast,
+    FCmp,
+    ICmp,
+    Instruction,
+    Opcode,
+    Select,
+)
+from ..ir.values import (
+    Argument,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    UndefValue,
+    Value,
+)
+
+__all__ = [
+    "Term",
+    "const_term",
+    "zero_term",
+    "arg_term",
+    "leaf_term",
+    "fn_term",
+    "const_int_value",
+    "term_mentions",
+    "is_pure",
+    "pure_term",
+    "Serials",
+]
+
+Term = Tuple[object, ...]
+
+#: Opcodes whose result is a pure function of the operand values.
+PURE_OPCODES = (
+    frozenset(BINARY_OPCODES)
+    | frozenset(CAST_OPCODES)
+    | {Opcode.ICMP, Opcode.FCMP, Opcode.SELECT, Opcode.GEP}
+)
+
+
+def const_term(value: Value) -> Term:
+    """Term of a constant operand (callers guarantee *value* is constant)."""
+    if isinstance(value, ConstantInt):
+        return ("c", str(value.type), value.value)
+    if isinstance(value, ConstantFloat):
+        return ("c", str(value.type), repr(value.value))
+    if isinstance(value, (ConstantNull, UndefValue)):
+        return zero_term(value.type)
+    raise TypeError(f"not a modelled constant: {value!r}")
+
+
+def zero_term(type_) -> Term:
+    """The interpreter's default value of *type_* (undef / uninitialized)."""
+    if type_.is_float:
+        return ("c", str(type_), repr(0.0))
+    return ("c", str(type_), 0)
+
+
+def arg_term(index: int) -> Term:
+    return ("a", index)
+
+
+def leaf_term(kind: str, serial: int) -> Term:
+    return ("leaf", kind, serial)
+
+
+def fn_term(func: Function) -> Term:
+    return ("fn", func.name)
+
+
+def const_int_value(term: Term) -> Optional[int]:
+    """The integer payload of a constant term, else ``None``."""
+    if term[0] == "c" and isinstance(term[2], int):
+        return term[2]
+    return None
+
+
+def term_mentions(term: Term, leaves: frozenset) -> bool:
+    """Does *term* contain any of the given ``("leaf", ...)`` sub-terms?"""
+    # Iterative: terms nest as deep as the walked segment is long, and
+    # this predicate runs on every purge — recursion is measurably slower.
+    stack = [term]
+    while stack:
+        t = stack.pop()
+        head = t[0]
+        if head == "leaf":
+            if t in leaves:
+                return True
+        elif head not in ("c", "a", "fn"):
+            for op in t[2:]:
+                if isinstance(op, tuple):
+                    stack.append(op)
+    return False
+
+
+def is_pure(inst: Instruction) -> bool:
+    return inst.opcode in PURE_OPCODES
+
+
+def pure_term(
+    inst: Instruction, lookup: Callable[[Value], Optional[Term]]
+) -> Optional[Term]:
+    """Term of a pure instruction given operand terms via *lookup*.
+
+    Returns ``None`` as soon as any operand term is unavailable — the
+    caller treats the value as unknowable.  The single evaluation rule is
+    ``select`` on a constant condition, needed so that merged-side
+    ``select(funcId, b, a)`` operands collapse under specialization.  The
+    fold is applied *before* the dead arm is looked up: under a concrete
+    ``funcId`` the other specialization's operand is often unknowable
+    (e.g. a reload only the other path stores), and it must not poison
+    the selected value.
+    """
+    if inst.opcode == Opcode.SELECT:
+        operands = list(inst.operands)
+        cond = lookup(operands[0])
+        if cond is None:
+            return None
+        picked = const_int_value(cond)
+        if picked is not None:
+            return lookup(operands[1 if picked else 2])
+        arms = [lookup(op) for op in operands[1:]]
+        if None in arms:
+            return None
+        return (int(Opcode.SELECT), None, cond, *arms)
+    ops = []
+    for op in inst.operands:
+        term = lookup(op)
+        if term is None:
+            return None
+        ops.append(term)
+    if isinstance(inst, (ICmp, FCmp)):
+        return (int(inst.opcode), int(inst.pred), *ops)
+    if isinstance(inst, Cast):
+        return (int(inst.opcode), str(inst.type), *ops)
+    return (int(inst.opcode), None, *ops)
+
+
+class Serials:
+    """Stable per-function instruction serials (block-major order)."""
+
+    def __init__(self, func: Function) -> None:
+        self._by_id: Dict[int, int] = {}
+        self.names: Dict[int, str] = {}
+        serial = 0
+        for block in func.blocks:
+            for inst in block.instructions:
+                self._by_id[id(inst)] = serial
+                self.names[serial] = inst.name or f"#{serial}"
+                serial += 1
+
+    def of(self, inst: Instruction) -> int:
+        return self._by_id[id(inst)]
+
+    def name(self, serial: int) -> str:
+        return self.names.get(serial, f"#{serial}")

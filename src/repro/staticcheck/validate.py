@@ -1,0 +1,232 @@
+"""Translation validation for merges: the ``proved | refuted | unknown`` gate.
+
+:func:`validate_merge` is the per-merge correctness verdict the merge
+pipeline, ``repro lint`` and the fuzz campaign all share.  It takes a
+fresh (pre-commit) :class:`~repro.merge.merger.MergeResult` — both
+original bodies still intact — and checks *each* specialization of the
+merged function against its original with the product-CFG walker
+(:class:`~repro.staticcheck.simrel.ProductWalker`):
+
+* ``proved`` — a simulation relation was established for **both**
+  ``funcId`` values: calling ``merged`` the way the thunks do is
+  behaviourally indistinguishable from calling the original.  The
+  checker is one-sided-sound: it never returns ``proved`` for a merge
+  the differential oracle could fail.
+* ``refuted`` — a definitive miscompile-class defect was found: a
+  ``demote.*`` reload no store reaches on the specialized path (the
+  §III-E contract violation) or a constant-vs-constant return
+  divergence.  Refutation diagnostics name the product-node pair.
+* ``unknown`` — the walker ran out of budget or met a shape it cannot
+  relate.  The caller's escalation policy decides what happens next; the
+  pipeline's combined gate runs the expensive differential oracle only
+  on this residue (see ``PassConfig.validate``).
+
+The module also registers the ``validate`` checker: for already-merged
+functions found in a module (where the originals have been reduced to
+thunks, so no product walk is possible) it runs the *specialized
+self-check* — folding each ``funcId`` constant through the merged CFG
+and reporting demote reloads with no reaching store on that
+specialization only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..diagnostics import Diagnostic, Severity
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Branch, Load
+from ..ir.module import Module
+from ..ir.types import I1
+from .checkers import checker
+from .dataflow import ReachingStores, solve
+from .simrel import VALIDATE, Caps, ProductWalker, SideReport, _demote_prefix
+
+__all__ = [
+    "PROVED",
+    "REFUTED",
+    "UNKNOWN",
+    "ValidationReport",
+    "validate_merge",
+    "specialized_demote_diagnostics",
+    "MERGED_PREFIX",
+]
+
+PROVED = "proved"
+REFUTED = "refuted"
+UNKNOWN = "unknown"
+
+#: Name prefix the merger stamps on merged functions.
+MERGED_PREFIX = "merged."
+
+_RANK = {PROVED: 0, UNKNOWN: 1, REFUTED: 2}
+
+
+@dataclass
+class ValidationReport:
+    """Combined verdict over both specializations of one merge."""
+
+    verdict: str = UNKNOWN
+    sides: Dict[int, SideReport] = field(default_factory=dict)
+
+    @property
+    def diagnostics(self) -> List[Diagnostic]:
+        diags: List[Diagnostic] = []
+        for fid in sorted(self.sides):
+            diags.extend(self.sides[fid].diagnostics)
+        return diags
+
+    @property
+    def tasks(self) -> int:
+        return sum(s.tasks for s in self.sides.values())
+
+    @property
+    def steps(self) -> int:
+        return sum(s.steps for s in self.sides.values())
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "verdict": self.verdict,
+            "sides": {
+                str(fid): {
+                    "verdict": side.verdict,
+                    "tasks": side.tasks,
+                    "steps": side.steps,
+                    "memo_hits": side.memo_hits,
+                }
+                for fid, side in sorted(self.sides.items())
+            },
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+def validate_merge(result, caps: Optional[Caps] = None) -> ValidationReport:
+    """Prove/refute that *result*'s merged function refines both originals.
+
+    Must run **pre-commit**: the product walk needs the original bodies,
+    which ``commit_merge`` replaces with thunks.  A ``refuted`` side
+    short-circuits (the merge is dead either way); ``unknown`` on one
+    side still walks the other so the report carries both verdicts.
+    """
+    report = ValidationReport()
+    worst = PROVED
+    prev: Optional[ProductWalker] = None
+    for original, param_map, fid in (
+        (result.function_a, result.param_map_a, 0),
+        (result.function_b, result.param_map_b, 1),
+    ):
+        walker = ProductWalker(original, result.merged, fid, param_map, caps)
+        if prev is not None:
+            walker.adopt_caches(prev)
+        prev = walker
+        side = walker.run()
+        report.sides[fid] = side
+        if _RANK[side.verdict] > _RANK[worst]:
+            worst = side.verdict
+        if side.verdict == REFUTED:
+            break
+    report.verdict = worst
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Specialized self-check — what the registered checker can still prove once
+# the originals are gone (post-commit modules seen by ``repro lint``).
+# ---------------------------------------------------------------------------
+
+
+def _specialized_reachable(func: Function, fid: int) -> List[BasicBlock]:
+    """Blocks reachable from the entry once branches on the fid fold."""
+    if not func.args:
+        return list(func.blocks)
+    discriminator = func.args[0]
+    seen: Set[int] = set()
+    order: List[BasicBlock] = []
+    stack = [func.entry]
+    while stack:
+        block = stack.pop()
+        if id(block) in seen:
+            continue
+        seen.add(id(block))
+        order.append(block)
+        term = block.terminator
+        if (
+            isinstance(term, Branch)
+            and term.is_conditional
+            and term.condition is discriminator
+        ):
+            succs = [term.successors()[0 if fid else 1]]
+        else:
+            succs = term.successors() if term is not None else []
+        stack.extend(reversed(succs))
+    return order
+
+
+def specialized_demote_diagnostics(func: Function) -> List[Diagnostic]:
+    """Demote reloads with no reaching store, per ``funcId`` specialization.
+
+    Sharper than the merge-safety linter's whole-CFG scan: a reload is
+    only reported if it is reachable under some concrete ``funcId``, so
+    spills parked in the other specialization's private blocks do not
+    fire.  Used by the ``validate`` checker on committed modules, where
+    the full product walk is impossible.
+    """
+    diags: List[Diagnostic] = []
+    problem = ReachingStores(func)
+    if not problem.slots:
+        return diags
+    result = solve(problem, func)
+    prefix = _demote_prefix()
+    flagged: Set[int] = set()
+    for fid in (0, 1):
+        for block in _specialized_reachable(func, fid):
+            for inst in block.instructions:
+                if not isinstance(inst, Load) or id(inst) in flagged:
+                    continue
+                slot = problem.slot_of_load(inst)
+                if slot is None or not (slot.name or "").startswith(prefix):
+                    continue
+                reaching = problem.reaching_stores(result, inst)
+                if reaching:
+                    continue
+                flagged.add(id(inst))
+                diags.append(
+                    Diagnostic(
+                        checker=VALIDATE,
+                        severity=Severity.ERROR,
+                        message=(
+                            f"[funcId={fid}] reload %{inst.name} of SSA-repair "
+                            f"slot %{slot.name} executes before any store to it "
+                            "(§III-E demote contract)"
+                        ),
+                        function=func.name,
+                        block=block.name,
+                        instruction=inst.name or None,
+                        code=f"{VALIDATE}/demote-reload",
+                    )
+                )
+    return diags
+
+
+def is_merged_function(func: Function) -> bool:
+    """Does *func* look like a merger product (``merged.*`` with an i1 id)?"""
+    return (
+        func.name.startswith(MERGED_PREFIX)
+        and bool(func.args)
+        and func.args[0].type is I1
+    )
+
+
+@checker(
+    VALIDATE,
+    "module",
+    "translation validation of merged functions (specialized demote contract)",
+)
+def _check_validate(module: Module) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    for func in module.defined_functions():
+        if is_merged_function(func):
+            diags.extend(specialized_demote_diagnostics(func))
+    return diags

@@ -63,8 +63,8 @@ class TestStageContainment:
         module = _mergeable_module()
         before = print_module(module)
         faults = FaultInjector(stage)  # fire on every hit
-        # Enable both gates so every fault stage is exercised.
-        config = PassConfig(oracle=True, static_check=True)
+        # Enable every gate so every fault stage is exercised.
+        config = PassConfig(oracle=True, static_check=True, validate="observe")
         report = FunctionMergingPass(
             _ranker_for(stage), config, faults=faults
         ).run(module)
@@ -85,7 +85,9 @@ class TestStageContainment:
         module = _mergeable_module()
         before = print_module(module)
         faults = FaultInjector(stage)
-        config = PassConfig(oracle=True, static_check=True, on_error="raise")
+        config = PassConfig(
+            oracle=True, static_check=True, validate="observe", on_error="raise"
+        )
         with pytest.raises(InjectedFault):
             FunctionMergingPass(_ranker_for(stage), config, faults=faults).run(module)
         # The rollback runs before the re-raise.

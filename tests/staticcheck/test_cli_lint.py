@@ -86,6 +86,34 @@ class TestJsonOutput:
         assert payload["checkers"] == ["callgraph"]
         assert payload["diagnostics"] == []
 
+    def test_unknown_checker_is_a_hard_error(self, broken_module, capsys):
+        # A typo'd checker list must not silently run nothing and "pass".
+        assert (
+            main(["lint", str(broken_module), "--checkers", "dead-stor"]) == 2
+        )
+        err = capsys.readouterr().err
+        assert "unknown checker 'dead-stor'" in err
+        assert "did you mean 'dead-store'?" in err
+
+    def test_unknown_checker_without_close_match(self, broken_module, capsys):
+        assert (
+            main(["lint", str(broken_module), "--checkers", "zzzzzz"]) == 2
+        )
+        err = capsys.readouterr().err
+        assert "unknown checker 'zzzzzz'" in err
+        assert "did you mean" not in err
+        assert "known checkers:" in err
+
+    def test_diagnostics_carry_stable_codes(self, broken_module, capsys):
+        # Every diagnostic in --json carries a machine-stable code of the
+        # form "<checker>/<kind>" (triage keys on it across releases).
+        assert main(["lint", str(broken_module), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["diagnostics"]
+        for diag in payload["diagnostics"]:
+            assert diag["code"], diag
+            assert diag["code"].startswith(diag["checker"] + "/")
+
     def test_min_severity_filter(self, broken_module, capsys):
         assert (
             main(["lint", str(broken_module), "--json", "--min-severity", "error"])
@@ -113,6 +141,7 @@ class TestTextOutput:
             "dead-store",
             "type-consistency",
             "callgraph",
+            "validate",
         ):
             assert name in out
 
