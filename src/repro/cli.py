@@ -316,6 +316,38 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
     from .harness.profile import run_attempt_bench, run_perf_bench
 
     sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    if args.scale:
+        from .harness.scale import DEFAULT_SCALE_SIZES, run_scale_bench
+
+        if args.sizes == "100,500,1000":  # the fingerprint-bench default
+            sizes = list(DEFAULT_SCALE_SIZES)
+        output = args.output
+        if output == "BENCH_f3m_perf.json":  # default untouched: scale name
+            output = "BENCH_scale.json"
+        shard_counts = [int(s) for s in args.shards.split(",") if s.strip()]
+        rows, metadata = run_scale_bench(
+            sizes=sizes,
+            chunk=args.chunk,
+            shard_counts=shard_counts,
+            shard_workers=args.shard_workers,
+            query_workers=args.query_workers,
+            workload=args.workload if args.workload != "perf" else "scale",
+            work_dir=args.scale_dir,
+        )
+        write_bench_json(output, "scale", rows, metadata)
+        headline = metadata["headline"]
+        print(f"wrote {output}")
+        speedup = headline.get("sharded_speedup") or 0.0
+        print(
+            f"largest size {headline['largest_size']}: "
+            f"store peak RSS {headline['store_peak_rss_kb']} kB vs "
+            f"in-RAM {headline['inram_peak_rss_kb']} kB "
+            f"(ratio {headline['rss_ratio']:.2f}), "
+            f"sharded speedup {speedup:.2f}x, "
+            f"fingerprints_bit_identical={headline['fingerprints_bit_identical']}, "
+            f"decisions_identical={headline['decisions_identical']}"
+        )
+        return 0
     if args.attempts:
         if args.sizes == "100,500,1000":  # the fingerprint-bench default
             sizes = [200, 600, 2000]
@@ -599,6 +631,43 @@ def build_parser() -> argparse.ArgumentParser:
             "pre-alignment bound, cache and partition-sweep equivalence "
             "(default sizes 200,600,2000 -> BENCH_attempt_perf.json)"
         ),
+    )
+    p_perf.add_argument(
+        "--scale",
+        action="store_true",
+        help=(
+            "run the corpus-scale sweep instead: memmap fingerprint store vs "
+            "in-RAM path, band-sharded vs serial LSH, per-stage wall-clock + "
+            "peak RSS (default sizes 2000,20000,200000 -> BENCH_scale.json)"
+        ),
+    )
+    p_perf.add_argument(
+        "--chunk",
+        type=int,
+        default=2000,
+        help="--scale: functions generated/streamed per chunk",
+    )
+    p_perf.add_argument(
+        "--shards",
+        default="1,4",
+        help="--scale: comma-separated LSH shard counts to sweep",
+    )
+    p_perf.add_argument(
+        "--shard-workers",
+        type=int,
+        default=1,
+        help="--scale: shard-build process-pool size (1 = inline, same worker)",
+    )
+    p_perf.add_argument(
+        "--query-workers",
+        type=int,
+        default=1,
+        help="--scale: query fan-out process-pool size (1 = inline, same kernel)",
+    )
+    p_perf.add_argument(
+        "--scale-dir",
+        default=None,
+        help="--scale: working directory for stores (kept; default: temp, deleted)",
     )
     p_perf.add_argument("-o", "--output", default="BENCH_f3m_perf.json")
     p_perf.add_argument(

@@ -13,6 +13,7 @@ from .fnv import fnv1a_32, fnv1a_32_ints, fnv1a_32_pair, salts
 from .minhash import MinHashConfig, MinHashFingerprint, exact_jaccard, minhash_function
 from .opcode_freq import OpcodeFingerprint, fingerprint_block, fingerprint_function
 from .shingles import shingle_hashes, shingle_set, shingles
+from .store import FingerprintStore, StoreFormatError
 
 __all__ = [
     "CacheStats",
@@ -38,4 +39,6 @@ __all__ = [
     "shingles",
     "shingle_hashes",
     "shingle_set",
+    "FingerprintStore",
+    "StoreFormatError",
 ]

@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import zipfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -30,9 +31,15 @@ import numpy as np
 from .fnv import fnv1a_32_array
 from .minhash import MinHashConfig
 
-__all__ = ["CacheStats", "FingerprintCache", "DEFAULT_CACHE_DIR"]
+__all__ = ["CacheStats", "FingerprintCache", "DEFAULT_CACHE_DIR", "CACHE_FORMAT_VERSION"]
 
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+# Version of the .npz disk layout.  Bump when the key derivation or the
+# array schema changes; files with a different (or missing) version are
+# skipped on load — a cold cache is always correct, silently mixing
+# incompatible fingerprints never is.
+CACHE_FORMAT_VERSION = 1
 
 # Second-pass key salt: prepended to the stream so the two 32-bit FNV-1a
 # hashes are independent, giving a 64-bit effective content key.
@@ -52,6 +59,7 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     disk_entries_loaded: int = 0
+    disk_files_skipped: int = 0
 
     @property
     def lookups(self) -> int:
@@ -67,6 +75,7 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "disk_entries_loaded": self.disk_entries_loaded,
+            "disk_files_skipped": self.disk_files_skipped,
             "hit_rate": self.hit_rate,
         }
 
@@ -197,6 +206,7 @@ class FingerprintCache:
             path = self._config_path(directory, ckey)
             np.savez_compressed(
                 path,
+                format_version=np.array([CACHE_FORMAT_VERSION], dtype=np.int64),
                 config=np.array(
                     [ckey[0], ckey[1], ckey[2], int(ckey[3])], dtype=np.int64
                 ),
@@ -212,8 +222,48 @@ class FingerprintCache:
             fh.write("\n")
         return paths
 
+    def _read_npz(self, path: str):
+        """Parse and validate one saved ``.npz``; None if unusable.
+
+        Anything short of a well-formed, current-format-version file with
+        internally consistent arrays is rejected: an invalid file means a
+        cold start for its entries, never an exception and never silently
+        mixed-in fingerprints computed under different rules.
+        """
+        try:
+            with np.load(path) as payload:
+                version = payload["format_version"]
+                if version.shape != (1,) or int(version[0]) != CACHE_FORMAT_VERSION:
+                    return None
+                cfg = payload["config"]
+                if cfg.shape != (4,):
+                    return None
+                ckey = (int(cfg[0]), int(cfg[1]), int(cfg[2]), bool(cfg[3]))
+                lengths = payload["lengths"]
+                h1 = payload["h1"]
+                h2 = payload["h2"]
+                counts = payload["num_shingles"]
+                values = payload["values"]
+        except (OSError, KeyError, ValueError, zipfile.BadZipFile):
+            return None
+        n = lengths.shape[0]
+        if not (h1.shape == h2.shape == counts.shape == (n,)):
+            return None
+        # The values matrix must hold one k-wide row per key, with k from
+        # the config the file claims — a mismatch means the file was
+        # written under different encoding rules than its name suggests.
+        if values.ndim != 2 or values.shape != (n, ckey[0]):
+            return None
+        return ckey, lengths, h1, h2, counts, values
+
     def load(self, directory: Optional[str] = None) -> int:
-        """Load previously saved entries from *directory*; returns the count."""
+        """Load previously saved entries from *directory*; returns the count.
+
+        Files that fail validation (wrong/missing format version, malformed
+        arrays, truncated zip) are skipped and counted in
+        ``stats.disk_files_skipped`` — the cache simply starts cold for
+        those entries.
+        """
         directory = directory or self.directory or DEFAULT_CACHE_DIR
         if not os.path.isdir(directory):
             return 0
@@ -221,14 +271,11 @@ class FingerprintCache:
         for name in sorted(os.listdir(directory)):
             if not name.endswith(".npz"):
                 continue
-            with np.load(os.path.join(directory, name)) as payload:
-                cfg = payload["config"]
-                ckey = (int(cfg[0]), int(cfg[1]), int(cfg[2]), bool(cfg[3]))
-                lengths = payload["lengths"]
-                h1 = payload["h1"]
-                h2 = payload["h2"]
-                counts = payload["num_shingles"]
-                values = payload["values"]
+            parsed = self._read_npz(os.path.join(directory, name))
+            if parsed is None:
+                self.stats.disk_files_skipped += 1
+                continue
+            ckey, lengths, h1, h2, counts, values = parsed
             with self._lock:
                 for i in range(lengths.shape[0]):
                     key = (ckey, int(lengths[i]), int(h1[i]), int(h2[i]))
@@ -238,5 +285,60 @@ class FingerprintCache:
                             int(counts[i]),
                         )
                         loaded += 1
+        self.stats.disk_entries_loaded += loaded
+        return loaded
+
+    # -- columnar-store interop --------------------------------------------------------
+    def spill_to_store(self, store) -> int:
+        """Append entries matching *store*'s config into a
+        :class:`~repro.fingerprint.store.FingerprintStore`; returns the
+        number appended.  Entries whose content key is already present in
+        the store are skipped (the store is append-only).  The store must
+        have been created with ``store_encoded=False`` — a cache holds no
+        encoded streams.
+        """
+        ckey = _config_key(store.config)
+        existing = store.content_key_set()
+        with self._lock:
+            pending = [
+                (key, entry)
+                for key, entry in self._entries.items()
+                if key[0] == ckey and (key[1], key[2], key[3]) not in existing
+            ]
+        if not pending:
+            return 0
+        store.append_fingerprints(
+            values=np.stack([entry[0] for _, entry in pending]),
+            lengths=np.array([key[1] for key, _ in pending], dtype=np.int64),
+            h1=np.array([key[2] for key, _ in pending], dtype=np.int64),
+            h2=np.array([key[3] for key, _ in pending], dtype=np.int64),
+            num_shingles=np.array([entry[1] for _, entry in pending], dtype=np.int64),
+        )
+        return len(pending)
+
+    def load_from_store(self, store, limit: Optional[int] = None) -> int:
+        """Warm the cache from a :class:`FingerprintStore`; returns the count.
+
+        Rows stream through the store's memmap in order (oldest first), so
+        with ``limit`` (or ``maxsize``) pressure the newest rows win LRU.
+        """
+        ckey = _config_key(store.config)
+        meta = np.asarray(store.meta)
+        values = store.values
+        n = meta.shape[0] if limit is None else min(meta.shape[0], limit)
+        loaded = 0
+        with self._lock:
+            for i in range(n):
+                key = (ckey, int(meta[i, 0]), int(meta[i, 1]), int(meta[i, 2]))
+                if key in self._entries:
+                    continue
+                self._entries[key] = (
+                    np.array(values[i], dtype=np.uint32, copy=True),
+                    int(meta[i, 3]),
+                )
+                loaded += 1
+                while len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
         self.stats.disk_entries_loaded += loaded
         return loaded

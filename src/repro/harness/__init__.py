@@ -2,12 +2,15 @@
 
 from .bench import gate_cost_row, load_bench_json, write_bench_json
 from .profile import (
+    DEFAULT_SCALE_SIZES,
     PERF_STAGES,
     PipelineProfile,
     fingerprint_microbench,
     profile_pass,
     run_perf_bench,
+    run_scale_bench,
 )
+from .rss import IsolatedRun, RssSampler, current_rss_kb, peak_rss_kb, run_isolated
 from .experiments import (
     CompileTimeModel,
     CorrelationResult,
@@ -24,11 +27,18 @@ __all__ = [
     "gate_cost_row",
     "load_bench_json",
     "write_bench_json",
+    "DEFAULT_SCALE_SIZES",
     "PERF_STAGES",
     "PipelineProfile",
     "fingerprint_microbench",
     "profile_pass",
     "run_perf_bench",
+    "run_scale_bench",
+    "IsolatedRun",
+    "RssSampler",
+    "current_rss_kb",
+    "peak_rss_kb",
+    "run_isolated",
     "CompileTimeModel",
     "CorrelationResult",
     "correlation_experiment",

@@ -41,6 +41,11 @@ from ..merge.pass_ import FunctionMergingPass, PassConfig
 from ..merge.report import MergeReport
 from .experiments import make_ranker
 
+# The corpus-scale sweep lives in its own module (it is store/shard-side,
+# not pass-side) but is re-exported here: profile.py is the façade every
+# bench entry point imports from.
+from .scale import DEFAULT_SCALE_SIZES, run_scale_bench  # noqa: F401  (re-export)
+
 __all__ = [
     "PipelineProfile",
     "profile_pass",
@@ -48,7 +53,9 @@ __all__ = [
     "alignment_microbench",
     "run_perf_bench",
     "run_attempt_bench",
+    "run_scale_bench",
     "PERF_STAGES",
+    "DEFAULT_SCALE_SIZES",
 ]
 
 #: Stage keys of one profile, in pipeline order.

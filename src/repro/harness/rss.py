@@ -1,0 +1,163 @@
+"""Peak-RSS measurement for the scaling sweep, no psutil required.
+
+Linux exposes a process's resident set in ``/proc/self/status``: ``VmRSS``
+is the current value, ``VmHWM`` the high-water mark.  Two measurement
+modes:
+
+* :class:`RssSampler` — a background thread polling ``VmRSS`` inside the
+  current process.  Cheap and good for coarse in-process profiling, but it
+  can miss short allocation spikes between samples and it cannot separate
+  the measured region from memory the process already held.
+* :func:`run_isolated` — fork a child, run the workload there, and read the
+  child's ``VmHWM`` delta.  On fork the child's high-water mark resets to
+  (approximately) the parent's resident size at fork time, so recording
+  the HWM at entry (*baseline*) and at exit (*peak*) isolates the
+  workload's own footprint, kernel-accounted and spike-proof.  This is how
+  the scaling sweep compares the memmap-store path against the in-RAM
+  path: one fresh child per (size, mode) measurement, orchestrated by a
+  parent that keeps itself slim.
+
+``resource.getrusage(ru_maxrss)`` is the fallback when ``/proc`` is not
+available (non-Linux); it only provides the high-water mark.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import resource
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+__all__ = ["current_rss_kb", "peak_rss_kb", "RssSampler", "IsolatedRun", "run_isolated"]
+
+_PROC_STATUS = "/proc/self/status"
+
+
+def _read_status_kb(field: str) -> Optional[int]:
+    try:
+        with open(_PROC_STATUS, "r", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith(field + ":"):
+                    return int(line.split()[1])  # value is in kB
+    except OSError:
+        return None
+    return None
+
+
+def _maxrss_kb() -> int:
+    value = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kB; macOS reports bytes.
+    return value // 1024 if sys.platform == "darwin" else value
+
+
+def current_rss_kb() -> int:
+    """Current resident set size of this process, in kB."""
+    value = _read_status_kb("VmRSS")
+    return value if value is not None else _maxrss_kb()
+
+
+def peak_rss_kb() -> int:
+    """High-water-mark resident set size of this process, in kB."""
+    value = _read_status_kb("VmHWM")
+    return value if value is not None else _maxrss_kb()
+
+
+class RssSampler:
+    """Background-thread RSS sampler: ``with RssSampler() as s: ...``.
+
+    ``s.peak_kb`` is the maximum ``VmRSS`` observed during the block,
+    ``s.baseline_kb`` the value at entry.  Polling granularity is
+    ``interval`` seconds; short spikes between polls are invisible (use
+    :func:`run_isolated` when the peak must be exact).
+    """
+
+    def __init__(self, interval: float = 0.01) -> None:
+        self.interval = interval
+        self.baseline_kb = 0
+        self.peak_kb = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self.peak_kb = max(self.peak_kb, current_rss_kb())
+            self._stop.wait(self.interval)
+
+    def __enter__(self) -> "RssSampler":
+        self.baseline_kb = current_rss_kb()
+        self.peak_kb = self.baseline_kb
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.peak_kb = max(self.peak_kb, current_rss_kb())
+
+    @property
+    def delta_kb(self) -> int:
+        return self.peak_kb - self.baseline_kb
+
+
+@dataclass
+class IsolatedRun:
+    """Outcome of one fork-isolated measurement."""
+
+    result: Any
+    baseline_kb: int  # child VmHWM at entry ≈ parent RSS at fork
+    peak_kb: int  # child VmHWM at exit
+    seconds: float
+
+    @property
+    def delta_kb(self) -> int:
+        """Memory growth attributable to the measured function."""
+        return max(0, self.peak_kb - self.baseline_kb)
+
+
+def _isolated_main(conn, fn: Callable[..., Any], args, kwargs) -> None:
+    baseline = peak_rss_kb()
+    t0 = time.perf_counter()
+    try:
+        result = fn(*args, **kwargs)
+        payload = ("ok", result)
+    except BaseException as exc:  # noqa: BLE001 — relayed to the parent
+        payload = ("err", f"{type(exc).__name__}: {exc}")
+    seconds = time.perf_counter() - t0
+    conn.send((payload, baseline, peak_rss_kb(), seconds))
+    conn.close()
+
+
+def run_isolated(fn: Callable[..., Any], *args, **kwargs) -> IsolatedRun:
+    """Run ``fn(*args, **kwargs)`` in a forked child and measure its peak RSS.
+
+    The return value must be picklable (keep it small — write bulk data to
+    disk and return paths/digests).  A child exception is re-raised here as
+    ``RuntimeError``.  Fork start method only: the closure travels by
+    inheritance, not pickling, and the HWM-baseline trick depends on fork
+    semantics.
+    """
+    ctx = multiprocessing.get_context("fork")
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_isolated_main, args=(child_conn, fn, args, kwargs))
+    proc.start()
+    child_conn.close()
+    try:
+        (status, value), baseline, peak, seconds = parent_conn.recv()
+    except EOFError:
+        proc.join()
+        raise RuntimeError(
+            f"isolated child died without reporting (exitcode {proc.exitcode})"
+        )
+    finally:
+        parent_conn.close()
+    proc.join()
+    if status == "err":
+        raise RuntimeError(f"isolated child failed: {value}")
+    return IsolatedRun(result=value, baseline_kb=baseline, peak_kb=peak, seconds=seconds)

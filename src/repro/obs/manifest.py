@@ -149,6 +149,8 @@ def collect_pass_telemetry(pass_, report, registry) -> None:
     index = getattr(ranker, "_index", None)
     if index is not None and hasattr(index, "index_stats"):
         registry.register_source("lsh_index", index.index_stats)
+    if index is not None and hasattr(index, "bucket_summary"):
+        registry.register_source("lsh_buckets", index.bucket_summary)
 
     from ..staticcheck.dataflow import solver_stats
 

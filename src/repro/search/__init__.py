@@ -7,8 +7,9 @@ from .adaptive import (
     adaptive_threshold,
     lsh_match_probability,
 )
-from .lsh import BucketStats, LSHIndex, LSHQueryStats
+from .lsh import BucketStats, ColumnarBuckets, LSHIndex, LSHQueryStats, band_bucket_keys
 from .pairing import ExhaustiveRanker, Match, MinHashLSHRanker, Ranker, RankingStats
+from .sharded import BandShard, ShardedLSHIndex, shard_ranges
 
 __all__ = [
     "AdaptiveParameters",
@@ -17,8 +18,13 @@ __all__ = [
     "adaptive_threshold",
     "lsh_match_probability",
     "BucketStats",
+    "ColumnarBuckets",
+    "band_bucket_keys",
     "LSHIndex",
     "LSHQueryStats",
+    "BandShard",
+    "ShardedLSHIndex",
+    "shard_ranges",
     "ExhaustiveRanker",
     "Match",
     "MinHashLSHRanker",

@@ -15,12 +15,16 @@ batched similarity evaluation is a single vectorized comparison and
 :meth:`LSHIndex.insert_batch` band-hashes a whole module at once.  Removal
 is lazy (tombstones); when live rows drop below half the stored rows the
 index compacts itself so long remerge runs do not degrade.
+
+The bucket layout itself (:class:`ColumnarBuckets`, :func:`band_bucket_keys`)
+is module-level and band-range aware so :mod:`repro.search.sharded` can build
+the identical structure per band slice in worker processes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generic, Hashable, List, Optional, Sequence, Set, Tuple, TypeVar
+from typing import Dict, Generic, Hashable, Iterator, List, Optional, Sequence, Set, Tuple, TypeVar
 
 import numpy as np
 
@@ -28,13 +32,146 @@ from ..fingerprint.fnv import fnv1a_32_array_u32
 from ..fingerprint.minhash import MinHashFingerprint
 from ..obs import trace
 
-__all__ = ["LSHIndex", "LSHQueryStats", "BucketStats"]
+__all__ = [
+    "LSHIndex",
+    "LSHQueryStats",
+    "BucketStats",
+    "ColumnarBuckets",
+    "build_columnar_buckets",
+    "band_bucket_keys",
+]
 
 KeyT = TypeVar("KeyT", bound=Hashable)
 
 # Compaction triggers when fewer than half the stored rows are live, but
 # never below this row count — tiny indexes are not worth rebuilding.
 _COMPACT_MIN_ROWS = 64
+
+
+def band_bucket_keys(
+    values: np.ndarray,
+    rows: int,
+    bands: int,
+    band_lo: int = 0,
+    band_hi: Optional[int] = None,
+) -> np.ndarray:
+    """Band bucket keys ``(band_index << 32) | band_hash`` for a value matrix.
+
+    *values* is the ``(n, k)`` uint32 fingerprint matrix; the result is the
+    ``(n, band_hi - band_lo)`` int64 key matrix for the half-open band range
+    ``[band_lo, band_hi)``.  Band indices in the keys are always *global*
+    (relative to band 0), so keys computed per band slice are bit-identical
+    to the corresponding columns of a whole-range computation — the property
+    band-sharded indexes rely on.
+    """
+    if band_hi is None:
+        band_hi = bands
+    if not (0 <= band_lo <= band_hi <= bands):
+        raise ValueError(f"invalid band range [{band_lo}, {band_hi}) for bands={bands}")
+    n = values.shape[0]
+    width = band_hi - band_lo
+    if n == 0 or width == 0:
+        return np.empty((n, width), dtype=np.int64)
+    usable = values[:, band_lo * rows : band_hi * rows].reshape(n * width, rows)
+    hashes = fnv1a_32_array_u32(usable).astype(np.int64).reshape(n, width)
+    return (np.arange(band_lo, band_hi, dtype=np.int64)[None, :] << 32) | hashes
+
+
+class ColumnarBuckets:
+    """Columnar bucket layer over a contiguous band range.
+
+    Built from one stable argsort over every (band, hash) key of a batch.
+    Bucket membership is stored as one sorted row array plus, per original
+    (row, band) flat position, the [start, end) bounds of that position's
+    bucket — no per-bucket Python dict or list is ever built eagerly (a
+    key->slice dict over ~n*b/3 buckets costs more than the argsort itself
+    on large modules).  Bucket member lists materialize lazily on first
+    probe and are memoized keyed by slice start (unique per bucket).
+    """
+
+    __slots__ = ("rows", "sorted_keys", "starts_flat", "ends_flat", "count", "width", "_lists")
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        sorted_keys: np.ndarray,
+        starts_flat: np.ndarray,
+        ends_flat: np.ndarray,
+        count: int,
+        width: int,
+    ) -> None:
+        self.rows = rows
+        self.sorted_keys = sorted_keys
+        self.starts_flat = starts_flat
+        self.ends_flat = ends_flat
+        self.count = count  # member rows covered by this layer
+        self.width = width  # bands covered by this layer
+        self._lists: Dict[int, List[int]] = {}
+
+    def slice_of(self, bucket_key: int) -> Optional[Tuple[int, int]]:
+        """Locate a bucket by key (binary search) — for post-batch rows and
+        diagnostics; batch rows read their own bounds from flat positions."""
+        sk = self.sorted_keys
+        start = int(np.searchsorted(sk, bucket_key, "left"))
+        if start == sk.shape[0] or int(sk[start]) != bucket_key:
+            return None
+        end = int(np.searchsorted(sk, bucket_key, "right"))
+        return start, end
+
+    def members(self, start: int, end: int) -> List[int]:
+        """The member list of a bucket, materialized+memoized."""
+        cached = self._lists.get(start)
+        if cached is not None:
+            return cached
+        members = self.rows[start:end].tolist()
+        self._lists[start] = members
+        return members
+
+    def bounds_of_row(self, row: int) -> Iterator[Tuple[int, int]]:
+        """Per-band [start, end) bucket bounds of a batch row, in band order."""
+        flat = row * self.width
+        return zip(
+            self.starts_flat[flat : flat + self.width].tolist(),
+            self.ends_flat[flat : flat + self.width].tolist(),
+        )
+
+    def live_populations(self, alive: Sequence[bool]) -> Dict[int, int]:
+        """Live member count per bucket key, in one segmented sum."""
+        sk = self.sorted_keys
+        if not sk.shape[0]:
+            return {}
+        alive_rows = np.asarray(alive, dtype=np.int64)[self.rows]
+        first = np.empty(sk.shape[0], dtype=bool)
+        first[0] = True
+        np.not_equal(sk[1:], sk[:-1], out=first[1:])
+        starts = np.flatnonzero(first)
+        pops = np.add.reduceat(alive_rows, starts)
+        return dict(zip(sk[starts].tolist(), pops.tolist()))
+
+
+def build_columnar_buckets(bucket_keys: np.ndarray) -> ColumnarBuckets:
+    """Group all ``n*width`` (band, hash) keys with one stable argsort.
+
+    Row-major flattening keeps rows ascending within a bucket, i.e. exactly
+    the sequential-insert order.
+    """
+    n, width = bucket_keys.shape
+    flat_keys = np.ascontiguousarray(bucket_keys).ravel()
+    order = np.argsort(flat_keys, kind="stable")
+    sorted_keys = flat_keys[order]
+    rows = order // width
+    boundaries = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+    starts = np.concatenate([np.zeros(1, dtype=np.int64), boundaries])
+    ends = np.concatenate([boundaries, np.array([sorted_keys.shape[0]], dtype=np.int64)])
+    # Scatter each bucket's [start, end) bounds back to every flat
+    # (row, band) position that belongs to it: a probing row reads its
+    # own bucket's bounds straight from its flat position, no key lookup.
+    counts = ends - starts
+    starts_flat = np.empty(order.shape[0], dtype=np.int64)
+    starts_flat[order] = np.repeat(starts, counts)
+    ends_flat = np.empty(order.shape[0], dtype=np.int64)
+    ends_flat[order] = np.repeat(ends, counts)
+    return ColumnarBuckets(rows, sorted_keys, starts_flat, ends_flat, n, width)
 
 
 @dataclass
@@ -67,27 +204,19 @@ class LSHIndex(Generic[KeyT]):
         self.bands = bands
         self.bucket_cap = bucket_cap
         self.compactions = 0
+        self.removals = 0
+        # Cumulative counters surfaced via index_stats() so the obs metrics
+        # registry sees query traffic and cap pressure, not just structure.
+        self.queries = 0
+        self.capped_bucket_hits = 0
         # Buckets have two layers with one insertion-order contract (batch
         # rows first, then later single inserts):
-        #  * the *base* layer is built columnar by insert_batch — one stable
-        #    argsort over every (band, hash) key of the batch.  Bucket
-        #    membership is stored as one sorted row array plus, per original
-        #    (row, band) flat position, the [start, end) bounds of that
-        #    position's bucket — no per-bucket Python dict or list is ever
-        #    built eagerly (a key->slice dict over ~n*b/3 buckets costs more
-        #    than the argsort itself on large modules);
+        #  * the *base* layer is a ColumnarBuckets built by insert_batch;
         #  * the *overflow* layer is a plain dict of lists fed by insert()
         #    for functions added after preprocessing (the remerge loop).
         self._buckets: Dict[int, List[int]] = {}
-        self._base_rows: Optional[np.ndarray] = None
-        self._base_sorted_keys: Optional[np.ndarray] = None
-        self._base_starts_flat: Optional[np.ndarray] = None
-        self._base_ends_flat: Optional[np.ndarray] = None
+        self._base: Optional[ColumnarBuckets] = None
         self._base_count = 0  # rows covered by the base layer
-        # Base buckets materialize into Python lists lazily, on first probe,
-        # and are memoized here keyed by slice start — probing stays a dict
-        # hit and buckets never queried never pay for list construction.
-        self._base_lists: Dict[int, List[int]] = {}
         self._keys: List[KeyT] = []
         self._row_of: Dict[KeyT, int] = {}
         self._fingerprints: List[MinHashFingerprint] = []
@@ -136,13 +265,7 @@ class LSHIndex(Generic[KeyT]):
             (np.arange(len(hashes), dtype=np.int64) << 32) | hashes
         )
         self._bands_buf[row] = bucket_keys
-        buckets = self._buckets
-        for bucket_key in bucket_keys.tolist():
-            bucket = buckets.get(bucket_key)
-            if bucket is None:
-                buckets[bucket_key] = [row]
-            else:
-                bucket.append(row)
+        self._bucket_insert_row(row, bucket_keys.tolist())
 
     def insert_batch(
         self, keys: Sequence[KeyT], fingerprints: Sequence[MinHashFingerprint]
@@ -173,10 +296,7 @@ class LSHIndex(Generic[KeyT]):
         values = np.stack([fp.values for fp in fingerprints])
         self._matrix_buf[base_row : base_row + n] = values
 
-        b, r = self.bands, self.rows
-        usable = values[:, : b * r].reshape(n * b, r)
-        hashes = fnv1a_32_array_u32(usable).astype(np.int64).reshape(n, b)
-        bucket_keys = (np.arange(b, dtype=np.int64)[None, :] << 32) | hashes
+        bucket_keys = band_bucket_keys(values, self.rows, self.bands)
         self._bands_buf[base_row : base_row + n] = bucket_keys
 
         for offset, key in enumerate(keys):
@@ -187,21 +307,12 @@ class LSHIndex(Generic[KeyT]):
         self._fingerprints.extend(fingerprints)
         self._live_count += n
 
-        if base_row == 0 and not self._buckets and self._base_sorted_keys is None:
-            # Columnar base layer: group all n*b (band, hash) keys with one
-            # stable argsort.  Row-major flattening keeps rows ascending
-            # within a bucket, i.e. exactly the sequential-insert order.
+        if base_row == 0 and self._bucket_layers_empty():
+            # Columnar base layer: one stable argsort over all n*b keys.
             self._build_base(bucket_keys)
         else:
-            buckets = self._buckets
             for offset, row_keys in enumerate(bucket_keys.tolist()):
-                row = base_row + offset
-                for bucket_key in row_keys:
-                    bucket = buckets.get(bucket_key)
-                    if bucket is None:
-                        buckets[bucket_key] = [row]
-                    else:
-                        bucket.append(row)
+                self._bucket_insert_row(base_row + offset, row_keys)
 
     def remove(self, key: KeyT) -> None:
         """Lazily remove *key*; it stops appearing in query results.
@@ -212,6 +323,7 @@ class LSHIndex(Generic[KeyT]):
         if row is not None and self._alive[row]:
             self._alive[row] = False
             self._live_count -= 1
+            self.removals += 1
             if (
                 len(self._keys) >= _COMPACT_MIN_ROWS
                 and self._live_count * 2 < len(self._keys)
@@ -236,44 +348,35 @@ class LSHIndex(Generic[KeyT]):
             idx = np.array(survivors, dtype=np.int64)
             self._matrix_buf[:n] = self._matrix_buf[idx]
             self._bands_buf[:n] = self._bands_buf[idx]
-        self._buckets = {}
-        self._base_rows = None
-        self._base_sorted_keys = None
-        self._base_starts_flat = None
-        self._base_ends_flat = None
-        self._base_count = 0
-        self._base_lists = {}
+        self._clear_buckets()
         if n:
             self._build_base(self._bands_buf[:n])
         self.compactions += 1
 
+    # -- bucket layer (override surface for band-sharded subclasses) ------------------
     def _build_base(self, bucket_keys: np.ndarray) -> None:
         """Columnar bucket layer for rows ``0..n-1`` from their band keys."""
-        n, b = bucket_keys.shape
-        self._base_lists = {}
-        flat_keys = bucket_keys.ravel()
-        order = np.argsort(flat_keys, kind="stable")
-        sorted_keys = flat_keys[order]
-        self._base_rows = order // b
-        boundaries = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
-        starts = np.concatenate([np.zeros(1, dtype=np.int64), boundaries])
-        ends = np.concatenate(
-            [boundaries, np.array([sorted_keys.shape[0]], dtype=np.int64)]
-        )
-        # Scatter each bucket's [start, end) bounds back to every flat
-        # (row, band) position that belongs to it: a probing row reads its
-        # own bucket's bounds straight from its flat position, no key
-        # lookup.  Post-batch rows (and diagnostics) instead binary-search
-        # `_base_sorted_keys` — rare, and O(log) per key.
-        counts = ends - starts
-        starts_flat = np.empty(order.shape[0], dtype=np.int64)
-        starts_flat[order] = np.repeat(starts, counts)
-        ends_flat = np.empty(order.shape[0], dtype=np.int64)
-        ends_flat[order] = np.repeat(ends, counts)
-        self._base_sorted_keys = sorted_keys
-        self._base_starts_flat = starts_flat
-        self._base_ends_flat = ends_flat
-        self._base_count = n
+        self._base = build_columnar_buckets(bucket_keys)
+        self._base_count = bucket_keys.shape[0]
+
+    def _bucket_insert_row(self, row: int, row_keys: List[int]) -> None:
+        """Append one row's band keys to the overflow bucket layer."""
+        buckets = self._buckets
+        for bucket_key in row_keys:
+            bucket = buckets.get(bucket_key)
+            if bucket is None:
+                buckets[bucket_key] = [row]
+            else:
+                bucket.append(row)
+
+    def _bucket_layers_empty(self) -> bool:
+        return not self._buckets and self._base is None
+
+    def _clear_buckets(self) -> None:
+        """Reset every bucket layer (compaction rebuilds from scratch)."""
+        self._buckets = {}
+        self._base = None
+        self._base_count = 0
 
     def _ensure_capacity(self, rows_needed: int, k: int) -> None:
         if self._matrix_buf is None:
@@ -316,6 +419,7 @@ class LSHIndex(Generic[KeyT]):
         stats = stats if stats is not None else LSHQueryStats()
         with trace.span("lsh_query") as sp:
             probed0, capped0 = stats.buckets_probed, stats.capped_buckets
+            self.queries += 1
             me = self._row_of[key]
             candidates = self._candidate_rows(me, stats)
             stats.candidates_seen += len(candidates)
@@ -332,31 +436,9 @@ class LSHIndex(Generic[KeyT]):
             return [(keys[row], float(s)) for row, s in zip(candidates, sims)]
 
     def _base_slice_of_key(self, bucket_key: int) -> Optional[Tuple[int, int]]:
-        """Locate a bucket in the base layer by key (binary search).
-
-        Only post-batch rows and diagnostics come through here; batch rows
-        read their own buckets' bounds from their flat positions instead.
-        """
-        sk = self._base_sorted_keys
-        if sk is None:
+        if self._base is None:
             return None
-        start = int(np.searchsorted(sk, bucket_key, "left"))
-        if start == sk.shape[0] or int(sk[start]) != bucket_key:
-            return None
-        end = int(np.searchsorted(sk, bucket_key, "right"))
-        return start, end
-
-    def _base_members(self, start: int, end: int) -> List[int]:
-        """The base-layer member list of a bucket, materialized+memoized.
-
-        Slice starts are unique per bucket, so they double as memo keys.
-        """
-        cached = self._base_lists.get(start)
-        if cached is not None:
-            return cached
-        members = self._base_rows[start:end].tolist()
-        self._base_lists[start] = members
-        return members
+        return self._base.slice_of(bucket_key)
 
     def _bucket_members(
         self, bucket_key: int, cap: Optional[int]
@@ -368,7 +450,7 @@ class LSHIndex(Generic[KeyT]):
         sequential insert of the same functions would have produced.
         """
         slc = self._base_slice_of_key(bucket_key)
-        base = self._base_members(*slc) if slc is not None else None
+        base = self._base.members(*slc) if slc is not None else None
         overflow = self._buckets.get(bucket_key)
         if base is None:
             members: Sequence[int] = overflow if overflow is not None else ()
@@ -390,11 +472,7 @@ class LSHIndex(Generic[KeyT]):
         if me < self._base_count:
             # Batch row: its buckets' [start, end) bounds sit at its own
             # flat positions — two small tolists, no per-key lookup.
-            flat = me * self.bands
-            bounds = zip(
-                self._base_starts_flat[flat : flat + self.bands].tolist(),
-                self._base_ends_flat[flat : flat + self.bands].tolist(),
-            )
+            bounds = self._base.bounds_of_row(me)
         else:
             bounds = None
         for bucket_key in row_keys:
@@ -405,17 +483,19 @@ class LSHIndex(Generic[KeyT]):
             # comparisons per bucket to 100").
             if bounds is not None:
                 start, end = next(bounds)
-                base = self._base_members(start, end)
+                base = self._base.members(start, end)
                 overflow = self._buckets.get(bucket_key)
                 members: Sequence[int] = base + overflow if overflow else base
                 total = len(members)
                 if cap is not None and total > cap:
                     members = members[:cap]
                     stats.capped_buckets += 1
+                    self.capped_bucket_hits += 1
             else:
                 members, total = self._bucket_members(bucket_key, cap)
                 if cap is not None and total > cap:
                     stats.capped_buckets += 1
+                    self.capped_bucket_hits += 1
             for row in members:
                 if row in seen or not alive[row]:
                     continue
@@ -435,6 +515,7 @@ class LSHIndex(Generic[KeyT]):
         stats = stats if stats is not None else LSHQueryStats()
         with trace.span("lsh_query") as sp:
             probed0, capped0 = stats.buckets_probed, stats.capped_buckets
+            self.queries += 1
             me = self._row_of[key]
             candidates = self._candidate_rows(me, stats)
             stats.candidates_seen += len(candidates)
@@ -452,8 +533,9 @@ class LSHIndex(Generic[KeyT]):
 
     # -- diagnostics ------------------------------------------------------------------
     def index_stats(self) -> Dict[str, int]:
-        """Structural counters for the metrics registry: live vs stored
-        rows (the difference is tombstones), compactions, layer sizes."""
+        """Structural and cumulative counters for the metrics registry:
+        live vs stored rows (the difference is tombstones), removal and
+        compaction counts, layer sizes, query traffic and cap pressure."""
         stored = len(self._keys)
         return {
             "rows": self.rows,
@@ -462,33 +544,40 @@ class LSHIndex(Generic[KeyT]):
             "live": self._live_count,
             "stored": stored,
             "tombstones": stored - self._live_count,
+            "removals": self.removals,
             "compactions": self.compactions,
             "base_rows": self._base_count,
             "overflow_buckets": len(self._buckets),
+            "queries": self.queries,
+            "capped_bucket_hits": self.capped_bucket_hits,
         }
 
-    def bucket_stats(self) -> BucketStats:
-        sk = self._base_sorted_keys
-        if sk is not None and sk.shape[0]:
-            # Live population of every base bucket in one segmented sum.
-            alive_rows = np.asarray(self._alive, dtype=np.int64)[self._base_rows]
-            first = np.empty(sk.shape[0], dtype=bool)
-            first[0] = True
-            np.not_equal(sk[1:], sk[:-1], out=first[1:])
-            starts = np.flatnonzero(first)
-            base_pops = np.add.reduceat(alive_rows, starts)
-            uniq = sk[starts]
-            by_key = dict(zip(uniq.tolist(), base_pops.tolist()))
-        else:
-            by_key = {}
+    def _live_bucket_populations(self) -> List[int]:
+        """Live population of every bucket (both layers merged by key)."""
+        by_key = self._base.live_populations(self._alive) if self._base is not None else {}
         for bucket_key, rows in self._buckets.items():
             live = sum(1 for row in rows if self._alive[row])
             by_key[bucket_key] = by_key.get(bucket_key, 0) + live
-        pops = list(by_key.values())
-        populations = sorted((p for p in pops if p > 0), reverse=True)
+        return [p for p in by_key.values() if p > 0]
+
+    def bucket_stats(self) -> BucketStats:
+        populations = sorted(self._live_bucket_populations(), reverse=True)
         return BucketStats(
             total_buckets=len(populations),
             max_population=populations[0] if populations else 0,
             overpopulated=sum(1 for p in populations if p >= 128),
             populations=populations,
         )
+
+    def bucket_summary(self) -> Dict[str, int]:
+        """Scalar bucket-distribution gauges for the metrics registry.
+
+        Same aggregates as :meth:`bucket_stats` but without materializing
+        or sorting the populations list — cheap enough to sample per run.
+        """
+        pops = self._live_bucket_populations()
+        return {
+            "total_buckets": len(pops),
+            "max_population": max(pops) if pops else 0,
+            "overpopulated": sum(1 for p in pops if p >= 128),
+        }

@@ -30,6 +30,7 @@ from ..ir.function import Function
 from ..obs import trace
 from .adaptive import AdaptiveParameters, adaptive_parameters
 from .lsh import LSHIndex, LSHQueryStats
+from .sharded import ShardedLSHIndex
 
 __all__ = [
     "Match",
@@ -230,7 +231,9 @@ class MinHashLSHRanker(Ranker):
     bit-identical to the per-function path, which stays available as the
     perf-bench baseline.  ``cache`` shares fingerprints content-addressed
     across runs and partitions; ``workers`` fans large modules out over a
-    process pool.
+    process pool; ``shards > 1`` swaps in the band-sharded index
+    (:class:`~repro.search.sharded.ShardedLSHIndex`), whose results are
+    identical to the serial index by construction.
     """
 
     name = "f3m"
@@ -247,6 +250,7 @@ class MinHashLSHRanker(Ranker):
         batched: bool = True,
         cache: Optional[FingerprintCache] = None,
         workers: Optional[int] = None,
+        shards: int = 1,
     ) -> None:
         self._requested_config = config
         self.rows = rows
@@ -258,6 +262,7 @@ class MinHashLSHRanker(Ranker):
         self.batched = batched
         self.cache = cache
         self.workers = workers
+        self.shards = shards
         self.config: Optional[MinHashConfig] = None
         self.parameters: Optional[AdaptiveParameters] = None
         self._index: Optional[LSHIndex] = None
@@ -284,7 +289,17 @@ class MinHashLSHRanker(Ranker):
         else:
             self.config = self._requested_config or MinHashConfig()
             bands = self.bands if self.bands is not None else self.config.k // self.rows
-        self._index = LSHIndex(rows=self.rows, bands=bands, bucket_cap=self.bucket_cap)
+        if self.shards > 1:
+            self._index = ShardedLSHIndex(
+                rows=self.rows,
+                bands=bands,
+                bucket_cap=self.bucket_cap,
+                shards=self.shards,
+            )
+        else:
+            self._index = LSHIndex(
+                rows=self.rows, bands=bands, bucket_cap=self.bucket_cap
+            )
         if not self.batched:
             with trace.span(
                 "fingerprint", functions=len(functions), ranker=self.name

@@ -1,0 +1,663 @@
+"""Band-sharded LSH: the serial index partitioned over the ``bands`` axis.
+
+Band hashes are independent of each other — bucket key ``(band, hash)``
+only ever collides within its own band — so the bucket structures of a
+banded LSH index partition cleanly into contiguous band ranges ("shards")
+with **zero** cross-shard coordination.  :class:`ShardedLSHIndex` exploits
+that two ways:
+
+* **In-RAM mode** (constructor): a drop-in :class:`~repro.search.lsh.LSHIndex`
+  subclass whose base/overflow bucket layers are split per band shard.
+  Queries traverse shards in band order, so the candidate list — order
+  included — is *exactly* the serial index's answer by construction (same
+  candidate order ⇒ same ``best_match``, first-max tie-break included).
+  This is the mode the property tests drive against the serial reference,
+  including remove/compact interleavings.
+
+* **Frozen store mode** (:meth:`ShardedLSHIndex.from_store`): shard bucket
+  structures are built from a :class:`~repro.fingerprint.store.FingerprintStore`
+  by worker processes — reusing the fork-pool + order-preserving ``map``
+  pattern of :mod:`repro.merge.partitioned`, with ``workers=1`` running the
+  identical worker inline — and written to ``.npy`` files that the parent
+  (and query workers) re-open memory-mapped.  Neither the signature matrix
+  nor the bucket arrays are ever RAM-resident as Python objects; the
+  working set is page cache.  :meth:`ShardedLSHIndex.best_match_all` then
+  answers every query vectorized (optionally fanning batches out to shard
+  worker processes and unioning the candidate runs in shard order).
+
+Exactness argument, spelled out once: the serial index probes bands
+``0..b-1`` in order, applies the bucket cap *window* to each bucket's
+member list, skips dead rows and already-seen rows, and takes the first
+similarity argmax.  A shard owns a contiguous band range, shards are
+traversed in ascending range order, and each shard probes its bands in
+order — so the concatenation of per-shard probes is the identical global
+band order, the same cap windows apply to the same buckets, and the
+candidate sequence (and therefore every downstream decision) is identical.
+The batched kernel deduplicates to first occurrences per query — exactly
+the serial loop's ``seen`` set, vectorized — so its candidate list *is*
+the serial candidate list (verified property-tested against the serial
+loop).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..fingerprint.minhash import MinHashFingerprint
+from ..fingerprint.store import FingerprintStore
+from .lsh import (
+    ColumnarBuckets,
+    LSHIndex,
+    LSHQueryStats,
+    band_bucket_keys,
+    build_columnar_buckets,
+)
+
+__all__ = ["BandShard", "ShardedLSHIndex", "shard_ranges"]
+
+
+def shard_ranges(bands: int, shards: int) -> List[Tuple[int, int]]:
+    """Contiguous, balanced band ranges covering ``[0, bands)`` in order."""
+    shards = max(1, min(shards, bands))
+    return [
+        ((bands * i) // shards, (bands * (i + 1)) // shards) for i in range(shards)
+    ]
+
+
+class BandShard:
+    """Bucket structures owned by one contiguous band range ``[lo, hi)``.
+
+    ``base`` is the columnar layer (arrays may be RAM or memmapped .npy);
+    ``overflow`` is the post-batch dict layer; ``bands`` is the shard's
+    ``(n, width)`` bucket-key matrix in frozen store mode (in-RAM mode
+    slices the index's own ``_bands_buf`` instead).
+    """
+
+    __slots__ = ("band_lo", "band_hi", "base", "overflow", "bands")
+
+    def __init__(self, band_lo: int, band_hi: int) -> None:
+        self.band_lo = band_lo
+        self.band_hi = band_hi
+        self.base: Optional[ColumnarBuckets] = None
+        self.overflow: Dict[int, List[int]] = {}
+        self.bands: Optional[np.ndarray] = None
+
+    @property
+    def width(self) -> int:
+        return self.band_hi - self.band_lo
+
+    def bucket_members(
+        self, bucket_key: int, cap: Optional[int]
+    ) -> Tuple[Sequence[int], int]:
+        """Same contract as ``LSHIndex._bucket_members``, shard-local."""
+        slc = self.base.slice_of(bucket_key) if self.base is not None else None
+        base = self.base.members(*slc) if slc is not None else None
+        overflow = self.overflow.get(bucket_key)
+        if base is None:
+            members: Sequence[int] = overflow if overflow is not None else ()
+        elif overflow:
+            members = base + overflow
+        else:
+            members = base
+        total = len(members)
+        if cap is not None and total > cap:
+            return members[:cap], total
+        return members, total
+
+
+# ----------------------------------------------------------------------------------
+# Frozen-mode worker functions.  Top-level and fed by picklable payloads so
+# they run in a fork pool; ``workers=1`` calls them inline — the serial
+# fallback executes the identical code path.
+
+# Per-process memo of memmapped shard files, so a pool worker re-opens each
+# shard once per process instead of once per query batch.
+_SHARD_FILE_CACHE: Dict[str, Tuple[np.ndarray, ...]] = {}
+
+# Byte budget per (rows, k) gather temporary in the batched kernel's eq
+# slices; keeps peak kernel memory in the tens of MB even when a dense
+# corpus floods a batch with millions of duplicate candidates.
+_EQ_CHUNK_BYTES = 1 << 22
+
+# Candidate-row budget per reduction: a batch whose shard runs exceed this
+# is split into contiguous query groups so the O(total-candidates) scatter
+# arrays stay bounded regardless of bucket density.
+_REDUCE_BUDGET_ROWS = 1 << 20
+
+
+def _shard_files(prefix: str) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    cached = _SHARD_FILE_CACHE.get(prefix)
+    if cached is None:
+        cached = tuple(
+            np.load(prefix + suffix, mmap_mode="r")
+            for suffix in (".bands.npy", ".rows.npy", ".keys.npy", ".starts.npy", ".ends.npy")
+        )
+        _SHARD_FILE_CACHE[prefix] = cached
+    return cached
+
+
+def _shard_build_worker(payload) -> str:
+    """Build one shard's bucket keys + columnar layer and persist as .npy.
+
+    The worker touches only a memmapped view of the store's signature
+    matrix and its own band slice's arrays — peak RSS is bounded by the
+    shard, not the corpus.
+    """
+    values_path, n, k, rows, bands, band_lo, band_hi, out_dir, chunk_rows = payload
+    values = np.memmap(values_path, dtype=np.uint32, mode="r", shape=(n, k))
+    width = band_hi - band_lo
+    keys = np.empty((n, width), dtype=np.int64)
+    for start in range(0, n, chunk_rows):
+        stop = min(start + chunk_rows, n)
+        keys[start:stop] = band_bucket_keys(
+            values[start:stop], rows, bands, band_lo, band_hi
+        )
+    buckets = build_columnar_buckets(keys)
+    prefix = os.path.join(out_dir, f"shard-{band_lo:04d}-{band_hi:04d}")
+    np.save(prefix + ".bands.npy", keys)
+    np.save(prefix + ".rows.npy", buckets.rows)
+    np.save(prefix + ".keys.npy", buckets.sorted_keys)
+    np.save(prefix + ".starts.npy", buckets.starts_flat)
+    np.save(prefix + ".ends.npy", buckets.ends_flat)
+    return prefix
+
+
+def _segment_gather(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Indices of the concatenation of ranges ``[starts[i], starts[i]+counts[i])``."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out_starts = np.cumsum(counts) - counts
+    return (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(out_starts, counts)
+        + np.repeat(starts, counts)
+    )
+
+
+def _frozen_candidate_runs(
+    starts_flat: np.ndarray,
+    ends_flat: np.ndarray,
+    member_rows: np.ndarray,
+    width: int,
+    queries: np.ndarray,
+    cap: Optional[int],
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Capped candidate runs for a query batch against one frozen shard.
+
+    Returns ``(cands, per_query_counts, capped_buckets)`` where *cands* is
+    the concatenation, per query and then per band in order, of each
+    probed bucket's first ``cap`` members — exactly the serial probe
+    sequence for this band range, duplicates included.
+    """
+    # Plain-ndarray views of the (possibly memmapped) shard arrays: fancy
+    # indexing through np.memmap.__getitem__ is orders of magnitude slower
+    # than the base-class path, and the view shares the mapping (no copy).
+    starts_flat = np.asarray(starts_flat)
+    ends_flat = np.asarray(ends_flat)
+    member_rows = np.asarray(member_rows)
+    flat = (
+        queries[:, None] * width + np.arange(width, dtype=np.int64)[None, :]
+    ).ravel()
+    starts = starts_flat[flat]
+    counts = ends_flat[flat] - starts
+    if cap is not None:
+        capped = int(np.count_nonzero(counts > cap))
+        counts = np.minimum(counts, cap)
+    else:
+        capped = 0
+    cands = member_rows[_segment_gather(starts, counts)]
+    per_query = counts.reshape(-1, width).sum(axis=1)
+    return cands, per_query, capped
+
+
+def _shard_query_worker(payload) -> Tuple[np.ndarray, np.ndarray, int]:
+    prefix, width, cap, queries = payload
+    _, member_rows, _, starts_flat, ends_flat = _shard_files(prefix)
+    return _frozen_candidate_runs(starts_flat, ends_flat, member_rows, width, queries, cap)
+
+
+# ----------------------------------------------------------------------------------
+
+
+class _IdentityRows:
+    """Minimal ``_row_of`` stand-in for frozen mode: key *is* the row.
+
+    Avoids materializing a dict of 10^5–10^6 int->int entries just to map a
+    row index to itself.
+    """
+
+    __slots__ = ("_n",)
+
+    def __init__(self, n: int) -> None:
+        self._n = n
+
+    def get(self, key, default=None):
+        if isinstance(key, (int, np.integer)) and 0 <= key < self._n:
+            return int(key)
+        return default
+
+    def __getitem__(self, key):
+        row = self.get(key)
+        if row is None:
+            raise KeyError(key)
+        return row
+
+    def __contains__(self, key) -> bool:
+        return self.get(key) is not None
+
+
+class ShardedLSHIndex(LSHIndex):
+    """Band-sharded LSH index; serial-identical results by construction."""
+
+    def __init__(
+        self,
+        rows: int = 2,
+        bands: int = 100,
+        bucket_cap: Optional[int] = 100,
+        shards: int = 2,
+    ) -> None:
+        super().__init__(rows=rows, bands=bands, bucket_cap=bucket_cap)
+        self._shards: List[BandShard] = [
+            BandShard(lo, hi) for lo, hi in shard_ranges(bands, shards)
+        ]
+        # band index -> owning shard, for overflow-insert routing.
+        self._shard_of_band: List[BandShard] = []
+        for shard in self._shards:
+            self._shard_of_band.extend([shard] * shard.width)
+        self.shards = len(self._shards)
+        self._frozen = False
+        self._store: Optional[FingerprintStore] = None
+        self._store_values: Optional[np.ndarray] = None
+        self._shard_prefixes: Optional[List[str]] = None
+
+    # -- frozen store mode -------------------------------------------------------------
+    @classmethod
+    def from_store(
+        cls,
+        store: FingerprintStore,
+        *,
+        rows: int = 2,
+        bands: Optional[int] = None,
+        bucket_cap: Optional[int] = 100,
+        shards: int = 1,
+        workers: int = 1,
+        shard_dir: Optional[str] = None,
+        chunk_rows: int = 65536,
+    ) -> "ShardedLSHIndex":
+        """Build a frozen index over every row of *store*, sharded by band.
+
+        Shard bucket structures are built by :func:`_shard_build_worker` —
+        in a fork pool when ``workers > 1``, inline otherwise (identical
+        code either way) — and persisted as ``.npy`` files under
+        *shard_dir* (default: ``<store>/lsh-shards``), which the index then
+        memory-maps.  Keys are the store row indices ``0..n-1``.  The
+        index is frozen: ``insert``/``compact`` are unavailable, ``remove``
+        tombstones without ever compacting.
+        """
+        k = store.config.k
+        if bands is None:
+            bands = k // rows
+        if bands <= 0 or rows * bands > k:
+            raise ValueError(f"rows*bands {rows}*{bands} does not fit k={k}")
+        index = cls(rows=rows, bands=bands, bucket_cap=bucket_cap, shards=shards)
+        n = len(store)
+        values_path = os.path.join(store.directory, "values.u32")
+        if shard_dir is None:
+            shard_dir = os.path.join(store.directory, "lsh-shards")
+        os.makedirs(shard_dir, exist_ok=True)
+        payloads = [
+            (values_path, n, k, rows, bands, shard.band_lo, shard.band_hi,
+             shard_dir, chunk_rows)
+            for shard in index._shards
+        ]
+        if workers > 1 and n:
+            if sys.platform != "win32":
+                ctx = multiprocessing.get_context("fork")
+            else:  # pragma: no cover - windows fallback
+                ctx = multiprocessing.get_context()
+            with ProcessPoolExecutor(max_workers=min(workers, len(payloads)),
+                                     mp_context=ctx) as pool:
+                prefixes = list(pool.map(_shard_build_worker, payloads))
+        else:
+            prefixes = [_shard_build_worker(p) for p in payloads]
+        for shard, prefix in zip(index._shards, prefixes):
+            bands_mm, rows_mm, keys_mm, starts_mm, ends_mm = _shard_files(prefix)
+            shard.bands = bands_mm
+            shard.base = ColumnarBuckets(
+                rows_mm, keys_mm, starts_mm, ends_mm, n, shard.width
+            )
+        index._frozen = True
+        index._store = store
+        index._store_values = store.values
+        index._shard_prefixes = prefixes
+        index._keys = range(n)  # type: ignore[assignment] — O(1) identity "list"
+        index._row_of = _IdentityRows(n)  # type: ignore[assignment]
+        index._fingerprints = None  # type: ignore[assignment]
+        index._alive = np.ones(n, dtype=bool)  # type: ignore[assignment]
+        index._live_count = n
+        index._base_count = n
+        return index
+
+    # -- bucket-layer overrides --------------------------------------------------------
+    def _build_base(self, bucket_keys: np.ndarray) -> None:
+        n = bucket_keys.shape[0]
+        for shard in self._shards:
+            shard.base = build_columnar_buckets(
+                bucket_keys[:, shard.band_lo : shard.band_hi]
+            )
+        self._base_count = n
+
+    def _bucket_insert_row(self, row: int, row_keys: List[int]) -> None:
+        for bucket_key in row_keys:
+            overflow = self._shard_of_band[bucket_key >> 32].overflow
+            bucket = overflow.get(bucket_key)
+            if bucket is None:
+                overflow[bucket_key] = [row]
+            else:
+                bucket.append(row)
+
+    def _bucket_layers_empty(self) -> bool:
+        return all(s.base is None and not s.overflow for s in self._shards)
+
+    def _clear_buckets(self) -> None:
+        for shard in self._shards:
+            shard.base = None
+            shard.overflow = {}
+        self._base_count = 0
+
+    def _bucket_members(
+        self, bucket_key: int, cap: Optional[int]
+    ) -> Tuple[Sequence[int], int]:
+        return self._shard_of_band[bucket_key >> 32].bucket_members(bucket_key, cap)
+
+    def _shard_row_keys(self, shard: BandShard, me: int) -> List[int]:
+        if shard.bands is not None:
+            return shard.bands[me].tolist()
+        return self._bands_buf[me, shard.band_lo : shard.band_hi].tolist()
+
+    def _candidate_rows(self, me: int, stats: LSHQueryStats) -> List[int]:
+        # Shards hold contiguous band ranges and are traversed in range
+        # order, so this loop probes buckets in exactly the serial index's
+        # global band order — candidate order, cap windows, dedup and
+        # alive-filtering all coincide with LSHIndex._candidate_rows.
+        alive = self._alive
+        cap = self.bucket_cap
+        seen: Set[int] = {me}
+        candidates: List[int] = []
+        in_base = me < self._base_count
+        for shard in self._shards:
+            row_keys = self._shard_row_keys(shard, me)
+            if in_base and shard.base is not None:
+                bounds = shard.base.bounds_of_row(me)
+            else:
+                bounds = None
+            for bucket_key in row_keys:
+                stats.buckets_probed += 1
+                if bounds is not None:
+                    start, end = next(bounds)
+                    base = shard.base.members(start, end)
+                    overflow = shard.overflow.get(bucket_key)
+                    members: Sequence[int] = base + overflow if overflow else base
+                    total = len(members)
+                    if cap is not None and total > cap:
+                        members = members[:cap]
+                        stats.capped_buckets += 1
+                        self.capped_bucket_hits += 1
+                else:
+                    members, total = shard.bucket_members(bucket_key, cap)
+                    if cap is not None and total > cap:
+                        stats.capped_buckets += 1
+                        self.capped_bucket_hits += 1
+                for row in members:
+                    if row in seen or not alive[row]:
+                        continue
+                    seen.add(row)
+                    candidates.append(row)
+        return candidates
+
+    # -- frozen-mode maintenance -------------------------------------------------------
+    def _frozen_guard(self, op: str) -> None:
+        if self._frozen:
+            raise RuntimeError(f"{op} is unavailable on a frozen store-backed index")
+
+    def insert(self, key, fingerprint) -> None:
+        self._frozen_guard("insert")
+        super().insert(key, fingerprint)
+
+    def insert_batch(self, keys, fingerprints) -> None:
+        self._frozen_guard("insert_batch")
+        super().insert_batch(keys, fingerprints)
+
+    def remove(self, key) -> None:
+        if not self._frozen:
+            super().remove(key)
+            return
+        # Frozen indexes tombstone but never compact: the bucket arrays are
+        # shared read-only files, and rebuilding them belongs to a rebuild
+        # of the store, not a query-time mutation.
+        row = self._row_of.get(key)
+        if row is not None and self._alive[row]:
+            self._alive[row] = False
+            self._live_count -= 1
+            self.removals += 1
+
+    def compact(self) -> None:
+        self._frozen_guard("compact")
+        super().compact()
+
+    def fingerprint(self, key) -> MinHashFingerprint:
+        if not self._frozen:
+            return super().fingerprint(key)
+        row = self._row_of[key]
+        return MinHashFingerprint(
+            np.array(self._store_values[row], dtype=np.uint32),
+            self._store.config,
+            int(self._store.num_shingles[row]),
+        )
+
+    def _matrix(self) -> np.ndarray:
+        if self._store_values is not None:
+            return self._store_values
+        return super()._matrix()
+
+    # -- batched queries ---------------------------------------------------------------
+    def best_match_all(
+        self,
+        queries: Optional[np.ndarray] = None,
+        *,
+        batch_rows: int = 1024,
+        workers: int = 1,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``best_match`` for every query row, vectorized (frozen mode only).
+
+        Returns ``(best, sims)``: for query row ``i``, ``best[i]`` is the
+        best live candidate row (``-1`` when the row has no candidates) and
+        ``sims[i]`` its estimated Jaccard similarity.  Results are
+        provably identical to calling :meth:`best_match` per row — the
+        kernel concatenates each shard's capped bucket runs in band order,
+        masks ``me``/dead rows order-preservingly, deduplicates to first
+        occurrences per query (the serial loop's ``seen`` set, vectorized),
+        and takes a first-occurrence argmax per query.
+
+        ``workers > 1`` fans each batch out to one process per shard (fork
+        pool, shard files re-opened memmapped per worker); ``workers=1``
+        runs the identical per-shard kernel inline.
+        """
+        if not self._frozen:
+            raise RuntimeError("best_match_all requires a from_store index")
+        n = len(self._keys)
+        if queries is None:
+            queries = np.arange(n, dtype=np.int64)
+        else:
+            queries = np.asarray(queries, dtype=np.int64)
+        # Base-class view: fancy-gathering rows through np.memmap.__getitem__
+        # is drastically slower than the plain ndarray path (and the view
+        # still reads through the mapping — nothing is copied up front).
+        matrix = np.asarray(self._matrix())
+        k = matrix.shape[1]
+        alive = self._alive
+        cap = self.bucket_cap
+        best = np.full(queries.shape[0], -1, dtype=np.int64)
+        sims = np.zeros(queries.shape[0], dtype=np.float64)
+        self.queries += int(queries.shape[0])
+
+        pool = None
+        try:
+            if workers > 1 and len(self._shards) > 1:
+                ctx = (
+                    multiprocessing.get_context("fork")
+                    if sys.platform != "win32"
+                    else multiprocessing.get_context()
+                )
+                pool = ProcessPoolExecutor(
+                    max_workers=min(workers, len(self._shards)), mp_context=ctx
+                )
+            for lo in range(0, queries.shape[0], batch_rows):
+                batch = queries[lo : lo + batch_rows]
+                payloads = [
+                    (prefix, shard.width, cap, batch)
+                    for prefix, shard in zip(self._shard_prefixes, self._shards)
+                ]
+                if pool is not None:
+                    runs = list(pool.map(_shard_query_worker, payloads))
+                else:
+                    runs = [_shard_query_worker(p) for p in payloads]
+                b, s = self._reduce_batch(batch, runs, matrix, k, alive)
+                best[lo : lo + batch.shape[0]] = b
+                sims[lo : lo + batch.shape[0]] = s
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        return best, sims
+
+    def _reduce_batch(
+        self,
+        batch: np.ndarray,
+        runs: List[Tuple[np.ndarray, np.ndarray, int]],
+        matrix: np.ndarray,
+        k: int,
+        alive: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Union shard candidate runs in shard order and argmax per query."""
+        nq = batch.shape[0]
+        for _, _, capped in runs:
+            self.capped_bucket_hits += capped
+        totals = np.zeros(nq, dtype=np.int64)
+        for _, per_query, _ in runs:
+            totals += per_query
+        grand = int(totals.sum())
+        if grand == 0:
+            return np.full(nq, -1, dtype=np.int64), np.zeros(nq, dtype=np.float64)
+        if grand > _REDUCE_BUDGET_ROWS and nq > 1:
+            # Dense corpus: split into contiguous query groups of bounded
+            # candidate mass and reduce each group independently.  Queries
+            # are independent of one another, so the split cannot change
+            # any per-query answer.
+            shard_offsets = [
+                np.concatenate(([0], np.cumsum(per_query)))
+                for _, per_query, _ in runs
+            ]
+            best = np.full(nq, -1, dtype=np.int64)
+            sims = np.zeros(nq, dtype=np.float64)
+            lo = 0
+            while lo < nq:
+                hi = lo + 1
+                mass = int(totals[lo])
+                while hi < nq and mass + int(totals[hi]) <= _REDUCE_BUDGET_ROWS:
+                    mass += int(totals[hi])
+                    hi += 1
+                sub_runs = [
+                    (cands_arr[offs[lo] : offs[hi]], per_query[lo:hi], 0)
+                    for (cands_arr, per_query, _), offs in zip(runs, shard_offsets)
+                ]
+                b, s = self._reduce_batch(batch[lo:hi], sub_runs, matrix, k, alive)
+                best[lo:hi] = b
+                sims[lo:hi] = s
+                lo = hi
+            return best, sims
+        # Scatter each shard's runs to their final per-query positions:
+        # query-major, shard-minor — i.e. global band order.
+        cands = np.empty(grand, dtype=np.int64)
+        acc = np.cumsum(totals) - totals
+        for shard_cands, per_query, _ in runs:
+            dest = _segment_gather(acc, per_query)
+            cands[dest] = shard_cands
+            acc += per_query
+        seg = np.repeat(np.arange(nq, dtype=np.int64), totals)
+        keep = (cands != batch[seg]) & alive[cands]
+        cands = cands[keep]
+        seg = seg[keep]
+        best = np.full(nq, -1, dtype=np.int64)
+        sims = np.zeros(nq, dtype=np.float64)
+        if cands.shape[0] == 0:
+            return best, sims
+        # First-occurrence dedup per query, vectorized — the serial loop's
+        # ``seen`` set.  In dense corpora a family member recurs in nearly
+        # every band, so this cuts the k-wide similarity work by up to a
+        # factor of ``bands``.  Only later duplicates are dropped and they
+        # carry the same eq value as their first occurrence, so the
+        # first-max argmax below is untouched.
+        pair_key = seg * np.int64(matrix.shape[0]) + cands
+        _, first_occurrence = np.unique(pair_key, return_index=True)
+        uniq = np.zeros(cands.shape[0], dtype=bool)
+        uniq[first_occurrence] = True
+        cands = cands[uniq]
+        seg = seg[uniq]
+        # Chunk the k-wide gathers: a dense batch can carry millions of
+        # candidate rows (duplicates included), and materializing two
+        # (m, k) gathers at once would cost gigabytes.  eq is computed in
+        # bounded slices — same values, bounded temporaries.
+        query_rows = batch[seg]
+        m = cands.shape[0]
+        eq = np.empty(m, dtype=np.int64)
+        chunk_rows = max(1024, _EQ_CHUNK_BYTES // (k * matrix.itemsize))
+        for c_lo in range(0, m, chunk_rows):
+            c_hi = min(c_lo + chunk_rows, m)
+            eq[c_lo:c_hi] = (
+                matrix[cands[c_lo:c_hi]] == matrix[query_rows[c_lo:c_hi]]
+            ).sum(axis=1)
+        counts = np.bincount(seg, minlength=nq)
+        nonempty = counts > 0
+        seg_starts = (np.cumsum(counts) - counts)[nonempty]
+        max_eq = np.maximum.reduceat(eq, seg_starts)
+        max_of = np.zeros(nq, dtype=np.int64)
+        max_of[nonempty] = max_eq
+        pos = np.arange(eq.shape[0], dtype=np.int64)
+        sentinel = eq.shape[0]
+        first = np.minimum.reduceat(
+            np.where(eq == max_of[seg], pos, sentinel), seg_starts
+        )
+        best[nonempty] = cands[first]
+        sims[nonempty] = max_eq / float(k)
+        return best, sims
+
+    # -- diagnostics -------------------------------------------------------------------
+    def index_stats(self) -> Dict[str, int]:
+        stats = super().index_stats()
+        stats["shards"] = self.shards
+        stats["frozen"] = int(self._frozen)
+        stats["overflow_buckets"] = sum(len(s.overflow) for s in self._shards)
+        return stats
+
+    def _live_bucket_populations(self) -> List[int]:
+        # Band ranges are disjoint, so bucket keys never collide across
+        # shards — per-shard merge of base+overflow is the global answer.
+        pops: List[int] = []
+        for shard in self._shards:
+            by_key = (
+                shard.base.live_populations(self._alive)
+                if shard.base is not None
+                else {}
+            )
+            for bucket_key, member_rows in shard.overflow.items():
+                live = sum(1 for row in member_rows if self._alive[row])
+                by_key[bucket_key] = by_key.get(bucket_key, 0) + live
+            pops.extend(p for p in by_key.values() if p > 0)
+        return pops

@@ -1,0 +1,59 @@
+"""Tests for the RSS measurement helpers behind the scaling sweep."""
+
+import numpy as np
+import pytest
+
+from repro.harness.rss import (
+    IsolatedRun,
+    RssSampler,
+    current_rss_kb,
+    peak_rss_kb,
+    run_isolated,
+)
+
+
+def _allocate_mb(mb):
+    # Touch every page so the kernel actually backs the allocation.
+    block = np.ones(mb * 1024 * 1024 // 8, dtype=np.float64)
+    return float(block.sum() / block.shape[0])
+
+
+def _boom():
+    raise ValueError("intentional")
+
+
+class TestReaders:
+    def test_current_and_peak_positive(self):
+        current = current_rss_kb()
+        peak = peak_rss_kb()
+        assert current > 0
+        assert peak >= current * 0.5  # HWM can lag briefly, never be tiny
+
+
+class TestSampler:
+    def test_tracks_growth(self):
+        with RssSampler(interval=0.001) as sampler:
+            _allocate_mb(16)
+        assert sampler.baseline_kb > 0
+        assert sampler.peak_kb >= sampler.baseline_kb
+        assert sampler.delta_kb >= 0
+
+
+class TestIsolated:
+    def test_result_round_trip(self):
+        run = run_isolated(_allocate_mb, 1)
+        assert isinstance(run, IsolatedRun)
+        assert run.result == 1.0
+        assert run.seconds >= 0.0
+        assert run.baseline_kb > 0
+
+    def test_measures_child_allocation(self):
+        small = run_isolated(_allocate_mb, 1)
+        big = run_isolated(_allocate_mb, 64)
+        # The 64 MB child must report clearly more growth than the 1 MB
+        # child; the exact figure depends on allocator slack.
+        assert big.delta_kb - small.delta_kb > 32 * 1024
+
+    def test_child_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="intentional"):
+            run_isolated(_boom)

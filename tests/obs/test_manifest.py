@@ -130,6 +130,11 @@ class TestTelemetryCollection:
         assert sources["ranking"]["queries"] > 0
         assert "lsh_index" in sources
         assert sources["lsh_index"]["rows"] > 0
+        # Maintenance counters surfaced through the same source.
+        for key in ("removals", "queries", "capped_bucket_hits", "tombstones"):
+            assert key in sources["lsh_index"]
+        assert "lsh_buckets" in sources
+        assert sources["lsh_buckets"]["total_buckets"] > 0
 
 
 class TestDiff:

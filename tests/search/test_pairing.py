@@ -109,6 +109,25 @@ class TestMinHashLSHRanker:
         assert ranker._index.rows == 4
         assert ranker._index.bands == 50
 
+    def test_sharded_index_matches_serial(self, module):
+        funcs = _population(module)
+        serial = MinHashLSHRanker()
+        serial.preprocess(funcs)
+        sharded = MinHashLSHRanker(shards=4)
+        sharded.preprocess(funcs)
+        assert sharded._index.shards == 4
+        for func in funcs:
+            a = serial.best_match(func)
+            b = sharded.best_match(func)
+            if a is None:
+                assert b is None
+            else:
+                assert b is not None
+                assert (a.function.name, a.similarity) == (
+                    b.function.name,
+                    b.similarity,
+                )
+
     def test_preprocess_required(self, module):
         ranker = MinHashLSHRanker()
         with pytest.raises(AssertionError):

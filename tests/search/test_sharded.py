@@ -1,0 +1,209 @@
+"""Property tests: the band-sharded index is serial-identical.
+
+The contract under test is exactness, not speed: for any corpus, any
+interleaving of inserts/removes/compactions, and any shard count 1-8,
+``ShardedLSHIndex`` must return the *same* candidate lists (order
+included), the same ``best_match``, and the same maintenance counters as
+the serial ``LSHIndex``.  Frozen store mode adds the batched
+``best_match_all`` kernel, which must agree with the serial per-key loop
+for every row.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.fingerprint import FingerprintStore, MinHashConfig, MinHashFingerprint
+from repro.fingerprint.batch import minhash_encoded_batch
+from repro.search import LSHIndex, LSHQueryStats, ShardedLSHIndex, shard_ranges
+
+CFG = MinHashConfig(k=16)
+ROWS, BANDS = 2, 8
+
+
+def fp(seq):
+    return MinHashFingerprint.from_encoded(seq, CFG)
+
+
+class TestShardRanges:
+    def test_cover_and_order(self):
+        for bands in (1, 7, 8, 100):
+            for shards in (1, 2, 3, 8, 200):
+                ranges = shard_ranges(bands, shards)
+                # Contiguous, ordered, covering [0, bands).
+                assert ranges[0][0] == 0
+                assert ranges[-1][1] == bands
+                for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+                    assert hi == lo
+                assert len(ranges) == min(max(1, shards), bands)
+
+
+@st.composite
+def corpus_and_ops(draw):
+    """A family-structured corpus plus a remove/compact interleaving."""
+    n = draw(st.integers(min_value=4, max_value=24))
+    families = draw(st.integers(min_value=1, max_value=4))
+    seqs = []
+    for _ in range(n):
+        fam = draw(st.integers(0, families - 1))
+        seq = [fam * 100 + j for j in range(6)]
+        if draw(st.booleans()):
+            seq[draw(st.integers(0, 5))] = draw(st.integers(0, 500))
+        seqs.append(seq)
+    batch_split = draw(st.integers(0, n))
+    removals = draw(
+        st.lists(st.integers(0, n - 1), unique=True, max_size=n - 1)
+    )
+    compact_after = draw(st.integers(0, max(0, len(removals))))
+    return seqs, batch_split, removals, compact_after
+
+
+def _apply_ops(index, fps, batch_split, removals, compact_after):
+    keys = list(range(len(fps)))
+    if batch_split:
+        index.insert_batch(keys[:batch_split], fps[:batch_split])
+    for key in keys[batch_split:]:
+        index.insert(key, fps[key])
+    for i, key in enumerate(removals):
+        index.remove(key)
+        if i + 1 == compact_after:
+            index.compact()
+    return set(keys) - set(removals)
+
+
+class TestSerialIdentity:
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(data=corpus_and_ops(), shards=st.integers(min_value=1, max_value=8))
+    def test_queries_match_serial(self, data, shards):
+        seqs, batch_split, removals, compact_after = data
+        fps = [fp(s) for s in seqs]
+        serial = LSHIndex(rows=ROWS, bands=BANDS, bucket_cap=3)
+        sharded = ShardedLSHIndex(rows=ROWS, bands=BANDS, bucket_cap=3, shards=shards)
+        live = _apply_ops(serial, fps, batch_split, removals, compact_after)
+        live2 = _apply_ops(sharded, fps, batch_split, removals, compact_after)
+        assert live == live2
+        assert serial.compactions == sharded.compactions
+        assert serial.removals == sharded.removals
+        for key in sorted(live):
+            s_stats, p_stats = LSHQueryStats(), LSHQueryStats()
+            assert serial.query(key, s_stats) == sharded.query(key, p_stats)
+            assert (s_stats.buckets_probed, s_stats.capped_buckets) == (
+                p_stats.buckets_probed,
+                p_stats.capped_buckets,
+            )
+            assert serial.best_match(key) == sharded.best_match(key)
+
+
+def _store_with(tmp_path, streams, config=CFG):
+    lens = np.array([len(s) for s in streams], dtype=np.int64)
+    flat = np.array(
+        [v for s in streams for v in s], dtype=np.uint64
+    )
+    store = FingerprintStore.create(str(tmp_path / "store"), config)
+    store.append_encoded(flat, lens)
+    return store, flat, lens
+
+
+def _serial_reference(flat, lens, bucket_cap=3):
+    values, counts = minhash_encoded_batch(flat, lens, CFG)
+    fps = [
+        MinHashFingerprint(values[i], CFG, int(counts[i]))
+        for i in range(len(lens))
+    ]
+    serial = LSHIndex(rows=ROWS, bands=BANDS, bucket_cap=bucket_cap)
+    serial.insert_batch(list(range(len(fps))), fps)
+    return serial
+
+
+def _streams(n, seed=7):
+    rng = np.random.RandomState(seed)
+    out = []
+    for i in range(n):
+        fam = i % 5
+        seq = [int(fam * 50 + j) for j in range(6)]
+        if rng.rand() < 0.5:
+            seq[int(rng.randint(0, 6))] = int(rng.randint(0, 400))
+        out.append(seq)
+    return out
+
+
+class TestFrozenStoreMode:
+    @pytest.mark.parametrize("shards", [1, 3, 8])
+    def test_best_match_all_matches_serial(self, tmp_path, shards):
+        store, flat, lens = _store_with(tmp_path, _streams(60))
+        serial = _serial_reference(flat, lens)
+        index = ShardedLSHIndex.from_store(
+            store, rows=ROWS, bands=BANDS, bucket_cap=3, shards=shards
+        )
+        best, sims = index.best_match_all(batch_rows=17)
+        for key in range(60):
+            expected = serial.best_match(key)
+            got = index.best_match(key)
+            assert got == expected
+            if expected is None:
+                assert best[key] == -1
+            else:
+                assert (best[key], sims[key]) == expected
+
+    def test_worker_pool_matches_inline(self, tmp_path):
+        store, flat, lens = _store_with(tmp_path, _streams(40))
+        index = ShardedLSHIndex.from_store(
+            store, rows=ROWS, bands=BANDS, bucket_cap=3, shards=2, workers=2
+        )
+        inline = ShardedLSHIndex.from_store(
+            store,
+            rows=ROWS,
+            bands=BANDS,
+            bucket_cap=3,
+            shards=2,
+            shard_dir=str(tmp_path / "alt-shards"),
+        )
+        b1, s1 = index.best_match_all(workers=2)
+        b2, s2 = inline.best_match_all()
+        assert np.array_equal(b1, b2)
+        assert np.array_equal(s1, s2)
+
+    def test_frozen_remove_tombstones_and_guards(self, tmp_path):
+        store, flat, lens = _store_with(tmp_path, _streams(20))
+        serial = _serial_reference(flat, lens)
+        index = ShardedLSHIndex.from_store(
+            store, rows=ROWS, bands=BANDS, bucket_cap=3, shards=2
+        )
+        victims = [0, 5, 11]
+        for key in victims:
+            serial.remove(key)
+            index.remove(key)
+        assert index.removals == len(victims)
+        assert index.index_stats()["tombstones"] == len(victims)
+        for key in range(20):
+            if key in victims:
+                continue
+            assert index.best_match(key) == serial.best_match(key)
+        best, _ = index.best_match_all()
+        for key in victims:
+            assert best[key] not in victims or best[key] == -1
+        with pytest.raises(RuntimeError):
+            index.insert(99, fp([1, 2, 3]))
+        with pytest.raises(RuntimeError):
+            index.compact()
+
+    def test_fingerprint_reconstruction(self, tmp_path):
+        store, flat, lens = _store_with(tmp_path, _streams(10))
+        index = ShardedLSHIndex.from_store(
+            store, rows=ROWS, bands=BANDS, bucket_cap=3
+        )
+        values, counts = minhash_encoded_batch(flat, lens, CFG)
+        for key in range(10):
+            rebuilt = index.fingerprint(key)
+            assert np.array_equal(rebuilt.values, values[key])
+            assert rebuilt.num_shingles == int(counts[key])
+
+    def test_best_match_all_requires_frozen(self):
+        index = ShardedLSHIndex(rows=ROWS, bands=BANDS, shards=2)
+        with pytest.raises(RuntimeError):
+            index.best_match_all()

@@ -56,6 +56,7 @@ class TestArchitectureDoc:
         "docs/observability.md",
         "docs/benchmarks.md",
         "docs/checkers.md",
+        "docs/scaling.md",
     ],
 )
 class TestLinksResolve:
