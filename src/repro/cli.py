@@ -17,7 +17,7 @@ import argparse
 import difflib
 import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .analysis.size import module_size
 from .diagnostics import Severity, has_errors
@@ -316,6 +316,33 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
     from .harness.profile import run_attempt_bench, run_perf_bench
 
     sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    if args.serve:
+        from .harness.serve_bench import DEFAULT_SERVE_SIZES, run_serve_bench
+
+        if args.sizes == "100,500,1000":  # the fingerprint-bench default
+            sizes = list(DEFAULT_SERVE_SIZES)
+        output = args.output
+        if output == "BENCH_f3m_perf.json":  # default untouched: serve name
+            output = "BENCH_serve.json"
+        rows, metadata = run_serve_bench(
+            sizes=sizes,
+            repeats=args.repeats,
+            delta_fraction=args.delta_fraction,
+            workload=args.workload if args.workload != "perf" else "serve",
+        )
+        write_bench_json(output, "serve", rows, metadata)
+        headline = metadata["headline"]
+        print(f"wrote {output}")
+        print(
+            f"largest size {headline['largest_size']}: "
+            f"warm daemon {headline['warm_speedup']:.1f}x vs cold one-shot "
+            f"(pipeline-warm {headline['pipeline_speedup']:.1f}x), "
+            f"delta update {headline['delta_speedup']:.1f}x vs full rebuild, "
+            f"decisions_identical={headline['decisions_identical']}, "
+            f"serial_identical={headline['serial_identical']}, "
+            f"rebuild_agreement={headline['rebuild_agreement']:.3f}"
+        )
+        return 0
     if args.scale:
         from .harness.scale import DEFAULT_SCALE_SIZES, run_scale_bench
 
@@ -474,6 +501,77 @@ def _cmd_report(args: argparse.Namespace) -> int:
     diff = diff_manifests(manifest, other, rel_tol=args.rel_tol, ignore=ignore)
     print(render_manifest_diff(diff))
     return 1 if diff else 0
+
+
+def _serve_config_from_args(args: argparse.Namespace):
+    from .serve import ServeConfig
+
+    compact_ratio = None
+    if args.compact_ratio.lower() != "none":
+        compact_ratio = float(args.compact_ratio)
+    return ServeConfig(
+        threshold=args.threshold,
+        alignment=args.alignment,
+        verify=not args.no_verify,
+        shards=args.shards,
+        compact_ratio=compact_ratio,
+        max_functions=args.max_functions,
+        result_cache_size=args.result_cache_size,
+        store_dir=args.store_dir,
+        manifest_dir=args.manifest_dir,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeDaemon, serve_stdio, serve_unix
+
+    faults = FaultInjector.parse(args.inject_fault) if args.inject_fault else None
+    daemon = ServeDaemon(_serve_config_from_args(args), faults=faults)
+    if args.stdio:
+        serve_stdio(daemon)
+    else:
+        print(f"serving on {args.socket}", file=sys.stderr)
+        serve_unix(daemon, args.socket)
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from .serve import ServeClient, ServeError
+
+    def read_arg_text(path: Optional[str]) -> Optional[str]:
+        if path is None:
+            return None
+        if path == "-":
+            return sys.stdin.read()
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+
+    client = ServeClient.connect(args.socket)
+    try:
+        params: Dict[str, object] = {}
+        if args.op == "submit":
+            params["module"] = read_arg_text(args.module)
+            params["removed"] = args.removed or None
+        elif args.op == "query":
+            params["name"] = args.name
+            params["text"] = read_arg_text(args.module)
+            params["limit"] = args.limit
+        elif args.op == "merge":
+            params["module"] = read_arg_text(args.module)
+            params["corpus"] = args.corpus or None
+            params["no_result_cache"] = args.no_result_cache or None
+        elif args.op == "flush":
+            params["directory"] = args.directory
+        try:
+            result = client.request(args.op, **params)
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        json.dump(result, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return 0
+    finally:
+        client.close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -669,6 +767,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="--scale: working directory for stores (kept; default: temp, deleted)",
     )
+    p_perf.add_argument(
+        "--serve",
+        action="store_true",
+        help=(
+            "run the merge-as-a-service suite instead: warm daemon vs cold "
+            "one-shot merge, delta update vs full rebuild, decision identity "
+            "(default sizes 2000,20000 -> BENCH_serve.json)"
+        ),
+    )
+    p_perf.add_argument(
+        "--delta-fraction",
+        type=float,
+        default=0.01,
+        help="--serve: fraction of corpus functions changed per delta",
+    )
     p_perf.add_argument("-o", "--output", default="BENCH_f3m_perf.json")
     p_perf.add_argument(
         "--manifest",
@@ -731,6 +844,115 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--pair", metavar="A,B", help="function pair for --check")
     p_fuzz.add_argument("--shape", help="expected bug shape for --check")
     p_fuzz.set_defaults(func=_cmd_fuzz)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the merge-as-a-service daemon (unix socket or stdio)",
+    )
+    p_serve.add_argument(
+        "--socket",
+        default="repro-serve.sock",
+        help="unix domain socket path to listen on",
+    )
+    p_serve.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve one client over stdin/stdout instead of a socket",
+    )
+    p_serve.add_argument("-t", "--threshold", type=float, default=0.0)
+    p_serve.add_argument(
+        "--alignment", choices=["linear", "nw"], default="linear"
+    )
+    p_serve.add_argument("--no-verify", action="store_true")
+    p_serve.add_argument(
+        "--shards", type=int, default=1, help="band-shard the corpus index"
+    )
+    p_serve.add_argument(
+        "--compact-ratio",
+        default="0.5",
+        help=(
+            "auto-compact the corpus index when tombstones exceed this "
+            "fraction of live entries ('none' disables)"
+        ),
+    )
+    p_serve.add_argument(
+        "--max-functions",
+        type=int,
+        default=None,
+        help="LRU-evict corpus functions beyond this count",
+    )
+    p_serve.add_argument(
+        "--result-cache-size",
+        type=int,
+        default=64,
+        help="merged-module result LRU entries",
+    )
+    p_serve.add_argument(
+        "--store-dir",
+        default=None,
+        help="fingerprint store to warm from at startup / spill to on flush",
+    )
+    p_serve.add_argument(
+        "--manifest-dir",
+        default=None,
+        help="write one kind=serve run manifest per request here",
+    )
+    p_serve.add_argument(
+        "--inject-fault",
+        metavar="STAGE[:N]",
+        help="deterministically fail at a serve stage (serve_commit|serve_disconnect)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_client = sub.add_parser(
+        "client", help="send one request to a running serve daemon"
+    )
+    p_client.add_argument(
+        "op",
+        choices=[
+            "ping",
+            "submit",
+            "query",
+            "merge",
+            "dump",
+            "stats",
+            "flush",
+            "compact",
+            "shutdown",
+        ],
+    )
+    p_client.add_argument(
+        "--socket",
+        default="repro-serve.sock",
+        help="unix domain socket path of the daemon",
+    )
+    p_client.add_argument(
+        "-m",
+        "--module",
+        default=None,
+        help="IR module file ('-' for stdin): submit delta / merge input / query probe",
+    )
+    p_client.add_argument(
+        "--removed",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="submit: corpus function to remove (repeatable)",
+    )
+    p_client.add_argument("--name", default=None, help="query: resident function name")
+    p_client.add_argument("--limit", type=int, default=10, help="query: max matches")
+    p_client.add_argument(
+        "--corpus", action="store_true", help="merge: merge the resident corpus"
+    )
+    p_client.add_argument(
+        "--no-result-cache",
+        action="store_true",
+        help="merge: bypass the merged-result cache",
+    )
+    p_client.add_argument(
+        "--directory", default=None, help="flush: fingerprint store directory"
+    )
+    p_client.set_defaults(func=_cmd_client)
 
     p_report = sub.add_parser(
         "report",

@@ -26,6 +26,13 @@ pipeline (:data:`WORKER_FAULT_STAGES`): ``worker_crash`` kills a
 subprocess worker mid-candidate and ``worker_hang`` makes it sleep past
 its deadline, so quarantine behaviour is testable deterministically.
 
+The serve daemon adds two *service* stages (:data:`SERVE_FAULT_STAGES`):
+``serve_commit`` fires in the middle of a delta commit — after the corpus
+module has been mutated and part of the index update applied, so rollback
+to the pre-request snapshot is genuinely exercised — and
+``serve_disconnect`` simulates the client vanishing mid-request (the
+response cannot be delivered; the daemon must stay consistent anyway).
+
 Injection is deterministic: ``FaultInjector("codegen", at=2)`` fires on
 the second codegen attempt only; ``at=None`` fires on every hit.
 """
@@ -34,7 +41,13 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Type
 
-__all__ = ["FAULT_STAGES", "WORKER_FAULT_STAGES", "InjectedFault", "FaultInjector"]
+__all__ = [
+    "FAULT_STAGES",
+    "WORKER_FAULT_STAGES",
+    "SERVE_FAULT_STAGES",
+    "InjectedFault",
+    "FaultInjector",
+]
 
 FAULT_STAGES = (
     "rank",
@@ -53,6 +66,11 @@ FAULT_STAGES = (
 #: in the merge pipeline it runs.  Kept out of :data:`FAULT_STAGES` so the
 #: per-stage containment tests only cover stages the pass can contain.
 WORKER_FAULT_STAGES = ("worker_crash", "worker_hang")
+
+#: Daemon-level stages: faults in the serve request loop, not in the merge
+#: pipeline.  Kept out of :data:`FAULT_STAGES` for the same reason as the
+#: worker stages.
+SERVE_FAULT_STAGES = ("serve_commit", "serve_disconnect")
 
 
 class InjectedFault(RuntimeError):
@@ -75,10 +93,10 @@ class FaultInjector:
         at: Optional[int] = None,
         exception: Type[BaseException] = InjectedFault,
     ) -> None:
-        if stage not in FAULT_STAGES and stage not in WORKER_FAULT_STAGES:
+        known = FAULT_STAGES + WORKER_FAULT_STAGES + SERVE_FAULT_STAGES
+        if stage not in known:
             raise ValueError(
-                f"unknown fault stage {stage!r}; expected one of "
-                f"{FAULT_STAGES + WORKER_FAULT_STAGES}"
+                f"unknown fault stage {stage!r}; expected one of {known}"
             )
         if at is not None and at < 1:
             raise ValueError("fault ordinal is 1-based")
@@ -86,7 +104,7 @@ class FaultInjector:
         self.at = at
         self.exception = exception
         self.hits: Dict[str, int] = {
-            s: 0 for s in FAULT_STAGES + WORKER_FAULT_STAGES
+            s: 0 for s in FAULT_STAGES + WORKER_FAULT_STAGES + SERVE_FAULT_STAGES
         }
         self.fired = 0
 

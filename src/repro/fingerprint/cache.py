@@ -59,7 +59,17 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     disk_entries_loaded: int = 0
-    disk_files_skipped: int = 0
+    # Disk files rejected on load, split by why: a *version* skip means a
+    # file written under an older/newer CACHE_FORMAT_VERSION (expected
+    # after an upgrade — cold start, not data loss), an *invalid* skip
+    # means a malformed/truncated/inconsistent file.  The undifferentiated
+    # total is kept for report compatibility.
+    disk_files_skipped_version: int = 0
+    disk_files_skipped_invalid: int = 0
+
+    @property
+    def disk_files_skipped(self) -> int:
+        return self.disk_files_skipped_version + self.disk_files_skipped_invalid
 
     @property
     def lookups(self) -> int:
@@ -76,6 +86,8 @@ class CacheStats:
             "evictions": self.evictions,
             "disk_entries_loaded": self.disk_entries_loaded,
             "disk_files_skipped": self.disk_files_skipped,
+            "disk_files_skipped_version": self.disk_files_skipped_version,
+            "disk_files_skipped_invalid": self.disk_files_skipped_invalid,
             "hit_rate": self.hit_rate,
         }
 
@@ -223,21 +235,28 @@ class FingerprintCache:
         return paths
 
     def _read_npz(self, path: str):
-        """Parse and validate one saved ``.npz``; None if unusable.
+        """Parse and validate one saved ``.npz``.
 
-        Anything short of a well-formed, current-format-version file with
-        internally consistent arrays is rejected: an invalid file means a
-        cold start for its entries, never an exception and never silently
-        mixed-in fingerprints computed under different rules.
+        Returns ``(parsed, skip_reason)``: on success *parsed* is the
+        ``(ckey, lengths, h1, h2, counts, values)`` tuple and *skip_reason*
+        is None; otherwise *parsed* is None and *skip_reason* is
+        ``"version"`` (well-formed file written under a different
+        CACHE_FORMAT_VERSION — the expected post-upgrade cold start) or
+        ``"invalid"`` (malformed/truncated/inconsistent file).  Either way
+        a rejected file means a cold start for its entries, never an
+        exception and never silently mixed-in fingerprints computed under
+        different rules.
         """
         try:
             with np.load(path) as payload:
                 version = payload["format_version"]
-                if version.shape != (1,) or int(version[0]) != CACHE_FORMAT_VERSION:
-                    return None
+                if version.shape != (1,):
+                    return None, "invalid"
+                if int(version[0]) != CACHE_FORMAT_VERSION:
+                    return None, "version"
                 cfg = payload["config"]
                 if cfg.shape != (4,):
-                    return None
+                    return None, "invalid"
                 ckey = (int(cfg[0]), int(cfg[1]), int(cfg[2]), bool(cfg[3]))
                 lengths = payload["lengths"]
                 h1 = payload["h1"]
@@ -245,24 +264,25 @@ class FingerprintCache:
                 counts = payload["num_shingles"]
                 values = payload["values"]
         except (OSError, KeyError, ValueError, zipfile.BadZipFile):
-            return None
+            return None, "invalid"
         n = lengths.shape[0]
         if not (h1.shape == h2.shape == counts.shape == (n,)):
-            return None
+            return None, "invalid"
         # The values matrix must hold one k-wide row per key, with k from
         # the config the file claims — a mismatch means the file was
         # written under different encoding rules than its name suggests.
         if values.ndim != 2 or values.shape != (n, ckey[0]):
-            return None
-        return ckey, lengths, h1, h2, counts, values
+            return None, "invalid"
+        return (ckey, lengths, h1, h2, counts, values), None
 
     def load(self, directory: Optional[str] = None) -> int:
         """Load previously saved entries from *directory*; returns the count.
 
-        Files that fail validation (wrong/missing format version, malformed
-        arrays, truncated zip) are skipped and counted in
-        ``stats.disk_files_skipped`` — the cache simply starts cold for
-        those entries.
+        Files that fail validation are skipped and counted by reason —
+        ``stats.disk_files_skipped_version`` for format-version mismatches,
+        ``stats.disk_files_skipped_invalid`` for malformed arrays or
+        truncated zips — and the cache simply starts cold for those
+        entries.
         """
         directory = directory or self.directory or DEFAULT_CACHE_DIR
         if not os.path.isdir(directory):
@@ -271,9 +291,12 @@ class FingerprintCache:
         for name in sorted(os.listdir(directory)):
             if not name.endswith(".npz"):
                 continue
-            parsed = self._read_npz(os.path.join(directory, name))
+            parsed, skip_reason = self._read_npz(os.path.join(directory, name))
             if parsed is None:
-                self.stats.disk_files_skipped += 1
+                if skip_reason == "version":
+                    self.stats.disk_files_skipped_version += 1
+                else:
+                    self.stats.disk_files_skipped_invalid += 1
                 continue
             ckey, lengths, h1, h2, counts, values = parsed
             with self._lock:

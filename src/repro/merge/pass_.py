@@ -95,6 +95,11 @@ class PassConfig:
     proves they can never be profitable, skipping alignment and codegen
     with a ``rejected_bound`` outcome.  The bound is sound: it never
     rejects a pair the full pipeline would have merged.
+    ``lsh_compact_ratio`` — auto-compaction threshold of the LSH index:
+    compact when tombstones exceed this fraction of the live entries.
+    The default 1.0 is the historical "tombstones outnumber live rows"
+    trigger; long-lived daemon indexes use a lower ratio, ``None``
+    disables auto-compaction.
     """
 
     threshold: float = 0.0
@@ -109,6 +114,7 @@ class PassConfig:
     on_error: str = "skip"
     batch_alignment: bool = True
     prealign_bound: bool = True
+    lsh_compact_ratio: Optional[float] = 1.0
 
     def __post_init__(self) -> None:
         if self.on_error not in ("skip", "raise"):
@@ -118,6 +124,10 @@ class PassConfig:
         if self.validate not in ("off", "observe", "gate"):
             raise ValueError(
                 f"validate must be 'off', 'observe' or 'gate', got {self.validate!r}"
+            )
+        if self.lsh_compact_ratio is not None and self.lsh_compact_ratio <= 0:
+            raise ValueError(
+                f"lsh_compact_ratio must be positive or None, got {self.lsh_compact_ratio!r}"
             )
 
 
@@ -153,6 +163,10 @@ class FunctionMergingPass:
             # injector; their faults surface inside best_match() and are
             # contained by the per-attempt transaction like any other.
             ranker.faults = faults
+        if config.lsh_compact_ratio != 1.0 and hasattr(ranker, "compact_ratio"):
+            # Non-default compaction threshold flows onto the LSH ranker
+            # before preprocess() builds its index.
+            ranker.compact_ratio = config.lsh_compact_ratio
         if oracle is None and config.oracle:
             oracle = DifferentialOracle(OracleConfig())
         self.oracle = oracle

@@ -195,14 +195,31 @@ class BucketStats:
 
 
 class LSHIndex(Generic[KeyT]):
-    """Banded LSH index mapping band hashes to member keys."""
+    """Banded LSH index mapping band hashes to member keys.
 
-    def __init__(self, rows: int = 2, bands: int = 100, bucket_cap: Optional[int] = 100) -> None:
+    ``compact_ratio`` controls auto-compaction: the index compacts itself
+    when tombstones exceed ``compact_ratio`` times the live entries (the
+    long-lived daemon knob — a low ratio keeps query-time tombstone
+    skipping cheap, ``None`` disables auto-compaction entirely).  The
+    default of 1.0 preserves the historical behaviour of compacting when
+    live rows drop below half of the stored rows.
+    """
+
+    def __init__(
+        self,
+        rows: int = 2,
+        bands: int = 100,
+        bucket_cap: Optional[int] = 100,
+        compact_ratio: Optional[float] = 1.0,
+    ) -> None:
         if rows <= 0 or bands <= 0:
             raise ValueError("rows and bands must be positive")
+        if compact_ratio is not None and compact_ratio <= 0:
+            raise ValueError("compact_ratio must be positive (or None)")
         self.rows = rows
         self.bands = bands
         self.bucket_cap = bucket_cap
+        self.compact_ratio = compact_ratio
         self.compactions = 0
         self.removals = 0
         # Cumulative counters surfaced via index_stats() so the obs metrics
@@ -228,6 +245,9 @@ class LSHIndex(Generic[KeyT]):
         # vector op.
         self._matrix_buf: Optional[np.ndarray] = None
         self._bands_buf: Optional[np.ndarray] = None
+        # Set when the matrices are shared with a clone() snapshot; any
+        # in-place shuffle (compaction) must un-share them first.
+        self._buffers_shared = False
 
     # -- maintenance -----------------------------------------------------------------
     def __len__(self) -> int:
@@ -249,8 +269,12 @@ class LSHIndex(Generic[KeyT]):
 
     def insert(self, key: KeyT, fingerprint: MinHashFingerprint) -> None:
         self._check_fingerprint(fingerprint)
-        if key in self._row_of:
+        existing = self._row_of.get(key)
+        if existing is not None and self._alive[existing]:
             raise ValueError(f"duplicate key {key!r}")
+        # A tombstoned key may re-enter (a changed function re-submitted to
+        # a long-lived index): the key takes over a fresh row, the dead row
+        # stays unreachable until compaction forgets it.
         row = len(self._keys)
         self._keys.append(key)
         self._row_of[key] = row
@@ -283,7 +307,8 @@ class LSHIndex(Generic[KeyT]):
         if n == 0:
             return
         for key in keys:
-            if key in self._row_of:
+            existing = self._row_of.get(key)
+            if existing is not None and self._alive[existing]:
                 raise ValueError(f"duplicate key {key!r}")
         if len(set(keys)) != n:
             raise ValueError("duplicate key inside batch")
@@ -317,18 +342,23 @@ class LSHIndex(Generic[KeyT]):
     def remove(self, key: KeyT) -> None:
         """Lazily remove *key*; it stops appearing in query results.
 
-        When tombstones outnumber live rows the index compacts itself.
+        When tombstones exceed ``compact_ratio`` times the live rows the
+        index compacts itself (default ratio 1.0: tombstones outnumber
+        live rows).
         """
         row = self._row_of.get(key)
         if row is not None and self._alive[row]:
             self._alive[row] = False
             self._live_count -= 1
             self.removals += 1
-            if (
-                len(self._keys) >= _COMPACT_MIN_ROWS
-                and self._live_count * 2 < len(self._keys)
-            ):
-                self.compact()
+            ratio = self.compact_ratio
+            if ratio is not None:
+                stored = len(self._keys)
+                if (
+                    stored >= _COMPACT_MIN_ROWS
+                    and stored - self._live_count > ratio * self._live_count
+                ):
+                    self.compact()
 
     def compact(self) -> None:
         """Drop tombstoned rows and rebuild the bucket map.
@@ -345,6 +375,12 @@ class LSHIndex(Generic[KeyT]):
         self._alive = [True] * n
         self._row_of = {key: row for row, key in enumerate(self._keys)}
         if self._matrix_buf is not None:
+            if self._buffers_shared:
+                # A clone() snapshot still reads these rows — shuffle a
+                # private copy instead of corrupting the shared matrices.
+                self._matrix_buf = self._matrix_buf.copy()
+                self._bands_buf = self._bands_buf.copy()
+                self._buffers_shared = False
             idx = np.array(survivors, dtype=np.int64)
             self._matrix_buf[:n] = self._matrix_buf[idx]
             self._bands_buf[:n] = self._bands_buf[idx]
@@ -352,6 +388,44 @@ class LSHIndex(Generic[KeyT]):
         if n:
             self._build_base(self._bands_buf[:n])
         self.compactions += 1
+
+    # -- snapshot clones ---------------------------------------------------------------
+    def clone(self) -> "LSHIndex[KeyT]":
+        """A copy-on-write clone for snapshot-isolated incremental commits.
+
+        The clone shares the append-only fingerprint/band matrices with its
+        source — appends by the clone land past the source's row count and
+        are invisible to it — and shares the immutable columnar base bucket
+        layer (its lazy member-list memo fills are idempotent).  All
+        list/dict bookkeeping is copied, so tombstones, overflow buckets
+        and key mappings diverge independently.  Compaction and capacity
+        growth un-share the matrices before mutating them in place.
+        """
+        dup = self.__class__.__new__(self.__class__)
+        self._clone_into(dup)
+        return dup
+
+    def _clone_into(self, dup: "LSHIndex[KeyT]") -> None:
+        dup.rows = self.rows
+        dup.bands = self.bands
+        dup.bucket_cap = self.bucket_cap
+        dup.compact_ratio = self.compact_ratio
+        dup.compactions = self.compactions
+        dup.removals = self.removals
+        dup.queries = self.queries
+        dup.capped_bucket_hits = self.capped_bucket_hits
+        dup._buckets = {key: list(rows) for key, rows in self._buckets.items()}
+        dup._base = self._base
+        dup._base_count = self._base_count
+        dup._keys = list(self._keys)
+        dup._row_of = dict(self._row_of)
+        dup._fingerprints = list(self._fingerprints)
+        dup._alive = list(self._alive)
+        dup._live_count = self._live_count
+        dup._matrix_buf = self._matrix_buf
+        dup._bands_buf = self._bands_buf
+        dup._buffers_shared = True
+        self._buffers_shared = True
 
     # -- bucket layer (override surface for band-sharded subclasses) ------------------
     def _build_base(self, bucket_keys: np.ndarray) -> None:
@@ -400,6 +474,8 @@ class LSHIndex(Generic[KeyT]):
         grown_bands = np.empty((capacity, self.bands), dtype=np.int64)
         grown_bands[:used] = self._bands_buf[:used]
         self._bands_buf = grown_bands
+        # Growth copied into fresh arrays, so no snapshot shares them.
+        self._buffers_shared = False
 
     def _matrix(self) -> np.ndarray:
         if self._matrix_buf is None:
@@ -507,6 +583,51 @@ class LSHIndex(Generic[KeyT]):
         # Batched estimated-Jaccard: fraction of equal minhash entries.
         matrix = self._matrix()
         return (matrix[candidates] == matrix[me][None, :]).mean(axis=1)
+
+    def probe(
+        self, fingerprint: MinHashFingerprint, stats: Optional[LSHQueryStats] = None
+    ) -> List[Tuple[KeyT, float]]:
+        """Candidates for an *external* fingerprint (not resident in the index).
+
+        The serve-path query primitive: band-hash the probe, scan the same
+        capped bucket windows a resident query would, and return
+        ``(key, similarity)`` for every live member touched.  Read-only —
+        the probe fingerprint is never inserted.
+        """
+        self._check_fingerprint(fingerprint)
+        stats = stats if stats is not None else LSHQueryStats()
+        with trace.span("lsh_query") as sp:
+            self.queries += 1
+            hashes = fingerprint.band_hashes(self.rows)[: self.bands].astype(np.int64)
+            row_keys = ((np.arange(len(hashes), dtype=np.int64) << 32) | hashes).tolist()
+            alive = self._alive
+            cap = self.bucket_cap
+            seen: Set[int] = set()
+            candidates: List[int] = []
+            for bucket_key in row_keys:
+                stats.buckets_probed += 1
+                members, total = self._bucket_members(bucket_key, cap)
+                if cap is not None and total > cap:
+                    stats.capped_buckets += 1
+                    self.capped_bucket_hits += 1
+                for row in members:
+                    if row in seen or not alive[row]:
+                        continue
+                    seen.add(row)
+                    candidates.append(row)
+            stats.candidates_seen += len(candidates)
+            stats.comparisons += len(candidates)
+            sp.set(
+                buckets_probed=len(row_keys),
+                capped_buckets=stats.capped_buckets,
+                candidates=len(candidates),
+            )
+            if not candidates:
+                return []
+            matrix = self._matrix()
+            sims = (matrix[candidates] == fingerprint.values[None, :]).mean(axis=1)
+            keys = self._keys
+            return [(keys[row], float(s)) for row, s in zip(candidates, sims)]
 
     def best_match(
         self, key: KeyT, stats: Optional[LSHQueryStats] = None

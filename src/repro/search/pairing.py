@@ -251,6 +251,7 @@ class MinHashLSHRanker(Ranker):
         cache: Optional[FingerprintCache] = None,
         workers: Optional[int] = None,
         shards: int = 1,
+        compact_ratio: Optional[float] = 1.0,
     ) -> None:
         self._requested_config = config
         self.rows = rows
@@ -263,6 +264,7 @@ class MinHashLSHRanker(Ranker):
         self.cache = cache
         self.workers = workers
         self.shards = shards
+        self.compact_ratio = compact_ratio
         self.config: Optional[MinHashConfig] = None
         self.parameters: Optional[AdaptiveParameters] = None
         self._index: Optional[LSHIndex] = None
@@ -295,10 +297,14 @@ class MinHashLSHRanker(Ranker):
                 bands=bands,
                 bucket_cap=self.bucket_cap,
                 shards=self.shards,
+                compact_ratio=self.compact_ratio,
             )
         else:
             self._index = LSHIndex(
-                rows=self.rows, bands=bands, bucket_cap=self.bucket_cap
+                rows=self.rows,
+                bands=bands,
+                bucket_cap=self.bucket_cap,
+                compact_ratio=self.compact_ratio,
             )
         if not self.batched:
             with trace.span(

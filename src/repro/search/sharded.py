@@ -262,8 +262,11 @@ class ShardedLSHIndex(LSHIndex):
         bands: int = 100,
         bucket_cap: Optional[int] = 100,
         shards: int = 2,
+        compact_ratio: Optional[float] = 1.0,
     ) -> None:
-        super().__init__(rows=rows, bands=bands, bucket_cap=bucket_cap)
+        super().__init__(
+            rows=rows, bands=bands, bucket_cap=bucket_cap, compact_ratio=compact_ratio
+        )
         self._shards: List[BandShard] = [
             BandShard(lo, hi) for lo, hi in shard_ranges(bands, shards)
         ]
@@ -421,6 +424,29 @@ class ShardedLSHIndex(LSHIndex):
                     seen.add(row)
                     candidates.append(row)
         return candidates
+
+    # -- snapshot clones ---------------------------------------------------------------
+    def _clone_into(self, dup: "ShardedLSHIndex") -> None:
+        if self._frozen:
+            raise RuntimeError("clone is unavailable on a frozen store-backed index")
+        super()._clone_into(dup)
+        # Shards share their immutable columnar base layers; overflow dicts
+        # (the only shard state a live index mutates) are copied.
+        dup._shards = []
+        for shard in self._shards:
+            copied = BandShard(shard.band_lo, shard.band_hi)
+            copied.base = shard.base
+            copied.overflow = {key: list(rows) for key, rows in shard.overflow.items()}
+            copied.bands = shard.bands
+            dup._shards.append(copied)
+        dup._shard_of_band = []
+        for shard in dup._shards:
+            dup._shard_of_band.extend([shard] * shard.width)
+        dup.shards = self.shards
+        dup._frozen = False
+        dup._store = None
+        dup._store_values = None
+        dup._shard_prefixes = None
 
     # -- frozen-mode maintenance -------------------------------------------------------
     def _frozen_guard(self, op: str) -> None:

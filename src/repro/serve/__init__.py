@@ -1,0 +1,30 @@
+"""Merge-as-a-service: a persistent daemon over the F3M pipeline.
+
+One long-lived process holds the fingerprint database, LSH index and
+alignment/plan/result caches hot across requests; clients submit module
+deltas, query candidates and request merges over a line-JSON protocol
+(stdio or unix socket).  See ``docs/serving.md``.
+"""
+
+from .client import ServeClient, ServeError
+from .config import ServeConfig
+from .daemon import ServeDaemon, serve_stdio, serve_unix
+from .db import CorpusEntry, CorpusSnapshot, DeltaError, FingerprintDatabase
+from .protocol import OPS, ProtocolError, decode_message, encode_message
+
+__all__ = [
+    "OPS",
+    "CorpusEntry",
+    "CorpusSnapshot",
+    "DeltaError",
+    "FingerprintDatabase",
+    "ProtocolError",
+    "ServeClient",
+    "ServeConfig",
+    "ServeDaemon",
+    "ServeError",
+    "decode_message",
+    "encode_message",
+    "serve_stdio",
+    "serve_unix",
+]

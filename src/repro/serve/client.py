@@ -1,0 +1,174 @@
+"""Client library for the merge-as-a-service daemon.
+
+Three ways to get a :class:`ServeClient`:
+
+* :meth:`ServeClient.connect` — dial a running daemon's unix socket;
+* :meth:`ServeClient.spawn` — fork a private ``repro serve --stdio``
+  subprocess and talk over its pipes (what the benchmarks use);
+* ``ServeClient(daemon=...)`` — drive an in-process
+  :class:`~repro.serve.daemon.ServeDaemon` directly, no transport at all
+  (what most tests use).
+
+Every request method returns the daemon's ``result`` payload;
+:attr:`last_cache` holds the per-request cache-counter deltas of the most
+recent call.  ``ok: false`` responses raise :class:`ServeError` carrying
+the daemon-side error type and message.
+"""
+
+from __future__ import annotations
+
+import socket
+import subprocess
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .protocol import ProtocolError, decode_message, encode_message
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """An ``ok: false`` response: *kind* is the daemon-side exception type."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+        self.message = message
+
+
+class ServeClient:
+    def __init__(self, daemon=None) -> None:
+        self._daemon = daemon
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+        self._writer = None
+        self._proc: Optional[subprocess.Popen] = None
+        self._next_id = 0
+        #: Cache-counter deltas of the most recent request.
+        self.last_cache: Dict[str, int] = {}
+
+    # -- constructors ------------------------------------------------------------------
+    @classmethod
+    def connect(cls, path: str) -> "ServeClient":
+        """Dial a daemon listening on the unix socket at *path*."""
+        client = cls()
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(path)
+        client._sock = sock
+        client._reader = sock.makefile("rb")
+        return client
+
+    @classmethod
+    def spawn(cls, argv: Optional[Sequence[str]] = None) -> "ServeClient":
+        """Start a private ``repro serve --stdio`` daemon subprocess."""
+        if argv is None:
+            argv = [sys.executable, "-m", "repro", "serve", "--stdio"]
+        client = cls()
+        client._proc = subprocess.Popen(
+            list(argv),
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+        )
+        client._reader = client._proc.stdout
+        client._writer = client._proc.stdin
+        return client
+
+    # -- plumbing ----------------------------------------------------------------------
+    def request(self, op: str, **params) -> Dict[str, object]:
+        """Send one request; return its ``result`` or raise :class:`ServeError`."""
+        self._next_id += 1
+        message: Dict[str, object] = {"id": self._next_id, "op": op}
+        for key, value in params.items():
+            if value is not None:
+                message[key] = value
+        if self._daemon is not None:
+            response = self._daemon.handle(message)
+        else:
+            payload = encode_message(message)
+            if self._sock is not None:
+                self._sock.sendall(payload)
+            else:
+                self._writer.write(payload)
+                self._writer.flush()
+            line = self._reader.readline()
+            if not line:
+                raise ConnectionError("daemon closed the connection")
+            response = decode_message(line)
+        self.last_cache = dict(response.get("cache") or {})
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServeError(
+                str(error.get("type", "Error")), str(error.get("message", ""))
+            )
+        result = response.get("result")
+        return result if isinstance(result, dict) else {}
+
+    def close(self) -> None:
+        if self._reader is not None and self._sock is not None:
+            self._reader.close()
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+        if self._proc is not None:
+            if self._proc.stdin:
+                self._proc.stdin.close()
+            self._proc.wait(timeout=10)
+            self._proc = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        try:
+            if self._proc is not None or self._sock is not None:
+                self.shutdown()
+        except Exception:
+            pass
+        self.close()
+
+    # -- ops ---------------------------------------------------------------------------
+    def ping(self) -> Dict[str, object]:
+        return self.request("ping")
+
+    def submit(
+        self,
+        module: Optional[str] = None,
+        removed: Optional[List[str]] = None,
+    ) -> Dict[str, object]:
+        return self.request("submit", module=module, removed=removed)
+
+    def query(
+        self,
+        name: Optional[str] = None,
+        text: Optional[str] = None,
+        limit: int = 10,
+    ) -> Dict[str, object]:
+        return self.request("query", name=name, text=text, limit=limit)
+
+    def merge(
+        self,
+        module: Optional[str] = None,
+        corpus: bool = False,
+        no_result_cache: bool = False,
+    ) -> Dict[str, object]:
+        return self.request(
+            "merge",
+            module=module,
+            corpus=corpus or None,
+            no_result_cache=no_result_cache or None,
+        )
+
+    def dump(self) -> Dict[str, object]:
+        return self.request("dump")
+
+    def stats(self) -> Dict[str, object]:
+        return self.request("stats")
+
+    def flush(self, directory: Optional[str] = None) -> Dict[str, object]:
+        return self.request("flush", directory=directory)
+
+    def compact(self) -> Dict[str, object]:
+        return self.request("compact")
+
+    def shutdown(self) -> Dict[str, object]:
+        return self.request("shutdown")

@@ -1,0 +1,282 @@
+"""The merge-as-a-service daemon: request dispatch plus transports.
+
+:class:`ServeDaemon` is transport-agnostic — ``handle`` maps one request
+dict to one response dict.  Two transports wrap it: a stdio loop (one
+client, `repro serve --stdio`, also what :meth:`ServeClient.spawn` talks
+to) and a threaded unix-domain-socket server (many concurrent clients,
+which is where the snapshot isolation of
+:class:`~repro.serve.db.FingerprintDatabase` earns its keep).
+
+Error containment: any exception out of the database — client mistakes,
+parse failures, and injected ``serve_commit`` faults alike — becomes an
+``ok: false`` response and the daemon keeps serving; the transaction
+rollback in the database guarantees the corpus is back in its pre-request
+state.  An injected ``serve_disconnect`` fault fires *after* the response
+is built, modelling a client that vanished mid-request: the transport
+drops that response (and, for sockets, the connection) while the daemon's
+state — including a commit that had already been published — stays intact.
+
+When ``manifest_dir`` is configured, every request writes one
+``kind="serve"`` run manifest.  Serve manifests are deliberately free of
+wall-clock data (``created_unix`` stays 0.0, no timings), so the manifest
+stream of a request sequence is byte-reproducible run over run; use the
+``stats`` op for timing-ish counters instead.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+from typing import Dict, Optional, Tuple
+
+from ..faults import FaultInjector
+from ..obs.manifest import RunManifest, save_manifest
+from .config import ServeConfig
+from .db import FingerprintDatabase
+from .protocol import OPS, ProtocolError, decode_message, encode_message
+
+__all__ = ["ServeDaemon", "serve_stdio", "serve_unix"]
+
+
+class ServeDaemon:
+    """Dispatch protocol requests against one :class:`FingerprintDatabase`."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        faults: Optional[FaultInjector] = None,
+        db: Optional[FingerprintDatabase] = None,
+    ) -> None:
+        self.db = db if db is not None else FingerprintDatabase(config, faults)
+        self.config = self.db.config
+        self.faults = faults if faults is not None else self.db.faults
+        self.stopping = False
+        self.requests = 0
+        self.errors = 0
+        self._manifest_seq = 0
+        self._manifest_lock = threading.Lock()
+
+    # -- dispatch ----------------------------------------------------------------------
+    def handle(self, request: Dict[str, object]) -> Dict[str, object]:
+        """One request dict in, one response dict out.
+
+        Raises only when a ``serve_disconnect`` fault fires (the response
+        exists but cannot be delivered); everything else is folded into an
+        ``ok: false`` response.
+        """
+        self.requests += 1
+        req_id = request.get("id") if isinstance(request, dict) else None
+        before = self.db.cache_counters()
+        op = None
+        try:
+            op = request.get("op")
+            if op not in OPS:
+                raise ProtocolError(f"unknown op {op!r}")
+            result = self._dispatch(op, request)
+            response: Dict[str, object] = {
+                "id": req_id,
+                "ok": True,
+                "result": result,
+            }
+        except Exception as exc:
+            self.errors += 1
+            response = {
+                "id": req_id,
+                "ok": False,
+                "error": {"type": type(exc).__name__, "message": str(exc)},
+            }
+        after = self.db.cache_counters()
+        response["cache"] = {
+            key: after[key] - before[key]
+            for key in after
+            if after[key] != before[key]
+        }
+        if self.config.manifest_dir:
+            self._write_manifest(op, response)
+        if self.faults is not None:
+            # Client-vanished fault: the response is complete (and any
+            # commit already published) but delivery fails.
+            self.faults.hit("serve_disconnect")
+        return response
+
+    def _dispatch(self, op: str, request: Dict[str, object]) -> Dict[str, object]:
+        db = self.db
+        if op == "ping":
+            return {"version": db.version, "functions": len(db.snapshot.entries)}
+        if op == "submit":
+            return db.apply_delta(
+                module_text=request.get("module"),
+                removed=request.get("removed"),
+            )
+        if op == "query":
+            return db.query(
+                name=request.get("name"),
+                text=request.get("text"),
+                limit=request.get("limit", 10),
+            )
+        if op == "merge":
+            use_cache = not request.get("no_result_cache", False)
+            if request.get("corpus"):
+                return db.merge_corpus(use_result_cache=use_cache)
+            module_text = request.get("module")
+            if not module_text:
+                raise ProtocolError("merge needs 'module' text or 'corpus': true")
+            return db.merge_text(module_text, use_result_cache=use_cache)
+        if op == "dump":
+            return {"version": db.version, "module": db.dump()}
+        if op == "stats":
+            stats = db.stats()
+            stats["requests"] = self.requests
+            stats["errors"] = self.errors
+            return stats
+        if op == "flush":
+            return db.flush(directory=request.get("directory"))
+        if op == "compact":
+            return {"index": db.compact()}
+        if op == "shutdown":
+            self.stopping = True
+            return {"stopping": True}
+        raise ProtocolError(f"unknown op {op!r}")  # pragma: no cover
+
+    # -- manifests ---------------------------------------------------------------------
+    def _write_manifest(self, op: Optional[str], response: Dict[str, object]) -> None:
+        with self._manifest_lock:
+            self._manifest_seq += 1
+            seq = self._manifest_seq
+        result = response.get("result") or {}
+        # Host paths would break byte-reproducibility of the manifests, so
+        # they are elided from the recorded config.
+        config = self.config.to_dict()
+        config.pop("manifest_dir", None)
+        config.pop("store_dir", None)
+        manifest = RunManifest(
+            kind="serve",
+            strategy=str(op or "invalid"),
+            config=config,
+            module_name="corpus",
+            functions=int(result.get("functions", 0) or 0),
+            merges=int(result.get("merges", 0) or 0),
+            size_before=int(result.get("size_before", 0) or 0),
+            size_after=int(result.get("size_after", 0) or 0),
+            metrics={
+                "request_seq": seq,
+                "ok": bool(response.get("ok")),
+                "cache": dict(response.get("cache") or {}),
+                "version": result.get("version"),
+            },
+        )
+        directory = self.config.manifest_dir
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(
+            directory, f"serve-{seq:06d}-{manifest.strategy}.json"
+        )
+        save_manifest(manifest, path)
+
+
+# ---------------------------------------------------------------------------
+# Transports
+# ---------------------------------------------------------------------------
+
+
+def serve_stdio(daemon: ServeDaemon, stdin=None, stdout=None) -> None:
+    """Serve one client over line-JSON on stdio (binary file objects)."""
+    import sys
+
+    stdin = stdin if stdin is not None else sys.stdin.buffer
+    stdout = stdout if stdout is not None else sys.stdout.buffer
+    for line in stdin:
+        if not line.strip():
+            continue
+        try:
+            request = decode_message(line)
+        except ProtocolError as exc:
+            daemon.errors += 1
+            response = {
+                "id": None,
+                "ok": False,
+                "error": {"type": "ProtocolError", "message": str(exc)},
+                "cache": {},
+            }
+            stdout.write(encode_message(response))
+            stdout.flush()
+            continue
+        try:
+            response = daemon.handle(request)
+        except Exception:
+            # serve_disconnect containment: the response is undeliverable,
+            # the daemon (and any published commit) is fine — keep serving.
+            continue
+        stdout.write(encode_message(response))
+        stdout.flush()
+        if daemon.stopping:
+            break
+
+
+def serve_unix(daemon: ServeDaemon, path: str, ready=None) -> None:
+    """Serve many clients over a unix domain socket, one thread each.
+
+    Returns once a ``shutdown`` request has been answered and every
+    connection handler has unwound.  *ready* (a ``threading.Event``) is
+    set once the socket is listening — test/benchmark rendezvous.
+    """
+    if os.path.exists(path):
+        os.unlink(path)
+    listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        listener.bind(path)
+        listener.listen(16)
+        listener.settimeout(0.1)
+        if ready is not None:
+            ready.set()
+        workers = []
+        while not daemon.stopping:
+            try:
+                conn, _ = listener.accept()
+            except socket.timeout:
+                continue
+            worker = threading.Thread(
+                target=_serve_connection, args=(daemon, conn), daemon=True
+            )
+            worker.start()
+            workers.append(worker)
+        for worker in workers:
+            worker.join(timeout=5.0)
+    finally:
+        listener.close()
+        if os.path.exists(path):
+            os.unlink(path)
+
+
+def _serve_connection(daemon: ServeDaemon, conn: socket.socket) -> None:
+    reader = conn.makefile("rb")
+    try:
+        for line in reader:
+            if not line.strip():
+                continue
+            try:
+                request = decode_message(line)
+            except ProtocolError as exc:
+                daemon.errors += 1
+                response = {
+                    "id": None,
+                    "ok": False,
+                    "error": {"type": "ProtocolError", "message": str(exc)},
+                    "cache": {},
+                }
+                conn.sendall(encode_message(response))
+                continue
+            try:
+                response = daemon.handle(request)
+            except Exception:
+                # Simulated client disconnect: drop the connection, state
+                # stays consistent for every other client.
+                break
+            conn.sendall(encode_message(response))
+            if daemon.stopping:
+                break
+    except (BrokenPipeError, ConnectionResetError, OSError):
+        pass
+    finally:
+        reader.close()
+        conn.close()

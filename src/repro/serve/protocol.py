@@ -1,0 +1,84 @@
+"""Line-delimited JSON protocol spoken by ``repro serve`` / ``repro client``.
+
+One request per line, one response per line, UTF-8, no framing beyond the
+newline.  Requests::
+
+    {"id": <any>, "op": "<op>", ...params}
+
+Responses::
+
+    {"id": <id>, "ok": true,  "result": {...}, "cache": {...}}
+    {"id": <id>, "ok": false, "error": {"type": ..., "message": ...}, "cache": {...}}
+
+``cache`` carries the per-request deltas of every cache counter
+(fingerprint/alignment/plan/result hits, misses, evictions) — only the
+counters this request moved.
+
+Ops (see ``docs/serving.md`` for the full reference):
+
+* ``ping``     — liveness + current corpus version.
+* ``submit``   — apply a delta: ``module`` (IR text whose defined
+  functions are added/changed) and/or ``removed`` (names to drop).
+* ``query``    — best-match candidates for ``name`` (a corpus function)
+  or ``text`` (an IR module defining exactly one probe function);
+  ``limit`` bounds the matches returned.
+* ``merge``    — run the merge pipeline on ``module`` text, or on the
+  whole corpus with ``corpus: true``; ``no_result_cache: true`` bypasses
+  the merged-result cache (the pipeline-warm path).
+* ``dump``     — the corpus as IR text.
+* ``stats``    — corpus/index/cache counters.
+* ``flush``    — spill the fingerprint cache to the configured (or given
+  ``directory``) FingerprintStore.
+* ``compact``  — force a corpus index compaction.
+* ``shutdown`` — stop the daemon after responding.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+__all__ = ["OPS", "ProtocolError", "encode_message", "decode_message"]
+
+OPS = (
+    "ping",
+    "submit",
+    "query",
+    "merge",
+    "dump",
+    "stats",
+    "flush",
+    "compact",
+    "shutdown",
+)
+
+
+class ProtocolError(ValueError):
+    """A malformed request line or unknown operation."""
+
+
+def encode_message(message: Dict[str, object]) -> bytes:
+    """One protocol line: compact, key-sorted JSON + newline.
+
+    Key-sorted so identical payloads are identical bytes — the property
+    the byte-reproducible manifest and transcript tests lean on.
+    """
+    return (
+        json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode_message(line) -> Dict[str, object]:
+    """Parse one protocol line into a dict, raising :class:`ProtocolError`."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty request line")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("request must be a JSON object")
+    return message

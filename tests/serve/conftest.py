@@ -1,0 +1,17 @@
+"""Shared fixtures for the serve-daemon suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.serve_bench import build_delta_text, declare_external_callees
+from repro.ir.printer import print_module
+from repro.workloads.suites import build_workload
+
+__all__ = ["build_delta_text", "declare_external_callees"]
+
+
+@pytest.fixture(scope="module")
+def corpus_text() -> str:
+    """A 30-function workload as IR text (families + singletons)."""
+    return print_module(build_workload(30, name="servetest"))

@@ -1,0 +1,191 @@
+"""ServeDaemon protocol dispatch, transports and manifest reproducibility."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.serve import (
+    ProtocolError,
+    ServeClient,
+    ServeConfig,
+    ServeDaemon,
+    ServeError,
+    decode_message,
+    encode_message,
+    serve_stdio,
+)
+
+
+class TestProtocol:
+    def test_encode_decode_round_trip(self):
+        message = {"id": 7, "op": "ping", "limit": 3}
+        assert decode_message(encode_message(message)) == message
+
+    def test_encoding_is_canonical_bytes(self):
+        a = encode_message({"b": 1, "a": 2})
+        b = encode_message({"a": 2, "b": 1})
+        assert a == b
+
+    @pytest.mark.parametrize("line", ["", "not json", "[1,2]", "42"])
+    def test_malformed_lines_rejected(self, line):
+        with pytest.raises(ProtocolError):
+            decode_message(line)
+
+
+class TestSmoke:
+    """The tier-1 round trip: submit, query, merge, shutdown in-process."""
+
+    def test_full_round_trip(self, corpus_text):
+        daemon = ServeDaemon(ServeConfig())
+        client = ServeClient(daemon=daemon)
+
+        ping = client.ping()
+        assert ping == {"version": 0, "functions": 0}
+
+        submitted = client.submit(module=corpus_text)
+        assert submitted["version"] == 1
+        assert submitted["functions"] == len(submitted["added"])
+
+        queried = client.query(name=submitted["added"][0], limit=5)
+        assert queried["version"] == 1
+
+        merged = client.merge(module=corpus_text)
+        assert merged["merges"] > 0
+        assert "result_misses" in client.last_cache
+
+        again = client.merge(module=corpus_text)
+        assert again["cached"] is True
+        assert client.last_cache == {"result_hits": 1}
+
+        stats = client.stats()
+        assert stats["requests"] == 6
+        assert stats["errors"] == 0
+
+        assert client.shutdown() == {"stopping": True}
+        assert daemon.stopping
+
+    def test_errors_are_responses_not_crashes(self, corpus_text):
+        daemon = ServeDaemon(ServeConfig())
+        client = ServeClient(daemon=daemon)
+        with pytest.raises(ServeError) as excinfo:
+            client.query(name="nope")
+        assert excinfo.value.kind == "DeltaError"
+        with pytest.raises(ServeError) as excinfo:
+            client.request("frobnicate")
+        assert excinfo.value.kind == "ProtocolError"
+        with pytest.raises(ServeError):
+            client.merge()  # neither module nor corpus
+        # Daemon still healthy afterwards.
+        assert client.submit(module=corpus_text)["version"] == 1
+        assert daemon.errors == 3
+
+    def test_per_request_cache_deltas_are_deltas(self, corpus_text):
+        daemon = ServeDaemon(ServeConfig())
+        client = ServeClient(daemon=daemon)
+        client.submit(module=corpus_text)
+        first = dict()
+        client.merge(module=corpus_text, no_result_cache=True)
+        first = client.last_cache
+        assert first.get("fingerprint_hits", 0) > 0  # warmed by submit
+        client.merge(module=corpus_text, no_result_cache=True)
+        second = client.last_cache
+        # Deltas, not totals: the second request reports only its own work,
+        # and the merge plans now come straight from the shared plan cache
+        # (which short-circuits alignment entirely).
+        assert second.get("plan_hits", 0) > 0
+        assert second.get("alignment_misses", 0) == 0
+
+
+class TestStdioTransport:
+    def _run(self, daemon, requests):
+        stdin = io.BytesIO(b"".join(encode_message(r) for r in requests))
+        stdout = io.BytesIO()
+        serve_stdio(daemon, stdin=stdin, stdout=stdout)
+        return [
+            decode_message(line)
+            for line in stdout.getvalue().splitlines()
+            if line.strip()
+        ]
+
+    def test_line_loop_and_shutdown(self, corpus_text):
+        daemon = ServeDaemon(ServeConfig())
+        responses = self._run(
+            daemon,
+            [
+                {"id": 1, "op": "ping"},
+                {"id": 2, "op": "submit", "module": corpus_text},
+                {"id": 3, "op": "shutdown"},
+                {"id": 4, "op": "ping"},  # after shutdown: never served
+            ],
+        )
+        assert [r["id"] for r in responses] == [1, 2, 3]
+        assert all(r["ok"] for r in responses)
+        assert responses[1]["result"]["version"] == 1
+
+    def test_bad_json_line_gets_error_response(self):
+        daemon = ServeDaemon(ServeConfig())
+        stdin = io.BytesIO(b"this is not json\n" + encode_message({"id": 1, "op": "ping"}))
+        stdout = io.BytesIO()
+        serve_stdio(daemon, stdin=stdin, stdout=stdout)
+        lines = stdout.getvalue().splitlines()
+        error = decode_message(lines[0])
+        assert error["ok"] is False
+        assert error["error"]["type"] == "ProtocolError"
+        assert decode_message(lines[1])["ok"] is True
+
+
+class TestManifests:
+    def _drive(self, manifest_dir, corpus_text):
+        daemon = ServeDaemon(ServeConfig(manifest_dir=manifest_dir))
+        client = ServeClient(daemon=daemon)
+        client.ping()
+        client.submit(module=corpus_text)
+        client.merge(module=corpus_text)
+        client.merge(module=corpus_text)
+        with pytest.raises(ServeError):
+            client.query(name="missing")
+        return sorted(os.listdir(manifest_dir))
+
+    def test_manifests_are_byte_reproducible(self, tmp_path, corpus_text):
+        """Identical request sequences produce identical manifest bytes —
+        serve manifests carry no wall-clock data at all."""
+        dir_a = str(tmp_path / "a")
+        dir_b = str(tmp_path / "b")
+        names_a = self._drive(dir_a, corpus_text)
+        names_b = self._drive(dir_b, corpus_text)
+        assert names_a == names_b
+        assert len(names_a) == 5
+        for name in names_a:
+            with open(os.path.join(dir_a, name), "rb") as handle:
+                bytes_a = handle.read()
+            with open(os.path.join(dir_b, name), "rb") as handle:
+                bytes_b = handle.read()
+            assert bytes_a == bytes_b, name
+
+    def test_manifest_kind_and_metrics(self, tmp_path, corpus_text):
+        manifest_dir = str(tmp_path / "m")
+        self._drive(manifest_dir, corpus_text)
+        with open(
+            os.path.join(manifest_dir, sorted(os.listdir(manifest_dir))[2]),
+            "r",
+            encoding="utf-8",
+        ) as handle:
+            payload = json.load(handle)
+        assert payload["kind"] == "serve"
+        assert payload["strategy"] == "merge"
+        assert payload["created_unix"] == 0.0
+        assert payload["metrics"]["ok"] is True
+        assert payload["metrics"]["request_seq"] == 3
+
+
+class TestSpawn:
+    def test_subprocess_stdio_daemon(self, corpus_text):
+        """End-to-end over real pipes: `repro serve --stdio` subprocess."""
+        with ServeClient.spawn() as client:
+            assert client.ping()["version"] == 0
+            assert client.submit(module=corpus_text)["version"] == 1
+            assert client.merge(corpus=True)["merges"] > 0
