@@ -114,6 +114,104 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_merge_partitioned(args: argparse.Namespace, module: Module) -> None:
+    """ThinLTO-style merging: partition-local sweeps, optionally followed
+    by the phase-2 optimistic cross-partition reconciliation."""
+    import functools
+
+    from .merge.partitioned import optimistic_sweep, partitioned_merging
+
+    ranker_factory = functools.partial(make_ranker, args.strategy)
+    config = PassConfig(
+        threshold=args.threshold,
+        verify=not args.no_verify,
+        static_check=args.static_check,
+        validate=args.validate,
+        oracle=args.oracle,
+        on_error=args.on_error,
+        reconcile=args.reconcile,
+    )
+    if not args.reconcile:
+        report = partitioned_merging(
+            module, args.partitions, ranker_factory, config, workers=args.workers
+        )
+        print(
+            f"partitioned merging ({args.partitions} partitions): "
+            f"{report.merges} merges, size {report.size_before} -> "
+            f"{report.size_after} ({report.size_reduction:.1%} reduction), "
+            f"{report.cross_partition_candidates} cross-partition candidates lost",
+            file=sys.stderr,
+        )
+        return
+    faults = FaultInjector.parse(args.inject_fault) if args.inject_fault else None
+    sweep = optimistic_sweep(
+        module,
+        args.partitions,
+        ranker_factory,
+        config,
+        workers=args.workers,
+        faults=faults,
+    )
+    rc = sweep.reconcile
+    print(
+        f"optimistic sweep ({args.partitions} partitions, {sweep.workers} workers): "
+        f"{rc.replay_merges} partition-local merges replayed "
+        f"({rc.replay_diverged} diverged), "
+        f"{rc.recovered_pairs} cross-partition pairs recovered "
+        f"(+{rc.recovered_saving} bytes saved), "
+        f"conflicts {rc.conflicts_resolved} resolved / "
+        f"{rc.conflicts_skipped} skipped, "
+        f"size {rc.size_phase1} -> {rc.size_after} "
+        f"(recovered delta {rc.recovered_size_delta})",
+        file=sys.stderr,
+    )
+    if args.metrics or args.manifest or args.trace:
+        import time as _time
+
+        from .obs.manifest import RunManifest, git_revision, module_digest
+
+        manifest = RunManifest(
+            kind="reconcile",
+            strategy=args.strategy,
+            config={
+                "partitions": args.partitions,
+                "workers": sweep.workers,
+                "threshold": config.threshold,
+                "reconcile": True,
+            },
+            git_rev=git_revision(),
+            created_unix=_time.time(),
+            module_name=args.module,
+            module_digest=module_digest(module),
+            functions=sum(r.num_functions for r in sweep.results),
+            merges=rc.replay_merges + rc.recovered_pairs,
+            size_before=sum(r.size_before for r in sweep.results),
+            size_after=rc.size_after,
+            total_time=sweep.total_time + rc.elapsed,
+            metrics={
+                "reconcile": {
+                    "cross_candidates": rc.cross_candidates,
+                    "attempted": rc.attempted,
+                    "recovered_pairs": rc.recovered_pairs,
+                    "recovered_saving": rc.recovered_saving,
+                    "recovered_size_delta": rc.recovered_size_delta,
+                    "conflicts_considered": rc.conflicts_considered,
+                    "conflicts_resolved": rc.conflicts_resolved,
+                    "conflicts_skipped": rc.conflicts_skipped,
+                    "rollbacks": rc.rollbacks,
+                    "reapplied": rc.reapplied,
+                    "replay_merges": rc.replay_merges,
+                    "replay_diverged": rc.replay_diverged,
+                }
+            },
+        )
+        manifest_path = args.manifest or "run-manifest.json"
+        save_manifest(manifest, manifest_path)
+        print(f"wrote manifest {manifest_path}", file=sys.stderr)
+        if args.metrics:
+            print(render_manifest(manifest), file=sys.stderr)
+
+
 def _cmd_merge(args: argparse.Namespace) -> int:
     module = _load(args.module)
     if args.strategy == "identical":
@@ -124,6 +222,8 @@ def _cmd_merge(args: argparse.Namespace) -> int:
             f"{report.call_sites_rewritten} call sites rewritten",
             file=sys.stderr,
         )
+    elif args.partitions:
+        _cmd_merge_partitioned(args, module)
     else:
         ranker = make_ranker(args.strategy)
         config = PassConfig(
@@ -316,6 +416,36 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
     from .harness.profile import run_attempt_bench, run_perf_bench
 
     sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    if args.reconcile:
+        from .harness.reconcile_bench import (
+            DEFAULT_RECONCILE_SIZES,
+            run_reconcile_bench,
+        )
+
+        if args.sizes == "100,500,1000":  # the fingerprint-bench default
+            sizes = list(DEFAULT_RECONCILE_SIZES)
+        output = args.output
+        if output == "BENCH_f3m_perf.json":  # default untouched: reconcile name
+            output = "BENCH_reconcile.json"
+        rows, metadata = run_reconcile_bench(
+            sizes=sizes,
+            partitions=args.partitions,
+            repeats=args.repeats,
+            workload=args.workload if args.workload != "perf" else "reconcile",
+        )
+        write_bench_json(output, "reconcile", rows, metadata)
+        headline = metadata["headline"]
+        print(f"wrote {output}")
+        print(
+            f"largest size {headline['largest_size']}: "
+            f"{headline['recovered_pairs']} cross-partition pairs recovered, "
+            f"size delta {headline['recovered_size_delta']} bytes "
+            f"({headline['extra_reduction']:.2%} extra reduction over "
+            f"partition-local), "
+            f"decisions_deterministic={headline['decisions_deterministic']}, "
+            f"phase1_size_identical={headline['phase1_size_identical']}"
+        )
+        return 0
     if args.serve:
         from .harness.serve_bench import DEFAULT_SERVE_SIZES, run_serve_bench
 
@@ -644,6 +774,30 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_merge.add_argument(
+        "--partitions",
+        type=int,
+        default=0,
+        help=(
+            "merge ThinLTO-style within N hash-assigned partitions instead "
+            "of globally (0 = global, the default)"
+        ),
+    )
+    p_merge.add_argument(
+        "--reconcile",
+        action="store_true",
+        help=(
+            "with --partitions: after the parallel partition-local sweeps, "
+            "re-rank survivors globally and merge the cross-partition pairs "
+            "the partitions had to forgo (optimistic two-phase merging)"
+        ),
+    )
+    p_merge.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="with --partitions: process-pool size for the partition sweeps",
+    )
+    p_merge.add_argument(
         "--trace",
         metavar="FILE.jsonl",
         help="stream pipeline spans to a JSONL trace file",
@@ -781,6 +935,22 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.01,
         help="--serve: fraction of corpus functions changed per delta",
+    )
+    p_perf.add_argument(
+        "--reconcile",
+        action="store_true",
+        help=(
+            "run the optimistic cross-partition suite instead: partition-"
+            "local sweep vs two-phase optimistic sweep, recovered pairs and "
+            "size delta, decision determinism across worker counts "
+            "(default sizes 48,96 -> BENCH_reconcile.json)"
+        ),
+    )
+    p_perf.add_argument(
+        "--partitions",
+        type=int,
+        default=4,
+        help="--reconcile: number of hash-assigned partitions",
     )
     p_perf.add_argument("-o", "--output", default="BENCH_f3m_perf.json")
     p_perf.add_argument(

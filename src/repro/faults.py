@@ -33,6 +33,12 @@ to the pre-request snapshot is genuinely exercised — and
 ``serve_disconnect`` simulates the client vanishing mid-request (the
 response cannot be delivered; the daemon must stay consistent anyway).
 
+The optimistic cross-partition sweep adds one *reconcile* stage
+(:data:`RECONCILE_FAULT_STAGES`): ``reconcile`` fires at the start of a
+phase-2 cross-partition merge attempt, inside the attempt's transaction,
+so a reconcile-stage fault is contained per pair and the module stays
+byte-identical to the phase-1 (partition-local) result.
+
 Injection is deterministic: ``FaultInjector("codegen", at=2)`` fires on
 the second codegen attempt only; ``at=None`` fires on every hit.
 """
@@ -45,6 +51,7 @@ __all__ = [
     "FAULT_STAGES",
     "WORKER_FAULT_STAGES",
     "SERVE_FAULT_STAGES",
+    "RECONCILE_FAULT_STAGES",
     "InjectedFault",
     "FaultInjector",
 ]
@@ -72,6 +79,12 @@ WORKER_FAULT_STAGES = ("worker_crash", "worker_hang")
 #: worker stages.
 SERVE_FAULT_STAGES = ("serve_commit", "serve_disconnect")
 
+#: Sweep-level stage: a fault at the start of each phase-2 cross-partition
+#: attempt in :func:`repro.merge.partitioned.optimistic_sweep`.  Kept out
+#: of :data:`FAULT_STAGES` because it only exists in the reconcile driver,
+#: not in a plain :class:`~repro.merge.pass_.FunctionMergingPass` run.
+RECONCILE_FAULT_STAGES = ("reconcile",)
+
 
 class InjectedFault(RuntimeError):
     """The synthetic failure raised by :class:`FaultInjector`.
@@ -93,7 +106,12 @@ class FaultInjector:
         at: Optional[int] = None,
         exception: Type[BaseException] = InjectedFault,
     ) -> None:
-        known = FAULT_STAGES + WORKER_FAULT_STAGES + SERVE_FAULT_STAGES
+        known = (
+            FAULT_STAGES
+            + WORKER_FAULT_STAGES
+            + SERVE_FAULT_STAGES
+            + RECONCILE_FAULT_STAGES
+        )
         if stage not in known:
             raise ValueError(
                 f"unknown fault stage {stage!r}; expected one of {known}"
@@ -103,9 +121,7 @@ class FaultInjector:
         self.stage = stage
         self.at = at
         self.exception = exception
-        self.hits: Dict[str, int] = {
-            s: 0 for s in FAULT_STAGES + WORKER_FAULT_STAGES + SERVE_FAULT_STAGES
-        }
+        self.hits: Dict[str, int] = {s: 0 for s in known}
         self.fired = 0
 
     @classmethod

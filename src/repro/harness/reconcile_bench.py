@@ -1,0 +1,138 @@
+"""Optimistic cross-partition merging benchmark (``bench-perf --reconcile``).
+
+Per workload size, against the same module text:
+
+* **partition-local baseline** — :func:`~repro.merge.partitioned.partition_sweep`
+  applied via the phase-1 replay only: what ThinLTO-style partitioning
+  achieves when cross-partition pairs are simply forgone;
+* **optimistic two-phase** — :func:`~repro.merge.partitioned.optimistic_sweep`:
+  the same partition-local decisions plus the phase-2 global re-ranking
+  that recovers cross-partition pairs (rolling back lower-benefit
+  optimistic merges where they conflict).
+
+Identity checks ride along and become the tier-2 gate
+(``benchmarks/test_reconcile_perf.py``): the optimistic sweep's phase-1
+size must equal the partition-local baseline's final size (the replay is
+faithful), the recovered size delta must be nonnegative (reconciliation
+never loses bytes — its conflict resolution only ever trades up), and
+the sweep digest — every partition decision plus every phase-2
+reconcile decision — must be identical across repeated runs and across
+worker counts (1 vs. the partition count).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from ..analysis.size import module_size
+from ..merge.partitioned import optimistic_sweep, partition_sweep
+from ..merge.pass_ import PassConfig
+from ..merge.reconcile import ReconcileReport, _OptimisticDriver, _replay_phase
+from ..search.pairing import MinHashLSHRanker
+from ..workloads.suites import build_workload
+
+__all__ = ["DEFAULT_RECONCILE_SIZES", "run_reconcile_bench"]
+
+DEFAULT_RECONCILE_SIZES = (48, 96)
+
+
+def _baseline_size(
+    workload: str, n: int, partitions: int, config: PassConfig
+) -> Tuple[int, int, int]:
+    """Partition-local result applied to a fresh module: (size_before,
+    size_after, merges).  Uses the same sweep+replay machinery as the
+    optimistic path with the reconcile phase simply absent, so the two
+    sides differ in exactly the feature under test."""
+    module = build_workload(n, f"{workload}{n}")
+    size_before = module_size(module)
+    sweep = partition_sweep(module, partitions, MinHashLSHRanker, config)
+    driver = _OptimisticDriver(module, config, None)
+    report = ReconcileReport(partitions=partitions)
+    _replay_phase(driver, sweep.results, report)
+    return size_before, module_size(module), report.replay_merges
+
+
+def run_reconcile_bench(
+    sizes=DEFAULT_RECONCILE_SIZES,
+    partitions: int = 4,
+    repeats: int = 2,
+    workload: str = "reconcile",
+) -> Tuple[List[Dict[str, object]], Dict[str, object]]:
+    """Rows (one per size) + metadata with the tier-2 gated headline."""
+    config = PassConfig(verify=True)
+    rows: List[Dict[str, object]] = []
+    for n in sizes:
+        size_before, baseline_after, baseline_merges = _baseline_size(
+            workload, n, partitions, config
+        )
+
+        digests: List[str] = []
+        last = None
+        t_opt = None
+        for run in range(max(2, repeats)):
+            # Alternate worker counts so digest equality also covers the
+            # serial-vs-parallel axis, not just run-to-run stability.
+            workers = 1 if run % 2 == 0 else partitions
+            module = build_workload(n, f"{workload}{n}")
+            t0 = time.perf_counter()
+            sweep = optimistic_sweep(
+                module, partitions, MinHashLSHRanker, config, workers=workers
+            )
+            elapsed = time.perf_counter() - t0
+            if t_opt is None or elapsed < t_opt:
+                t_opt = elapsed
+            digests.append(sweep.digest())
+            last = sweep
+        rc = last.reconcile
+
+        rows.append(
+            {
+                "size": n,
+                "partitions": partitions,
+                "size_before": size_before,
+                "baseline_size_after": baseline_after,
+                "baseline_merges": baseline_merges,
+                "size_phase1": rc.size_phase1,
+                "size_after": rc.size_after,
+                "replay_merges": rc.replay_merges,
+                "replay_diverged": rc.replay_diverged,
+                "cross_candidates": rc.cross_candidates,
+                "attempted": rc.attempted,
+                "recovered_pairs": rc.recovered_pairs,
+                "recovered_saving": rc.recovered_saving,
+                "recovered_size_delta": rc.recovered_size_delta,
+                "conflicts_considered": rc.conflicts_considered,
+                "conflicts_resolved": rc.conflicts_resolved,
+                "conflicts_skipped": rc.conflicts_skipped,
+                "rollbacks": rc.rollbacks,
+                "reapplied": rc.reapplied,
+                "reapply_failures": rc.reapply_failures,
+                "optimistic_time": t_opt,
+                "reconcile_time": rc.elapsed,
+                "decisions_deterministic": len(set(digests)) == 1,
+                "phase1_size_identical": rc.size_phase1 == baseline_after,
+            }
+        )
+
+    largest = rows[-1]
+    extra = largest["recovered_size_delta"]
+    before = largest["size_before"]
+    metadata: Dict[str, object] = {
+        "partitions": partitions,
+        "repeats": repeats,
+        "workload": workload,
+        "headline": {
+            "largest_size": largest["size"],
+            "recovered_pairs": largest["recovered_pairs"],
+            "recovered_size_delta": extra,
+            "extra_reduction": (extra / before) if before else 0.0,
+            "decisions_deterministic": all(
+                r["decisions_deterministic"] for r in rows
+            ),
+            "phase1_size_identical": all(
+                r["phase1_size_identical"] for r in rows
+            ),
+        },
+    }
+    return rows, metadata

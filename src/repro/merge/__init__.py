@@ -7,11 +7,13 @@ from .partitioned import (
     PartitionedMergeReport,
     SweepPartitionResult,
     SweepReport,
+    optimistic_sweep,
     partition_functions,
     partition_sweep,
     partitioned_merging,
 )
 from .pass_ import FunctionMergingPass, PassConfig
+from .reconcile import ReconcileReport, RetainingTransaction
 from .pgo import HotnessFilter, ProfileGuidedPass, profile_module
 from .profitability import MergeBenefit, ProfitabilityBound, ProfitabilityModel
 from .report import AttemptRecord, MergeReport, Outcome
@@ -29,8 +31,11 @@ __all__ = [
     "structural_hash",
     "HotnessFilter",
     "PartitionedMergeReport",
+    "ReconcileReport",
+    "RetainingTransaction",
     "SweepPartitionResult",
     "SweepReport",
+    "optimistic_sweep",
     "partition_functions",
     "partition_sweep",
     "partitioned_merging",

@@ -6,12 +6,19 @@ optimization framework, such as ThinLTO in LLVM".
 
 ThinLTO never materializes the whole program in one module: each partition
 is optimized separately, guided by cheap global *summaries*.  We model the
-consequence for function merging: candidate pairs can only be merged when
-both functions live in the same partition, so cross-partition sibling pairs
-are lost.  The partitioned pass quantifies that cost — and, because MinHash
-fingerprints are exactly the kind of summary ThinLTO could distribute, the
-report also counts how many of the lost pairs a summary index would have
-discovered (the opportunity F3M's fingerprints make recoverable).
+consequence for function merging: within a partition-local pass, candidate
+pairs can only be merged when both functions live in the same partition,
+so cross-partition sibling pairs are forgone.  The partitioned pass
+quantifies that cost — and, because MinHash fingerprints are exactly the
+kind of summary ThinLTO could distribute, the report also counts how many
+of the lost pairs a summary index would have discovered.
+
+:func:`optimistic_sweep` then actually recovers them: phase 1 runs the
+partition-local sweeps in parallel and replays their decisions
+optimistically; phase 2 re-ranks every partition's survivors through one
+global index and merges the cross-partition pairs, rolling back any
+lower-benefit optimistic merge they conflict with (see
+:mod:`repro.merge.reconcile`).
 """
 
 from __future__ import annotations
@@ -33,14 +40,17 @@ from ..ir.function import Function
 from ..ir.module import Module
 from ..ir.parser import parse_module
 from ..ir.printer import print_module
+from ..faults import FaultInjector
 from ..search.pairing import MinHashLSHRanker, Ranker
 from .pass_ import FunctionMergingPass, PassConfig
+from .reconcile import ReconcileReport, run_optimistic_phases
 from .report import MergeReport
 
 __all__ = [
     "PartitionedMergeReport",
     "SweepPartitionResult",
     "SweepReport",
+    "optimistic_sweep",
     "partition_functions",
     "partition_sweep",
     "partitioned_merging",
@@ -199,9 +209,12 @@ class SweepPartitionResult:
 
     ``decisions`` is the attempt log reduced to its decision content —
     ``(function, candidate, similarity, outcome, alignment_ratio,
-    saving)`` — exactly the fields :meth:`SweepReport.digest` serializes,
-    so serial and parallel sweeps can be compared bit-for-bit without
-    wall-clock noise.
+    saving, merged_name)`` — exactly the fields
+    :meth:`SweepReport.digest` serializes, so serial and parallel sweeps
+    can be compared bit-for-bit without wall-clock noise.  The trailing
+    ``merged_name`` (None for non-merged outcomes) lets the optimistic
+    replay map the worker module's merged-function names onto the parent
+    module's.
     """
 
     partition: int
@@ -210,7 +223,9 @@ class SweepPartitionResult:
     size_before: int
     size_after: int
     outcome_counts: Dict[str, int]
-    decisions: List[Tuple[str, Optional[str], float, str, float, int]]
+    decisions: List[
+        Tuple[str, Optional[str], float, str, float, int, Optional[str]]
+    ]
     align_cache_stats: Optional[Dict[str, object]]
     elapsed: float
 
@@ -221,13 +236,17 @@ class SweepPartitionResult:
 
 @dataclass
 class SweepReport:
-    """Aggregate result of :func:`partition_sweep`."""
+    """Aggregate result of :func:`partition_sweep` (and, when the
+    optimistic two-phase driver ran, :func:`optimistic_sweep`)."""
 
     partitions: int
     results: List[SweepPartitionResult]
     snapshot_time: float = 0.0
     total_time: float = 0.0
     workers: int = 1
+    # Populated by optimistic_sweep: the phase-2 cross-partition
+    # reconciliation report (None for a plain partition_sweep).
+    reconcile: Optional["ReconcileReport"] = None
 
     @property
     def merges(self) -> int:
@@ -257,6 +276,17 @@ class SweepReport:
             }
             for r in self.results
         ]
+        if self.reconcile is not None:
+            payload.append(
+                {
+                    "reconcile": {
+                        "replay_merges": self.reconcile.replay_merges,
+                        "replay_diverged": self.reconcile.replay_diverged,
+                        "recovered_pairs": self.reconcile.recovered_pairs,
+                        "decisions": self.reconcile.decisions,
+                    }
+                }
+            )
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
@@ -292,6 +322,7 @@ def _sweep_worker(payload):
                 str(a.outcome),
                 a.alignment_ratio,
                 a.saving,
+                a.merged_name,
             )
             for a in report.attempts
         ],
@@ -355,3 +386,53 @@ def partition_sweep(
         total_time=total_time,
         workers=workers,
     )
+
+
+def optimistic_sweep(
+    module: Module,
+    partitions: int,
+    ranker_factory: Callable[[], Ranker] = MinHashLSHRanker,
+    config: PassConfig = PassConfig(verify=False),
+    workers: Optional[int] = None,
+    faults: Optional[FaultInjector] = None,
+) -> SweepReport:
+    """Two-phase optimistic cross-partition merging (mutates *module*).
+
+    Phase 1 runs :func:`partition_sweep` unchanged — partition-local
+    decisions computed in parallel against a text snapshot — and replays
+    every committed decision onto the live module through the
+    transactional pipeline, *retaining* each commit's undo snapshot.
+    Phase 2 re-ranks the surviving fingerprints (unmerged originals,
+    merged winners, and the originals optimistic merges consumed)
+    through one global ranker from *ranker_factory*, then attempts the
+    cross-partition pairs the partition-local sweep had to forgo.  When
+    a cross-partition pair conflicts with an already-committed
+    optimistic merge, the lower-benefit side is rolled back
+    bit-identically and the better global pair wins (see
+    :mod:`repro.merge.reconcile`).
+
+    Decisions are deterministic across worker counts: phase 1 is
+    serial≡parallel by construction and both the replay and the
+    reconciliation are serial walks in canonical order.  The returned
+    report is the phase-1 :class:`SweepReport` with
+    :attr:`SweepReport.reconcile` filled in; *faults* (a ``reconcile``
+    stage injector) is threaded into every phase-2 attempt, which
+    contains the failure per pair like any pipeline fault.
+    """
+    partition_of: Dict[str, int] = {}
+    for index, group in enumerate(partition_functions(module, partitions)):
+        for func in group:
+            partition_of[func.name] = index
+    report = partition_sweep(
+        module, partitions, ranker_factory, config, workers=workers
+    )
+    report.reconcile = run_optimistic_phases(
+        module,
+        report.results,
+        partitions,
+        partition_of,
+        ranker_factory,
+        config,
+        faults=faults,
+    )
+    return report

@@ -100,6 +100,11 @@ class PassConfig:
     The default 1.0 is the historical "tombstones outnumber live rows"
     trigger; long-lived daemon indexes use a lower ratio, ``None``
     disables auto-compaction.
+    ``reconcile`` — consumed by the partitioned drivers (the pass itself
+    ignores it): run the phase-2 optimistic cross-partition
+    reconciliation (:func:`repro.merge.partitioned.optimistic_sweep`)
+    after the partition-local sweeps, recovering merge pairs that span
+    partition boundaries.
     """
 
     threshold: float = 0.0
@@ -115,6 +120,7 @@ class PassConfig:
     batch_alignment: bool = True
     prealign_bound: bool = True
     lsh_compact_ratio: Optional[float] = 1.0
+    reconcile: bool = False
 
     def __post_init__(self) -> None:
         if self.on_error not in ("skip", "raise"):
@@ -150,9 +156,15 @@ class FunctionMergingPass:
         oracle: Optional[DifferentialOracle] = None,
         alignment_engine: Optional[BatchAlignmentEngine] = None,
         metrics=None,
+        transaction_factory=None,
     ) -> None:
         self.ranker = ranker
         self.config = config
+        # Every attempt runs inside a transaction this factory produces.
+        # The optimistic-sweep replay passes a retaining factory whose
+        # commit() keeps the snapshots, so reconciliation can later undo
+        # an already-committed optimistic merge bit-identically.
+        self.transaction_factory = transaction_factory or MergeTransaction
         # Optional obs.metrics.Registry: when attached, run() folds the
         # report's stage timings and outcome tallies into it.
         self.metrics = metrics
@@ -311,7 +323,7 @@ class FunctionMergingPass:
             return record, merged
 
     def _attempt_guarded(self, module, func, consumed, threshold):
-        txn = MergeTransaction(module)
+        txn = self.transaction_factory(module)
         ctx = _AttemptContext(record=AttemptRecord(func.name, None, 0.0, Outcome.NO_CANDIDATE))
         try:
             return self._attempt_stages(module, func, consumed, threshold, txn, ctx)
@@ -547,4 +559,5 @@ class FunctionMergingPass:
             record.update_time = time.perf_counter() - t0
         record.saving = benefit.saving
         record.outcome = Outcome.MERGED
+        record.merged_name = result.merged.name
         return record, result.merged

@@ -1,0 +1,592 @@
+"""Phase-2 reconciliation for optimistic cross-partition merging.
+
+``partition_sweep`` parallelizes the attempt stage by keeping partitions
+independent, which silently forgoes every pair spanning a partition
+boundary.  The Optimistic Global Function Merger idea (Lee/Ren/Hoag,
+PAPERS.md) recovers that coverage in two phases:
+
+* **Phase 1 (optimistic, parallel)** — the existing partition-local
+  sweeps run in a process pool and their *decisions* (not their module
+  mutations) come back to the parent, which replays them onto the live
+  module through the ordinary transactional pipeline.  Each replayed
+  commit runs inside a :class:`RetainingTransaction` whose ``commit()``
+  keeps the pre-merge snapshots instead of dropping them, so phase 2 can
+  later undo any optimistic merge bit-identically.
+
+* **Phase 2 (reconcile)** — the surviving fingerprints of every
+  partition (unmerged originals, merged winners, and the originals
+  consumed by optimistic merges) are re-ranked through one *global* LSH
+  index.  Pairs whose members live in different partitions are attempted
+  greedily, best-similarity first, through the same gated pipeline
+  (bound → align → codegen → verify → static/validate/oracle → commit).
+  When a cross-partition pair needs a function an optimistic merge
+  already consumed, the conflict is resolved by *benefit*: the
+  optimistic merge is rolled back (bodies restored onto the original
+  ``Function`` objects, the merged function erased, the function-table
+  order reconstructed), the cross-partition merge is attempted, and the
+  lower-benefit side loses — if the cross-partition saving does not beat
+  the sum of the undone optimistic savings, the cross merge is itself
+  undone and the optimistic merges are re-applied, reproducing the
+  phase-1 state exactly.
+
+Rolling back an optimistic merge after *later* commits touched the same
+functions would clobber those commits, so every commit logs the function
+names it captured and an **overlap guard** refuses (deterministically)
+to undo a merge whose capture set intersects any later commit's; such
+candidates are counted as ``conflicts_skipped`` and the optimistic
+merges stand.
+
+Determinism: phase 1's decisions are serial≡parallel by construction
+(see ``partition_sweep``), the replay is a serial pure function of those
+decisions, and phase 2 ranks and attempts in a canonical order — so two
+runs over the same module snapshot produce identical
+:meth:`ReconcileReport.decisions` regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..analysis.size import module_size
+from ..faults import FaultInjector
+from ..ir.clone import clone_function_into
+from ..ir.function import Function
+from ..ir.module import Module
+from ..obs import trace
+from ..search.pairing import Match, Ranker, RankingStats
+from .pass_ import FunctionMergingPass, PassConfig
+from .report import Outcome
+from .thunks import thunk_target
+from .transaction import MergeTransaction, _FunctionBackup
+
+__all__ = [
+    "FixedPairRanker",
+    "ReconcileReport",
+    "RetainedMerge",
+    "RetainingTransaction",
+    "run_optimistic_phases",
+]
+
+
+class RetainingTransaction(MergeTransaction):
+    """A merge transaction whose commit keeps the undo snapshots.
+
+    ``commit()`` closes the transaction like the base class but moves the
+    captured backups (and the baseline function-table order) into
+    :attr:`retained` instead of discarding them, so the reconciliation
+    pass can undo the committed merge later.  ``rollback()`` is
+    inherited unchanged — a failed attempt leaves nothing retained.
+    """
+
+    def __init__(self, module: Module) -> None:
+        super().__init__(module)
+        self.retained: Optional[Dict[int, _FunctionBackup]] = None
+        self.retained_order: Optional[List[str]] = None
+
+    def commit(self) -> None:
+        self.retained = dict(self._backups)
+        self.retained_order = list(self._baseline_order)
+        super().commit()
+
+
+@dataclass
+class RetainedMerge:
+    """One committed merge whose pre-state is still restorable.
+
+    ``seq`` orders commits; the overlap guard compares capture sets of
+    later commits against :attr:`touched_names` before allowing
+    :meth:`undo`.  ``saving`` is the modelled byte saving the
+    profitability model credited to this merge — the currency conflict
+    resolution trades in.
+    """
+
+    seq: int
+    partition: int
+    function_a: str
+    function_b: str
+    merged_name: str
+    saving: int
+    backups: Dict[int, _FunctionBackup]
+    pre_order: List[str]
+    undone: bool = False
+
+    @property
+    def touched_names(self) -> Set[str]:
+        names = {backup.name for backup in self.backups.values()}
+        names.add(self.merged_name)
+        return names
+
+    def undo(self, module: Module) -> List[Function]:
+        """Restore the module to its pre-merge state; returns the live
+        functions whose bodies were restored (for memo invalidation).
+
+        Only safe when no later commit touched :attr:`touched_names` —
+        the caller enforces that via the overlap guard.  Restores the
+        captured bodies onto the *same* ``Function`` objects, erases the
+        merged function this commit created, and rebuilds the
+        function-table order as if the merge never ran (functions added
+        by later commits keep their positions after the restored ones,
+        which is exactly where they would have been appended).
+        """
+        if self.undone:
+            return []
+        restored: List[Function] = []
+        for backup in self.backups.values():
+            func = backup.function
+            func.drop_body()
+            vmap = {
+                id(src): dst for src, dst in zip(backup.body.args, func.args)
+            }
+            clone_function_into(backup.body, func, vmap)
+            func.internal = backup.internal
+            func.name = backup.name
+            func._name_counter = backup.name_counter
+            if module._functions.get(func.name) is not func:
+                func.parent = module
+                module._functions[func.name] = func
+            restored.append(func)
+        merged = module.get_function(self.merged_name)
+        if merged is not None:
+            merged.erase_from_parent()
+        pre = set(self.pre_order)
+        order = [name for name in self.pre_order if name in module._functions]
+        order.extend(
+            name
+            for name in module._functions
+            if name not in pre and name != self.merged_name
+        )
+        module._functions = {name: module._functions[name] for name in order}
+        self.undone = True
+        trace.event("reconcile_undo", merged=self.merged_name, saving=self.saving)
+        return restored
+
+
+class FixedPairRanker(Ranker):
+    """A ranker that proposes exactly the pair the driver prescribes.
+
+    The replay and reconcile drivers already know which two functions an
+    attempt concerns; routing the pair through this ranker lets them
+    reuse ``FunctionMergingPass`` — every stage, gate, timing bucket and
+    containment path — without a search index.  ``fault_stage`` (set to
+    ``"reconcile"`` during phase 2) fires the injector *inside* the
+    pass's guarded rank stage, so an injected reconcile fault is
+    contained per attempt exactly like any pipeline fault.
+    """
+
+    name = "reconcile"
+
+    def __init__(self) -> None:
+        self._target: Optional[Match] = None
+        self._stats = RankingStats()
+        self.fault_stage: Optional[str] = None
+
+    def set(self, other: Function, similarity: float) -> None:
+        self._target = Match(other, similarity)
+
+    def preprocess(self, functions: List[Function]) -> None:  # pragma: no cover
+        pass
+
+    def insert(self, func: Function) -> None:
+        pass
+
+    def best_match(self, func: Function) -> Optional[Match]:
+        if self.fault_stage is not None:
+            self._fault_hit(self.fault_stage)
+        self._stats.queries += 1
+        return self._target
+
+    def remove(self, func: Function) -> None:
+        pass
+
+    def similarity(self, a: Function, b: Function) -> float:
+        return self._target.similarity if self._target else 0.0
+
+    @property
+    def stats(self) -> RankingStats:
+        return self._stats
+
+
+@dataclass
+class ReconcileReport:
+    """What the optimistic replay + reconciliation pass did.
+
+    ``decisions`` is the canonical record — one tuple per phase-2
+    attempt, ``(function, candidate, similarity, outcome, action,
+    saving)`` — folded into :meth:`SweepReport.digest` so determinism
+    across runs and worker counts stays bit-checkable.
+    """
+
+    partitions: int
+    # Phase-1 replay accounting.
+    replay_merges: int = 0
+    replay_diverged: int = 0
+    # Phase-2 candidate discovery and attempts.
+    cross_candidates: int = 0
+    attempted: int = 0
+    recovered_pairs: int = 0
+    recovered_saving: int = 0
+    # Conflict resolution against already-committed optimistic merges.
+    conflicts_considered: int = 0
+    conflicts_resolved: int = 0
+    conflicts_skipped: int = 0
+    rollbacks: int = 0
+    reapplied: int = 0
+    reapply_failures: int = 0
+    # Module sizes: after phase 1 (the partition-local baseline) and
+    # after reconciliation.
+    size_phase1: int = 0
+    size_after: int = 0
+    elapsed: float = 0.0
+    decisions: List[Tuple[str, str, float, str, str, int]] = field(
+        default_factory=list
+    )
+
+    @property
+    def recovered_size_delta(self) -> int:
+        """Bytes the reconcile pass removed beyond the phase-1 result."""
+        return self.size_phase1 - self.size_after
+
+
+class _OptimisticDriver:
+    """Shared state of the replay + reconcile phases on one module."""
+
+    def __init__(
+        self,
+        module: Module,
+        config: PassConfig,
+        faults: Optional[FaultInjector],
+    ) -> None:
+        self.module = module
+        self.config = config
+        self.ranker = FixedPairRanker()
+        self._txns: List[RetainingTransaction] = []
+
+        def factory(mod: Module) -> RetainingTransaction:
+            txn = RetainingTransaction(mod)
+            self._txns.append(txn)
+            return txn
+
+        self.pass_ = FunctionMergingPass(
+            self.ranker,
+            config,
+            faults=faults,
+            transaction_factory=factory,
+        )
+        self.seq = 0
+        self.consumed_ids: Set[int] = set()
+        # Commit log for the overlap guard: (seq, names touched).
+        self.log: List[Tuple[int, Set[str]]] = []
+
+    def attempt(self, func: Function, other: Function, similarity: float):
+        """One transactional pipeline trip for the prescribed pair.
+
+        Returns ``(record, retained_or_None)``; a retained entry means
+        the attempt committed and is undoable.
+        """
+        self.ranker.set(other, similarity)
+        self._txns.clear()
+        record, _merged = self.pass_._attempt(
+            self.module, func, self.consumed_ids, threshold=0.0
+        )
+        retained = None
+        if record.outcome == Outcome.MERGED:
+            txn = self._txns[-1]
+            self.seq += 1
+            retained = RetainedMerge(
+                seq=self.seq,
+                partition=-1,
+                function_a=func.name,
+                function_b=other.name,
+                merged_name=record.merged_name,
+                saving=record.saving,
+                backups=txn.retained or {},
+                pre_order=txn.retained_order or [],
+            )
+            self.log.append((retained.seq, retained.touched_names))
+        return record, retained
+
+    def undo_is_safe(self, retained: RetainedMerge) -> bool:
+        touched = retained.touched_names
+        return not any(
+            seq > retained.seq and touched & names for seq, names in self.log
+        )
+
+    def undo(self, retained: RetainedMerge) -> None:
+        restored = retained.undo(self.module)
+        self.pass_._invalidate(restored)
+
+
+def _replay_phase(
+    driver: _OptimisticDriver,
+    sweep_results,
+    report: ReconcileReport,
+) -> Tuple[List[RetainedMerge], Dict[str, int]]:
+    """Apply each partition's committed decisions to the parent module.
+
+    Worker-side names are mapped to parent-side functions through
+    ``name_map`` as merged functions are created, so remerge chains
+    (a merged function consumed by a later merge in the same partition)
+    replay correctly even when ``unique_name`` suffixes diverge.
+    """
+    retained_merges: List[RetainedMerge] = []
+    name_map: Dict[str, str] = {}
+    merged_partition: Dict[str, int] = {}
+    for result in sweep_results:
+        for decision in result.decisions:
+            function, candidate, similarity, outcome = decision[:4]
+            merged_name = decision[6] if len(decision) > 6 else None
+            if outcome != str(Outcome.MERGED) or candidate is None:
+                continue
+            func = driver.module.get_function(name_map.get(function, function))
+            other = driver.module.get_function(name_map.get(candidate, candidate))
+            if func is None or other is None:
+                report.replay_diverged += 1
+                continue
+            record, retained = driver.attempt(func, other, similarity)
+            if retained is None:
+                report.replay_diverged += 1
+                continue
+            retained.partition = result.partition
+            retained_merges.append(retained)
+            report.replay_merges += 1
+            merged_partition[retained.merged_name] = result.partition
+            if merged_name is not None:
+                name_map[merged_name] = retained.merged_name
+    return retained_merges, merged_partition
+
+
+@dataclass
+class _PoolEntry:
+    """One fingerprintable survivor in the phase-2 global ranking."""
+
+    name: str  # parent-module name the attempt resolves at runtime
+    partition: int
+    proxy: Function  # live function, or a detached pre-merge backup body
+    retained: Optional[RetainedMerge] = None  # set for consumed originals
+
+
+def _survivor_pool(
+    module: Module,
+    config: PassConfig,
+    partition_of: Dict[str, int],
+    merged_partition: Dict[str, int],
+    retained_merges: List[RetainedMerge],
+) -> List[_PoolEntry]:
+    """Collect the fingerprints phase 2 re-ranks globally.
+
+    Three populations: unmerged originals still live in the module,
+    merged winners (ranked by their merged bodies), and the originals
+    each optimistic merge consumed (ranked by their *pre-merge* backup
+    bodies, so a better cross-partition partner can still claim them).
+    """
+    pool: List[_PoolEntry] = []
+    for func in module.defined_functions():
+        if func.num_instructions < config.min_instructions:
+            continue
+        if thunk_target(func) is not None:
+            continue
+        partition = merged_partition.get(func.name, partition_of.get(func.name))
+        if partition is None:
+            continue
+        pool.append(_PoolEntry(func.name, partition, func))
+    for retained in retained_merges:
+        by_name = {b.name: b for b in retained.backups.values()}
+        for original in (retained.function_a, retained.function_b):
+            backup = by_name.get(original)
+            if backup is None:  # pragma: no cover - capture always includes both
+                continue
+            if backup.body.num_instructions < config.min_instructions:
+                continue
+            pool.append(
+                _PoolEntry(original, retained.partition, backup.body, retained)
+            )
+    return pool
+
+
+def _rank_cross_candidates(
+    pool: List[_PoolEntry],
+    ranker_factory: Callable[[], Ranker],
+    config: PassConfig,
+) -> List[Tuple[float, _PoolEntry, _PoolEntry]]:
+    """Globally re-rank the pool; keep pairs spanning partitions.
+
+    One query per pool entry through the factory ranker (the same
+    LSH/sharded machinery the pass uses), deduplicated per unordered
+    name pair, ordered best-similarity-first with a name tiebreak so the
+    greedy phase is deterministic.
+    """
+    ranker = ranker_factory()
+    ranker.preprocess([entry.proxy for entry in pool])
+    threshold = max(config.threshold, getattr(ranker, "threshold", 0.0))
+    by_proxy_id = {id(entry.proxy): entry for entry in pool}
+    seen: Set[Tuple[str, str]] = set()
+    candidates: List[Tuple[float, _PoolEntry, _PoolEntry]] = []
+    for entry in pool:
+        match = ranker.best_match(entry.proxy)
+        if match is None or match.similarity < threshold:
+            continue
+        other = by_proxy_id.get(id(match.function))
+        if other is None or other.partition == entry.partition:
+            continue
+        if other.name == entry.name:
+            continue
+        key = (
+            (entry.name, other.name)
+            if entry.name < other.name
+            else (other.name, entry.name)
+        )
+        if key in seen:
+            continue
+        seen.add(key)
+        candidates.append((match.similarity, entry, other))
+    candidates.sort(key=lambda c: (-c[0], c[1].name, c[2].name))
+    return candidates
+
+
+def _reconcile_phase(
+    driver: _OptimisticDriver,
+    pool_candidates: List[Tuple[float, _PoolEntry, _PoolEntry]],
+    report: ReconcileReport,
+) -> None:
+    """Greedy cross-partition attempts with benefit-ranked conflicts."""
+    module = driver.module
+    consumed_names: Set[str] = set()
+    for similarity, entry_a, entry_b in pool_candidates:
+        if entry_a.name in consumed_names or entry_b.name in consumed_names:
+            continue
+        # An entry whose optimistic merge a *previous* candidate already
+        # rolled back is live now; drop the stale conflict edge.
+        conflicts = [
+            entry.retained
+            for entry in (entry_a, entry_b)
+            if entry.retained is not None and not entry.retained.undone
+        ]
+        if any(c.merged_name in consumed_names for c in conflicts):
+            continue
+        report.attempted += 1
+        if conflicts:
+            report.conflicts_considered += 1
+            if not all(driver.undo_is_safe(c) for c in conflicts):
+                report.conflicts_skipped += 1
+                report.decisions.append(
+                    (entry_a.name, entry_b.name, similarity, "skipped", "overlap", 0)
+                )
+                continue
+            local_saving = sum(c.saving for c in conflicts)
+            for conflict in sorted(conflicts, key=lambda c: -c.seq):
+                driver.undo(conflict)
+                report.rollbacks += 1
+        func = module.get_function(entry_a.name)
+        other = module.get_function(entry_b.name)
+        if func is None or other is None:  # pragma: no cover - defensive
+            record, retained = None, None
+        else:
+            record, retained = driver.attempt(func, other, similarity)
+        if not conflicts:
+            if retained is not None:
+                report.recovered_pairs += 1
+                report.recovered_saving += retained.saving
+                consumed_names.update((entry_a.name, entry_b.name))
+                report.decisions.append(
+                    (
+                        entry_a.name,
+                        entry_b.name,
+                        similarity,
+                        "merged",
+                        "recovered",
+                        retained.saving,
+                    )
+                )
+            else:
+                outcome = str(record.outcome) if record is not None else "missing"
+                report.decisions.append(
+                    (entry_a.name, entry_b.name, similarity, outcome, "rejected", 0)
+                )
+            continue
+        # Conflict resolution: the cross-partition merge must beat the
+        # sum of the optimistic merges it displaced, else phase 1 wins.
+        if retained is not None and retained.saving > local_saving:
+            report.conflicts_resolved += 1
+            report.recovered_pairs += 1
+            report.recovered_saving += retained.saving - local_saving
+            consumed_names.update((entry_a.name, entry_b.name))
+            for conflict in conflicts:
+                consumed_names.add(conflict.merged_name)
+            report.decisions.append(
+                (
+                    entry_a.name,
+                    entry_b.name,
+                    similarity,
+                    "merged",
+                    "conflict_won",
+                    retained.saving - local_saving,
+                )
+            )
+            continue
+        # The optimistic merges keep their win: undo the cross merge (if
+        # it committed) and re-apply phase 1's decisions, reproducing the
+        # phase-1 bodies exactly (same inputs, same deterministic merge).
+        # Re-applies are restorative, not cross-partition attempts, so
+        # the ``reconcile`` fault point is off for them — an injected
+        # fault must leave the module at the phase-1 result, which
+        # requires the re-apply after a faulted conflict attempt to run.
+        if retained is not None:
+            report.rollbacks += 1
+            driver.undo(retained)
+        driver.ranker.fault_stage = None
+        for conflict in sorted(conflicts, key=lambda c: c.seq):
+            fa = module.get_function(conflict.function_a)
+            fb = module.get_function(conflict.function_b)
+            redo, redone = (None, None)
+            if fa is not None and fb is not None:
+                redo, redone = driver.attempt(fa, fb, similarity)
+            if redone is None:  # pragma: no cover - deterministic re-merge
+                report.reapply_failures += 1
+                continue
+            redone.partition = conflict.partition
+            conflict.backups = redone.backups
+            conflict.pre_order = redone.pre_order
+            conflict.seq = redone.seq
+            conflict.merged_name = redone.merged_name
+            conflict.saving = redone.saving
+            conflict.undone = False
+            report.reapplied += 1
+        driver.ranker.fault_stage = "reconcile"
+        outcome = str(record.outcome) if record is not None else "missing"
+        report.decisions.append(
+            (entry_a.name, entry_b.name, similarity, outcome, "conflict_kept", 0)
+        )
+
+
+def run_optimistic_phases(
+    module: Module,
+    sweep_results,
+    partitions: int,
+    partition_of: Dict[str, int],
+    ranker_factory: Callable[[], Ranker],
+    config: PassConfig,
+    faults: Optional[FaultInjector] = None,
+) -> ReconcileReport:
+    """Replay phase-1 decisions onto *module*, then reconcile across
+    partitions.  Mutates *module*; returns the combined report."""
+    report = ReconcileReport(partitions=partitions)
+    t0 = time.perf_counter()
+    driver = _OptimisticDriver(module, config, faults)
+    with trace.span("replay", partitions=partitions):
+        retained_merges, merged_partition = _replay_phase(
+            driver, sweep_results, report
+        )
+    report.size_phase1 = module_size(module)
+    with trace.span("reconcile", merges=len(retained_merges)):
+        pool = _survivor_pool(
+            module, config, partition_of, merged_partition, retained_merges
+        )
+        driver.ranker.fault_stage = "reconcile"
+        candidates = _rank_cross_candidates(pool, ranker_factory, config)
+        report.cross_candidates = len(candidates)
+        _reconcile_phase(driver, candidates, report)
+    report.size_after = module_size(module)
+    report.elapsed = time.perf_counter() - t0
+    return report

@@ -104,6 +104,10 @@ class AttemptRecord:
     # Translation-validator verdict ("proved" | "refuted" | "unknown")
     # when the validate stage ran; None when it was off.
     validate_verdict: Optional[str] = None
+    # Name of the merged function a successful attempt created (None for
+    # every non-merged outcome).  Sweep replay uses this to map worker-side
+    # names onto the functions the parent-module replay produces.
+    merged_name: Optional[str] = None
     # Structured failure detail: "<stage>:<ExceptionType>" for contained
     # faults, or the oracle's first divergence description.
     error: Optional[str] = None

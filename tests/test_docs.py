@@ -48,17 +48,13 @@ class TestArchitectureDoc:
             assert mod in text
 
 
-@pytest.mark.parametrize(
-    "doc",
-    [
-        "README.md",
-        "docs/architecture.md",
-        "docs/observability.md",
-        "docs/benchmarks.md",
-        "docs/checkers.md",
-        "docs/scaling.md",
-    ],
-)
+def _doc_pages() -> list:
+    return sorted(
+        f"docs/{name}" for name in os.listdir(DOCS) if name.endswith(".md")
+    )
+
+
+@pytest.mark.parametrize("doc", ["README.md", "DESIGN.md"] + _doc_pages())
 class TestLinksResolve:
     def test_relative_links_point_at_real_files(self, doc):
         base = os.path.dirname(os.path.join(REPO_ROOT, doc))
@@ -70,6 +66,41 @@ class TestLinksResolve:
             if not os.path.exists(os.path.normpath(os.path.join(base, target))):
                 broken.append(target)
         assert not broken, f"broken links in {doc}: {broken}"
+
+
+class TestDocsCoverage:
+    def test_every_subpackage_mentioned_by_some_docs_page(self):
+        corpus = "\n".join(_read(*page.split("/")) for page in _doc_pages())
+        missing = [pkg for pkg in _packages() if f"`{pkg}/`" not in corpus]
+        assert not missing, (
+            f"src/repro subpackages no docs page mentions: {missing}"
+        )
+
+    def test_every_bench_json_has_a_benchmarks_md_section(self):
+        bench_files = sorted(
+            name
+            for name in os.listdir(REPO_ROOT)
+            if name.startswith("BENCH_") and name.endswith(".json")
+        )
+        assert bench_files, "no BENCH_*.json files at the repository root?"
+        text = _read("docs", "benchmarks.md")
+        missing = [
+            name for name in bench_files if f"## `{name}`" not in text
+        ]
+        assert not missing, (
+            f"BENCH files without a '## `<file>`' section in "
+            f"docs/benchmarks.md: {missing}"
+        )
+
+    def test_index_lists_every_docs_page(self):
+        text = _read("docs", "index.md")
+        missing = [
+            page
+            for page in _doc_pages()
+            if page != "docs/index.md"
+            and f"({os.path.basename(page)})" not in text
+        ]
+        assert not missing, f"docs pages absent from docs/index.md: {missing}"
 
 
 class TestGeneratedCheckerDocs:
@@ -95,11 +126,44 @@ class TestGeneratedCheckerDocs:
             assert f"`{info.name}`" in text
 
 
+class TestMarkdownLint:
+    def _load(self):
+        spec = importlib.util.spec_from_file_location(
+            "lint_docs", os.path.join(REPO_ROOT, "tools", "lint_docs.py")
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        return mod
+
+    def test_repository_markdown_is_clean(self):
+        problems = self._load().run_checks()
+        assert not problems, "tools/lint_docs.py found:\n" + "\n".join(problems)
+
+    def test_lint_catches_changes_format_drift(self, tmp_path, monkeypatch):
+        lint = self._load()
+        (tmp_path / "CHANGES.md").write_text("- PR 1: bulleted drift\n")
+        (tmp_path / "ROADMAP.md").write_text("## Open items\n\n## Recent\n")
+        monkeypatch.setattr(lint, "REPO_ROOT", str(tmp_path))
+        problems = lint.run_checks()
+        assert any("PR <n>" in p for p in problems)
+
+    def test_lint_catches_dead_links(self, tmp_path, monkeypatch):
+        lint = self._load()
+        (tmp_path / "CHANGES.md").write_text("PR 1: fine\n")
+        (tmp_path / "ROADMAP.md").write_text("## Open items\n\n## Recent\n")
+        (tmp_path / "page.md").write_text("see [gone](missing.md)\n")
+        monkeypatch.setattr(lint, "REPO_ROOT", str(tmp_path))
+        problems = lint.run_checks()
+        assert any("dead relative link" in p for p in problems)
+
+
 class TestReadmePointers:
     def test_readme_links_all_docs(self):
         text = _read("README.md")
         for doc in (
+            "docs/index.md",
             "docs/architecture.md",
+            "docs/merging.md",
             "docs/observability.md",
             "docs/benchmarks.md",
             "docs/checkers.md",
